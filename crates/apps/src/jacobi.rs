@@ -1,0 +1,146 @@
+//! Dense Jacobi iterative solver (paper Table 1: "An iterative jacobi
+//! solver (dense-matrix) application").
+//!
+//! The system matrix `A` is distributed in block-cyclic *column panels*
+//! over a `1 × P` grid; the iterate `x` and right-hand side `b` are `1 × n`
+//! row vectors with the same column distribution, so each process updates
+//! exactly the entries of `x` whose columns it owns. One sweep computes the
+//! local partial mat-vec, allreduces the full product, and updates the
+//! owned entries — the allreduce of an `n`-vector is the workload's
+//! characteristic communication.
+
+use reshape_blockcyclic::DistMatrix;
+use reshape_grid::GridContext;
+use reshape_mpisim::ReduceOp;
+
+/// One Jacobi sweep: `x ← D⁻¹ (b − R x)`. Collective over the grid's
+/// communicator. `a` is `n × n`, `x` and `b` are `1 × n`, all on a `1 × P`
+/// grid with identical column blocking.
+pub fn jacobi_sweep(
+    grid: &GridContext,
+    a: &DistMatrix<f64>,
+    x: &mut DistMatrix<f64>,
+    b: &DistMatrix<f64>,
+) {
+    let d = a.desc;
+    let n = d.m;
+    assert_eq!(d.nprow, 1, "Jacobi uses a 1-D column distribution");
+    assert_eq!((x.desc.m, x.desc.n), (1, n), "x must be 1 x n");
+    assert_eq!((b.desc.m, b.desc.n), (1, n), "b must be 1 x n");
+    assert_eq!(x.desc.nb, d.nb, "x blocking must match A's columns");
+    assert_eq!(b.desc.nb, d.nb, "b blocking must match A's columns");
+
+    // Partial product: y += A[:, j] * x[j] over owned columns j.
+    let mut y = vec![0.0; n];
+    let lcols = a.local_cols();
+    for lj in 0..lcols {
+        let xj = x.get_local(0, lj);
+        if xj == 0.0 {
+            continue;
+        }
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi += a.get_local(i, lj) * xj;
+        }
+    }
+    let y = grid.comm().allreduce(ReduceOp::Sum, &y);
+
+    // Update owned entries: x[j] = (b[j] - (y[j] - A[j,j] x[j])) / A[j,j].
+    for lj in 0..lcols {
+        let gj = d.local_to_global_col(lj, grid.mycol());
+        let ajj = a.get_local(gj, lj);
+        let xj = x.get_local(0, lj);
+        let new = (b.get_local(0, lj) - (y[gj] - ajj * xj)) / ajj;
+        x.set_local(0, lj, new);
+    }
+}
+
+/// Modeled floating-point work of one sweep: `2 · n²`.
+pub fn jacobi_flops(n: usize) -> f64 {
+    2.0 * (n as f64).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+    use reshape_blockcyclic::Descriptor;
+    use reshape_mpisim::{NetModel, Universe};
+
+    fn check_jacobi(n: usize, nb: usize, p: usize, sweeps: usize) {
+        Universe::new(p, 1, NetModel::ideal())
+            .launch(p, None, "jacobi", move |comm| {
+                let grid = GridContext::new(&comm, 1, p);
+                let fa = seq::test_matrix_at(n, 11);
+                let a_desc = Descriptor::new(n, n, n, nb, 1, p);
+                let v_desc = Descriptor::new(1, n, 1, nb, 1, p);
+                let a = DistMatrix::from_fn(a_desc, 0, grid.mycol(), &fa);
+                let fb = |_: usize, j: usize| (j % 7) as f64 - 3.0;
+                let b = DistMatrix::from_fn(v_desc, 0, grid.mycol(), fb);
+                let mut x = DistMatrix::new(v_desc, 0, grid.mycol());
+                for _ in 0..sweeps {
+                    jacobi_sweep(&grid, &a, &mut x, &b);
+                }
+                let xs = x.gather(&grid);
+                if comm.rank() == 0 {
+                    let xs = xs.unwrap();
+                    // Sequential reference.
+                    let a_full = seq::test_matrix(n, 11);
+                    let b_full: Vec<f64> = (0..n).map(|j| fb(0, j)).collect();
+                    let mut xr = vec![0.0; n];
+                    for _ in 0..sweeps {
+                        xr = seq::jacobi_sweep(&a_full, &b_full, &xr, n);
+                    }
+                    for j in 0..n {
+                        assert!(
+                            (xs[j] - xr[j]).abs() < 1e-9,
+                            "x[{j}]: {} vs {}",
+                            xs[j],
+                            xr[j]
+                        );
+                    }
+                }
+            })
+            .join_ok();
+    }
+
+    #[test]
+    fn one_process_matches_sequential() {
+        check_jacobi(16, 4, 1, 5);
+    }
+
+    #[test]
+    fn four_processes_match_sequential() {
+        check_jacobi(24, 4, 4, 8);
+    }
+
+    #[test]
+    fn uneven_blocks() {
+        check_jacobi(20, 3, 3, 6);
+    }
+
+    #[test]
+    fn converges_distributed() {
+        let n = 24;
+        let p = 4;
+        Universe::new(p, 1, NetModel::ideal())
+            .launch(p, None, "jconv", move |comm| {
+                let grid = GridContext::new(&comm, 1, p);
+                let fa = seq::test_matrix_at(n, 5);
+                let a_desc = Descriptor::new(n, n, n, 2, 1, p);
+                let v_desc = Descriptor::new(1, n, 1, 2, 1, p);
+                let a = DistMatrix::from_fn(a_desc, 0, grid.mycol(), &fa);
+                // b = A * ones, so x should converge to ones.
+                let a_full = seq::test_matrix(n, 5);
+                let fb = move |_: usize, j: usize| (0..n).map(|t| a_full[j * n + t]).sum::<f64>();
+                let b = DistMatrix::from_fn(v_desc, 0, grid.mycol(), fb);
+                let mut x = DistMatrix::new(v_desc, 0, grid.mycol());
+                for _ in 0..100 {
+                    jacobi_sweep(&grid, &a, &mut x, &b);
+                }
+                for lj in 0..x.local_cols() {
+                    assert!((x.get_local(0, lj) - 1.0).abs() < 1e-8);
+                }
+            })
+            .join_ok();
+    }
+}

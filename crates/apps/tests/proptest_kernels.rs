@@ -1,0 +1,136 @@
+//! Property tests for the distributed kernels: for randomly drawn problem
+//! sizes, blockings and grid shapes, the distributed results must match the
+//! sequential references exactly. Case counts are modest because each case
+//! launches real threads.
+
+use proptest::prelude::*;
+use reshape_apps::{fft, jacobi, lu, mm, seq};
+use reshape_blockcyclic::{Descriptor, DistMatrix};
+use reshape_grid::GridContext;
+use reshape_mpisim::{NetModel, Universe};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn lu_matches_sequential_for_random_layouts(
+        blocks in 2usize..6,
+        nb in 2usize..5,
+        pr in 1usize..4,
+        pc in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        // n must be a multiple of nb for the blocked LU.
+        let n = blocks * nb * pr.max(pc).max(2);
+        let p = pr * pc;
+        Universe::new(p, 1, NetModel::ideal())
+            .launch(p, None, "plu", move |comm| {
+                let grid = GridContext::new(&comm, pr, pc);
+                let desc = Descriptor::square(n, nb, pr, pc);
+                let f = seq::test_matrix_at(n, seed);
+                let mut a = DistMatrix::from_fn(desc, grid.myrow(), grid.mycol(), f);
+                lu::lu_factorize(&grid, &mut a);
+                if let Some(full) = a.gather(&grid) {
+                    let mut reference = seq::test_matrix(n, seed);
+                    seq::lu_nopivot(&mut reference, n);
+                    for (x, y) in full.iter().zip(&reference) {
+                        assert!((x - y).abs() < 1e-8 * (1.0 + y.abs()), "{x} vs {y}");
+                    }
+                }
+            })
+            .join_ok();
+    }
+
+    #[test]
+    fn summa_matches_sequential_for_random_layouts(
+        blocks in 2usize..5,
+        nb in 2usize..5,
+        pr in 1usize..4,
+        pc in 1usize..4,
+    ) {
+        let n = blocks * nb * pr.max(pc).max(2);
+        let p = pr * pc;
+        Universe::new(p, 1, NetModel::ideal())
+            .launch(p, None, "pmm", move |comm| {
+                let grid = GridContext::new(&comm, pr, pc);
+                let desc = Descriptor::square(n, nb, pr, pc);
+                let fa = move |i: usize, j: usize| ((i * 3 + j * 7) % 11) as f64 - 5.0;
+                let fb = move |i: usize, j: usize| ((i * 5 + j) % 7) as f64 - 3.0;
+                let a = DistMatrix::from_fn(desc, grid.myrow(), grid.mycol(), fa);
+                let b = DistMatrix::from_fn(desc, grid.myrow(), grid.mycol(), fb);
+                let mut c = DistMatrix::new(desc, grid.myrow(), grid.mycol());
+                mm::summa(&grid, &a, &b, &mut c);
+                if let Some(full) = c.gather(&grid) {
+                    let af: Vec<f64> = (0..n * n).map(|x| fa(x / n, x % n)).collect();
+                    let bf: Vec<f64> = (0..n * n).map(|x| fb(x / n, x % n)).collect();
+                    let reference = seq::matmul(&af, &bf, n);
+                    for (x, y) in full.iter().zip(&reference) {
+                        assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+                    }
+                }
+            })
+            .join_ok();
+    }
+
+    #[test]
+    fn jacobi_matches_sequential_for_random_layouts(
+        n in 8usize..40,
+        nb in 1usize..6,
+        p in 1usize..5,
+        sweeps in 1usize..6,
+    ) {
+        Universe::new(p, 1, NetModel::ideal())
+            .launch(p, None, "pjac", move |comm| {
+                let grid = GridContext::new(&comm, 1, p);
+                let fa = seq::test_matrix_at(n, 17);
+                let a_desc = Descriptor::new(n, n, n, nb, 1, p);
+                let v_desc = Descriptor::new(1, n, 1, nb, 1, p);
+                let a = DistMatrix::from_fn(a_desc, 0, grid.mycol(), &fa);
+                let b = DistMatrix::from_fn(v_desc, 0, grid.mycol(), |_, j| (j % 5) as f64);
+                let mut x = DistMatrix::new(v_desc, 0, grid.mycol());
+                for _ in 0..sweeps {
+                    jacobi::jacobi_sweep(&grid, &a, &mut x, &b);
+                }
+                if let Some(xs) = x.gather(&grid) {
+                    let af = seq::test_matrix(n, 17);
+                    let bf: Vec<f64> = (0..n).map(|j| (j % 5) as f64).collect();
+                    let mut xr = vec![0.0; n];
+                    for _ in 0..sweeps {
+                        xr = seq::jacobi_sweep(&af, &bf, &xr, n);
+                    }
+                    for (x, y) in xs.iter().zip(&xr) {
+                        assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+                    }
+                }
+            })
+            .join_ok();
+    }
+
+    #[test]
+    fn fft_round_trips_for_random_layouts(
+        logn in 3u32..6,
+        nb in 1usize..5,
+        p in 1usize..5,
+    ) {
+        let n = 1usize << logn;
+        Universe::new(p, 1, NetModel::ideal())
+            .launch(p, None, "pfft", move |comm| {
+                let grid = GridContext::new(&comm, 1, p);
+                let d = Descriptor::new(n, n, n, nb, 1, p);
+                let mut re = DistMatrix::from_fn(d, 0, grid.mycol(), |i, j| {
+                    ((i * 13 + j * 29) % 31) as f64 - 15.0
+                });
+                let mut im = DistMatrix::<f64>::new(d, 0, grid.mycol());
+                let re0 = re.local_data().to_vec();
+                fft::fft2d(&grid, &mut re, &mut im, false);
+                fft::fft2d(&grid, &mut re, &mut im, true);
+                for (a, b) in re.local_data().iter().zip(&re0) {
+                    assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+                }
+                for v in im.local_data() {
+                    assert!(v.abs() < 1e-7);
+                }
+            })
+            .join_ok();
+    }
+}

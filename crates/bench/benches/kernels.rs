@@ -1,0 +1,121 @@
+//! Microbenchmarks of the distributed numerical kernels (the paper's
+//! workload applications) against their sequential references.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reshape_apps::{fft, jacobi, lu, mm, seq};
+use reshape_blockcyclic::{Descriptor, DistMatrix};
+use reshape_grid::GridContext;
+use reshape_mpisim::{NetModel, Universe};
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu");
+    g.sample_size(10);
+    for &n in &[128usize, 256] {
+        g.bench_with_input(BenchmarkId::new("seq", n), &n, |b, &n| {
+            let a0 = seq::test_matrix(n, 1);
+            b.iter(|| {
+                let mut a = a0.clone();
+                seq::lu_nopivot(&mut a, n);
+                std::hint::black_box(a);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("dist_2x2", n), &n, |b, &n| {
+            b.iter(|| {
+                Universe::new(4, 1, NetModel::ideal())
+                    .launch(4, None, "lu", move |comm| {
+                        let grid = GridContext::new(&comm, 2, 2);
+                        let d = Descriptor::square(n, 16, 2, 2);
+                        let f = reshape_apps::dominant_elem(n);
+                        let mut a = DistMatrix::from_fn(d, grid.myrow(), grid.mycol(), f);
+                        lu::lu_factorize(&grid, &mut a);
+                        std::hint::black_box(a.local_data().len());
+                    })
+                    .join_ok();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summa");
+    g.sample_size(10);
+    let n = 192usize;
+    g.bench_function("dist_2x3", |b| {
+        b.iter(|| {
+            Universe::new(6, 1, NetModel::ideal())
+                .launch(6, None, "mm", move |comm| {
+                    let grid = GridContext::new(&comm, 2, 3);
+                    let d = Descriptor::square(n, 16, 2, 3);
+                    let f = reshape_apps::dominant_elem(n);
+                    let a = DistMatrix::from_fn(d, grid.myrow(), grid.mycol(), &f);
+                    let bm = DistMatrix::from_fn(d, grid.myrow(), grid.mycol(), &f);
+                    let mut cm = DistMatrix::new(d, grid.myrow(), grid.mycol());
+                    mm::summa(&grid, &a, &bm, &mut cm);
+                    std::hint::black_box(cm.local_data().len());
+                })
+                .join_ok();
+        });
+    });
+    g.finish();
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi_sweep");
+    g.sample_size(10);
+    let n = 512usize;
+    g.bench_function("dist_1x4", |b| {
+        b.iter(|| {
+            Universe::new(4, 1, NetModel::ideal())
+                .launch(4, None, "jacobi", move |comm| {
+                    let grid = GridContext::new(&comm, 1, 4);
+                    let f = reshape_apps::dominant_elem(n);
+                    let a_desc = Descriptor::new(n, n, n, 16, 1, 4);
+                    let v_desc = Descriptor::new(1, n, 1, 16, 1, 4);
+                    let a = DistMatrix::from_fn(a_desc, 0, grid.mycol(), f);
+                    let bb = DistMatrix::from_fn(v_desc, 0, grid.mycol(), |_, j| j as f64);
+                    let mut x = DistMatrix::new(v_desc, 0, grid.mycol());
+                    for _ in 0..5 {
+                        jacobi::jacobi_sweep(&grid, &a, &mut x, &bb);
+                    }
+                    std::hint::black_box(x.local_data().len());
+                })
+                .join_ok();
+        });
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft2d");
+    g.sample_size(10);
+    let n = 256usize;
+    g.bench_function("dist_1x4", |b| {
+        b.iter(|| {
+            Universe::new(4, 1, NetModel::ideal())
+                .launch(4, None, "fft", move |comm| {
+                    let grid = GridContext::new(&comm, 1, 4);
+                    let d = Descriptor::new(n, n, n, 16, 1, 4);
+                    let mut re =
+                        DistMatrix::from_fn(d, 0, grid.mycol(), |i, j| ((i + j) % 17) as f64);
+                    let mut im = DistMatrix::new(d, 0, grid.mycol());
+                    fft::fft2d(&grid, &mut re, &mut im, false);
+                    std::hint::black_box(re.local_data().len());
+                })
+                .join_ok();
+        });
+    });
+    g.bench_function("seq_1d_4096", |b| {
+        let re0: Vec<f64> = (0..4096).map(|i| (i % 13) as f64).collect();
+        b.iter(|| {
+            let mut re = re0.clone();
+            let mut im = vec![0.0; 4096];
+            seq::fft_inplace(&mut re, &mut im, false);
+            std::hint::black_box(re[0]);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lu, bench_mm, bench_jacobi, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Microbenchmarks of the simulated MPI substrate itself: point-to-point
+//! throughput, collectives, communicator management, dynamic spawning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reshape_mpisim::{NetModel, ReduceOp, Universe};
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p_ping_pong");
+    g.sample_size(10);
+    for &len in &[1usize << 10, 1 << 16, 1 << 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| {
+                Universe::new(2, 1, NetModel::ideal())
+                    .launch(2, None, "pp", move |comm| {
+                        let data = vec![1.0f64; len / 8];
+                        for _ in 0..16 {
+                            if comm.rank() == 0 {
+                                comm.send(1, 1, &data);
+                                let _: Vec<f64> = comm.recv(1, 2);
+                            } else {
+                                let v: Vec<f64> = comm.recv(0, 1);
+                                comm.send(0, 2, &v);
+                            }
+                        }
+                    })
+                    .join_ok();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_8_ranks");
+    g.sample_size(10);
+    g.bench_function("bcast_64k", |b| {
+        b.iter(|| {
+            Universe::new(8, 1, NetModel::ideal())
+                .launch(8, None, "bc", |comm| {
+                    let data = if comm.rank() == 0 {
+                        vec![1.0f64; 8192]
+                    } else {
+                        vec![]
+                    };
+                    for _ in 0..8 {
+                        std::hint::black_box(comm.bcast(0, &data));
+                    }
+                })
+                .join_ok();
+        });
+    });
+    g.bench_function("allreduce_8k", |b| {
+        b.iter(|| {
+            Universe::new(8, 1, NetModel::ideal())
+                .launch(8, None, "ar", |comm| {
+                    let data = vec![comm.rank() as f64; 1024];
+                    for _ in 0..8 {
+                        std::hint::black_box(comm.allreduce(ReduceOp::Sum, &data));
+                    }
+                })
+                .join_ok();
+        });
+    });
+    g.bench_function("alltoallv_8x8k", |b| {
+        b.iter(|| {
+            Universe::new(8, 1, NetModel::ideal())
+                .launch(8, None, "a2a", |comm| {
+                    let parts: Vec<Vec<f64>> =
+                        (0..8).map(|d| vec![d as f64; 1024]).collect();
+                    for _ in 0..4 {
+                        std::hint::black_box(comm.alltoallv(&parts));
+                    }
+                })
+                .join_ok();
+        });
+    });
+    g.finish();
+}
+
+fn bench_spawn_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_process_management");
+    g.sample_size(10);
+    g.bench_function("spawn_merge_4_plus_4", |b| {
+        b.iter(|| {
+            let uni = Universe::new(8, 1, NetModel::ideal());
+            uni.launch(4, None, "sm", |comm| {
+                let merged = comm.spawn_merge(4, None, "kids", |ctx| {
+                    ctx.parent.merge().barrier();
+                });
+                merged.barrier();
+            })
+            .join_ok();
+            uni.join_spawned();
+        });
+    });
+    g.bench_function("comm_split_16", |b| {
+        b.iter(|| {
+            Universe::new(16, 1, NetModel::ideal())
+                .launch(16, None, "sp", |comm| {
+                    for round in 0..4u32 {
+                        let color = (comm.rank() as u32 + round) % 4;
+                        std::hint::black_box(comm.split(Some(color), comm.rank() as i64));
+                    }
+                })
+                .join_ok();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_p2p, bench_collectives, bench_spawn_merge);
+criterion_main!(benches);

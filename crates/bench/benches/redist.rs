@@ -1,0 +1,133 @@
+//! Microbenchmarks of the redistribution engine: schedule construction,
+//! analytic evaluation, real data movement through the simulated fabric,
+//! and the checkpoint baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reshape_blockcyclic::{Descriptor, DistMatrix};
+use reshape_mpisim::{NetModel, Universe};
+use reshape_redist::{
+    checkpoint_redistribute, evaluate_2d, plan_2d, redistribute_2d, CheckpointParams,
+};
+
+fn bench_plan_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_2d");
+    for &(n, nb) in &[(8000usize, 100usize), (12000, 100), (24000, 100)] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let src = Descriptor::square(n, nb, 2, 2);
+            let dst = Descriptor::square(n, nb, 4, 5);
+            b.iter(|| plan_2d(std::hint::black_box(src), std::hint::black_box(dst)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let src = Descriptor::square(24000, 100, 4, 4);
+    let dst = Descriptor::square(24000, 100, 5, 5);
+    let plan = plan_2d(src, dst);
+    let net = NetModel::gigabit_ethernet();
+    c.bench_function("evaluate_2d/24000_16to25", |b| {
+        b.iter(|| evaluate_2d(std::hint::black_box(&plan), 8, &net))
+    });
+}
+
+fn bench_real_redistribution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redistribute_real");
+    g.sample_size(10);
+    for &n in &[256usize, 512, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                Universe::new(8, 1, NetModel::ideal())
+                    .launch(8, None, "bench", move |comm| {
+                        let src_d = Descriptor::square(n, 16, 2, 2);
+                        let dst_d = Descriptor::square(n, 16, 2, 4);
+                        let me = comm.rank();
+                        let src = (me < 4).then(|| {
+                            DistMatrix::from_fn(src_d, me / 2, me % 2, |i, j| (i + j) as f64)
+                        });
+                        let plan = plan_2d(src_d, dst_d);
+                        std::hint::black_box(redistribute_2d(&comm, &plan, src.as_ref()));
+                    })
+                    .join_ok();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_checkpoint_vs_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("redist_vs_checkpoint_512");
+    g.sample_size(10);
+    let n = 512usize;
+    g.bench_function("schedule", |b| {
+        b.iter(|| {
+            Universe::new(8, 1, NetModel::ideal())
+                .launch(8, None, "rs", move |comm| {
+                    let src_d = Descriptor::square(n, 16, 2, 2);
+                    let dst_d = Descriptor::square(n, 16, 2, 4);
+                    let me = comm.rank();
+                    let src = (me < 4)
+                        .then(|| DistMatrix::from_fn(src_d, me / 2, me % 2, |i, j| (i + j) as f64));
+                    std::hint::black_box(redistribute_2d(
+                        &comm,
+                        &plan_2d(src_d, dst_d),
+                        src.as_ref(),
+                    ));
+                })
+                .join_ok();
+        });
+    });
+    g.bench_function("checkpoint", |b| {
+        b.iter(|| {
+            Universe::new(8, 1, NetModel::ideal())
+                .launch(8, None, "ck", move |comm| {
+                    let src_d = Descriptor::square(n, 16, 2, 2);
+                    let dst_d = Descriptor::square(n, 16, 2, 4);
+                    let me = comm.rank();
+                    let src = (me < 4)
+                        .then(|| DistMatrix::from_fn(src_d, me / 2, me % 2, |i, j| (i + j) as f64));
+                    std::hint::black_box(checkpoint_redistribute(
+                        &comm,
+                        src_d,
+                        dst_d,
+                        src.as_ref(),
+                        &CheckpointParams::default(),
+                        None,
+                    ));
+                })
+                .join_ok();
+        });
+    });
+    g.finish();
+}
+
+fn bench_general_planner(c: &mut Criterion) {
+    use reshape_redist::plan_general_1d;
+    let mut g = c.benchmark_group("plan_general_1d");
+    // Block-size-changing plans exercising the Konig edge coloring.
+    for &(n, b1, p, b2, q) in &[
+        (100_000usize, 100usize, 8usize, 250usize, 12usize),
+        (1_000_000, 1000, 16, 750, 20),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_{b1}x{p}_to_{b2}x{q}")),
+            &n,
+            |bch, _| {
+                bch.iter(|| {
+                    std::hint::black_box(plan_general_1d(n, b1, p, b2, q));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_generation,
+    bench_evaluation,
+    bench_real_redistribution,
+    bench_checkpoint_vs_schedule,
+    bench_general_planner
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks of the scheduling machinery: the policy state machine, the
+//! full paper-scale workload simulations, and the per-figure computations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reshape_clustersim::{fig3a_job, workload1, workload2, ClusterSim, MachineParams};
+use reshape_core::{JobSpec, ProcessorConfig, QueuePolicy, SchedulerCore, TopologyPref};
+
+fn bench_resize_point_throughput(c: &mut Criterion) {
+    c.bench_function("scheduler_core/resize_point", |b| {
+        let mut core = SchedulerCore::new(64, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "LU",
+            TopologyPref::Grid { problem_size: 12000 },
+            ProcessorConfig::new(1, 2),
+            1_000_000,
+        );
+        let (job, _) = core.submit(spec, 0.0);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            std::hint::black_box(core.resize_point(job, 100.0, 0.0, t));
+        });
+    });
+}
+
+fn bench_submit_cycle(c: &mut Criterion) {
+    c.bench_function("scheduler_core/submit_finish_cycle", |b| {
+        let mut core = SchedulerCore::new(64, QueuePolicy::Backfill);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            let spec = JobSpec::new(
+                "J",
+                TopologyPref::Grid { problem_size: 8000 },
+                ProcessorConfig::new(2, 2),
+                10,
+            );
+            let (id, _) = core.submit(spec, t);
+            std::hint::black_box(core.on_finished(id, t + 0.5));
+        });
+    });
+}
+
+fn bench_workload_sims(c: &mut Criterion) {
+    let machine = MachineParams::system_x();
+    c.bench_function("clustersim/workload1", |b| {
+        let w = workload1();
+        let sim = ClusterSim::new(w.total_procs, machine);
+        b.iter(|| std::hint::black_box(sim.run(&w.jobs)));
+    });
+    c.bench_function("clustersim/workload2", |b| {
+        let w = workload2();
+        let sim = ClusterSim::new(w.total_procs, machine);
+        b.iter(|| std::hint::black_box(sim.run(&w.jobs)));
+    });
+    c.bench_function("clustersim/fig3a", |b| {
+        let sim = ClusterSim::new(36, machine);
+        let jobs = [fig3a_job()];
+        b.iter(|| std::hint::black_box(sim.run(&jobs)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_resize_point_throughput,
+    bench_submit_cycle,
+    bench_workload_sims
+);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! `simulate` — run an arbitrary workload through the ReSHAPE cluster
+//! simulator from a JSON description.
+//!
+//! ```text
+//! cargo run -p reshape-bench --bin simulate -- workload.json [--json out.json]
+//! cargo run -p reshape-bench --bin simulate -- --print-example
+//! ```
+//!
+//! The input names the cluster size, queue/remap policies, redistribution
+//! mode, optional advance reservations, and the job list (arrival,
+//! topology, initial configuration, performance model, priority). Output is
+//! the turnaround table plus utilization; `--json` dumps the full
+//! [`SimResult`](reshape_clustersim::SimResult).
+
+use reshape_bench::{json_arg, write_json, Table};
+use reshape_clustersim::{AppModel, ClusterSim, MachineParams, RedistMode, SimJob};
+use reshape_core::{JobSpec, ProcessorConfig, QueuePolicy, RemapPolicy, TopologyPref};
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct WorkloadFile {
+    total_procs: usize,
+    #[serde(default = "default_queue")]
+    queue_policy: QueuePolicy,
+    #[serde(default = "default_remap")]
+    remap_policy: RemapPolicy,
+    #[serde(default = "default_redist")]
+    redist_mode: RedistMode,
+    /// `(start, end, procs)` advance reservations.
+    #[serde(default)]
+    reservations: Vec<(f64, f64, usize)>,
+    jobs: Vec<JobFile>,
+}
+
+fn default_queue() -> QueuePolicy {
+    QueuePolicy::Fcfs
+}
+fn default_remap() -> RemapPolicy {
+    RemapPolicy::Paper
+}
+fn default_redist() -> RedistMode {
+    RedistMode::Reshape
+}
+
+#[derive(Deserialize)]
+struct JobFile {
+    name: String,
+    arrival: f64,
+    iterations: usize,
+    topology: TopologyPref,
+    /// `[rows, cols]`.
+    initial: (usize, usize),
+    model: AppModel,
+    #[serde(default)]
+    priority: u8,
+    #[serde(default, rename = "static")]
+    static_: bool,
+    #[serde(default)]
+    cancel_at: Option<f64>,
+    #[serde(default)]
+    fail_at: Option<f64>,
+}
+
+const EXAMPLE: &str = r#"{
+  "total_procs": 36,
+  "queue_policy": "Fcfs",
+  "remap_policy": "Paper",
+  "redist_mode": "Reshape",
+  "reservations": [],
+  "jobs": [
+    {
+      "name": "LU",
+      "arrival": 0.0,
+      "iterations": 10,
+      "topology": { "Grid": { "problem_size": 21000 } },
+      "initial": [2, 3],
+      "model": { "Lu": { "n": 21000 } }
+    },
+    {
+      "name": "Master-worker",
+      "arrival": 450.0,
+      "iterations": 10,
+      "priority": 2,
+      "topology": { "AnyCount": { "min": 2, "max": 22, "step": 2 } },
+      "initial": [1, 2],
+      "model": { "MasterWorker": { "units": 20000, "unit_time": 0.0007375 } }
+    }
+  ]
+}"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--print-example") {
+        println!("{EXAMPLE}");
+        return;
+    }
+    let path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| {
+            eprintln!("usage: simulate <workload.json> [--json out.json] | --print-example");
+            std::process::exit(2);
+        });
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let wf: WorkloadFile = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("invalid workload file {path}: {e}");
+        std::process::exit(2);
+    });
+
+    let jobs: Vec<SimJob> = wf
+        .jobs
+        .into_iter()
+        .map(|j| {
+            if let Some(t) = j.cancel_at {
+                if t < j.arrival {
+                    eprintln!("job '{}': cancel_at {t} precedes arrival {}", j.name, j.arrival);
+                    std::process::exit(2);
+                }
+            }
+            if let Some(t) = j.fail_at {
+                if t < j.arrival {
+                    eprintln!("job '{}': fail_at {t} precedes arrival {}", j.name, j.arrival);
+                    std::process::exit(2);
+                }
+            }
+            let mut spec = JobSpec::new(
+                j.name,
+                j.topology,
+                ProcessorConfig::new(j.initial.0, j.initial.1),
+                j.iterations,
+            )
+            .with_priority(j.priority);
+            if j.static_ {
+                spec = spec.static_job();
+            }
+            SimJob {
+                spec,
+                model: j.model,
+                arrival: j.arrival,
+                cancel_at: j.cancel_at,
+                fail_at: j.fail_at,
+            }
+        })
+        .collect();
+
+    let mut sim = ClusterSim::new(wf.total_procs, MachineParams::system_x())
+        .with_policy(wf.queue_policy)
+        .with_remap_policy(wf.remap_policy)
+        .with_redist_mode(wf.redist_mode);
+    for (s, e, p) in wf.reservations {
+        sim = sim.with_reservation(s, e, p);
+    }
+    let result = sim.run(&jobs);
+
+    let mut table = Table::new(vec![
+        "job", "arrival", "started", "finished", "turnaround", "redist (s)",
+    ]);
+    for j in &result.jobs {
+        table.row(vec![
+            j.name.clone(),
+            format!("{:.0}", j.submitted),
+            format!("{:.0}", j.started),
+            format!("{:.0}", j.finished),
+            format!("{:.1}", j.turnaround),
+            format!("{:.1}", j.redist_total),
+        ]);
+    }
+    table.print();
+    println!(
+        "utilization {:.1}%  makespan {:.0}s  ({} processors)",
+        result.utilization * 100.0,
+        result.makespan,
+        result.total_procs
+    );
+
+    if let Some(out) = json_arg() {
+        write_json(&out, &result);
+    }
+}

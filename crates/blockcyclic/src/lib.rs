@@ -1,0 +1,405 @@
+//! # reshape-blockcyclic — ScaLAPACK-style 2-D block-cyclic distributions
+//!
+//! ReSHAPE targets "structured applications that have two-dimensional data
+//! arrays distributed across a two-dimensional processor grid" in the
+//! block-cyclic layout ScaLAPACK uses. This crate provides the index
+//! arithmetic (`numroc`, global↔local maps, ownership) and a distributed
+//! matrix container [`DistMatrix`] over a [`reshape_grid::GridContext`].
+//!
+//! All index math lives in pure functions so the redistribution planner
+//! (crate `reshape-redist`) can reason about layouts without touching any
+//! communicator, and so properties can be tested exhaustively.
+
+use reshape_grid::GridContext;
+use reshape_mpisim::Pod;
+
+pub mod index;
+pub mod vector;
+
+pub use index::{g2l, l2g, numroc, owner};
+pub use vector::DistVector;
+
+/// Shape and distribution parameters of a 2-D block-cyclic matrix
+/// (ScaLAPACK array-descriptor equivalent, with the source process fixed at
+/// grid coordinate (0,0) as in the paper's experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Global rows.
+    pub m: usize,
+    /// Global columns.
+    pub n: usize,
+    /// Row block size.
+    pub mb: usize,
+    /// Column block size.
+    pub nb: usize,
+    /// Process-grid rows.
+    pub nprow: usize,
+    /// Process-grid columns.
+    pub npcol: usize,
+}
+
+impl Descriptor {
+    pub fn new(m: usize, n: usize, mb: usize, nb: usize, nprow: usize, npcol: usize) -> Self {
+        assert!(mb > 0 && nb > 0, "block sizes must be positive");
+        assert!(nprow > 0 && npcol > 0, "grid must be non-empty");
+        Descriptor {
+            m,
+            n,
+            mb,
+            nb,
+            nprow,
+            npcol,
+        }
+    }
+
+    /// A square matrix with square blocks.
+    pub fn square(n: usize, nb: usize, nprow: usize, npcol: usize) -> Self {
+        Self::new(n, n, nb, nb, nprow, npcol)
+    }
+
+    /// Rows stored locally by process row `prow`.
+    pub fn local_rows(&self, prow: usize) -> usize {
+        numroc(self.m, self.mb, prow, self.nprow)
+    }
+
+    /// Columns stored locally by process column `pcol`.
+    pub fn local_cols(&self, pcol: usize) -> usize {
+        numroc(self.n, self.nb, pcol, self.npcol)
+    }
+
+    /// Grid coordinates of the owner of global element `(i, j)`.
+    pub fn owner_of(&self, i: usize, j: usize) -> (usize, usize) {
+        (owner(i, self.mb, self.nprow), owner(j, self.nb, self.npcol))
+    }
+
+    /// Map a global element to `((prow, pcol), (local row, local col))`.
+    pub fn global_to_local(&self, i: usize, j: usize) -> ((usize, usize), (usize, usize)) {
+        let (pr, li) = g2l(i, self.mb, self.nprow);
+        let (pc, lj) = g2l(j, self.nb, self.npcol);
+        ((pr, pc), (li, lj))
+    }
+
+    /// Global row index of local row `li` on process row `prow`.
+    pub fn local_to_global_row(&self, li: usize, prow: usize) -> usize {
+        l2g(li, self.mb, prow, self.nprow)
+    }
+
+    /// Global column index of local column `lj` on process column `pcol`.
+    pub fn local_to_global_col(&self, lj: usize, pcol: usize) -> usize {
+        l2g(lj, self.nb, pcol, self.npcol)
+    }
+
+    /// Total elements (sanity checks / cost models).
+    pub fn elements(&self) -> usize {
+        self.m * self.n
+    }
+}
+
+/// The locally owned panel of a block-cyclic distributed matrix, stored
+/// row-major.
+///
+/// ```
+/// use reshape_blockcyclic::{Descriptor, DistMatrix};
+/// // An 8x8 matrix in 2x2 blocks on a 2x2 grid: each rank holds 4x4.
+/// let desc = Descriptor::square(8, 2, 2, 2);
+/// let m = DistMatrix::from_fn(desc, 0, 1, |i, j| (i * 8 + j) as f64);
+/// assert_eq!(m.local_rows(), 4);
+/// assert_eq!(m.local_cols(), 4);
+/// // Global element (0, 2) lives in block column 1 -> grid column 1.
+/// assert_eq!(m.get_global(0, 2), Some(2.0));
+/// assert_eq!(m.get_global(0, 0), None); // owned by grid column 0
+/// ```
+#[derive(Clone, Debug)]
+pub struct DistMatrix<T> {
+    pub desc: Descriptor,
+    pub myrow: usize,
+    pub mycol: usize,
+    lrows: usize,
+    lcols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Pod + Default> DistMatrix<T> {
+    /// Zero-initialized local panel for grid position `(myrow, mycol)`.
+    pub fn new(desc: Descriptor, myrow: usize, mycol: usize) -> Self {
+        assert!(myrow < desc.nprow && mycol < desc.npcol, "position outside grid");
+        let lrows = desc.local_rows(myrow);
+        let lcols = desc.local_cols(mycol);
+        DistMatrix {
+            desc,
+            myrow,
+            mycol,
+            lrows,
+            lcols,
+            data: vec![T::default(); lrows * lcols],
+        }
+    }
+
+    /// Fill from a function of the *global* indices — every rank evaluates
+    /// `f` only on the elements it owns, so construction is embarrassingly
+    /// parallel (how the paper's workloads initialize their matrices).
+    pub fn from_fn(
+        desc: Descriptor,
+        myrow: usize,
+        mycol: usize,
+        f: impl Fn(usize, usize) -> T,
+    ) -> Self {
+        let mut m = Self::new(desc, myrow, mycol);
+        for li in 0..m.lrows {
+            let gi = desc.local_to_global_row(li, myrow);
+            for lj in 0..m.lcols {
+                let gj = desc.local_to_global_col(lj, mycol);
+                m.data[li * m.lcols + lj] = f(gi, gj);
+            }
+        }
+        m
+    }
+
+    /// Build for the caller's position on `grid`.
+    pub fn on_grid(desc: Descriptor, grid: &GridContext) -> Self {
+        assert_eq!(
+            (desc.nprow, desc.npcol),
+            (grid.nprow(), grid.npcol()),
+            "descriptor grid shape must match the context"
+        );
+        Self::new(desc, grid.myrow(), grid.mycol())
+    }
+
+    pub fn local_rows(&self) -> usize {
+        self.lrows
+    }
+
+    pub fn local_cols(&self) -> usize {
+        self.lcols
+    }
+
+    pub fn local_data(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn local_data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Replace the local panel wholesale (used by redistribution).
+    pub fn set_local_data(&mut self, data: Vec<T>) {
+        assert_eq!(data.len(), self.lrows * self.lcols, "panel size mismatch");
+        self.data = data;
+    }
+
+    #[inline]
+    pub fn get_local(&self, li: usize, lj: usize) -> T {
+        self.data[li * self.lcols + lj]
+    }
+
+    #[inline]
+    pub fn set_local(&mut self, li: usize, lj: usize, v: T) {
+        self.data[li * self.lcols + lj] = v;
+    }
+
+    /// Copy out the locally owned block with *global block coordinates*
+    /// `(bi, bj)` as a row-major `mb × nb` buffer. The caller must own it
+    /// (i.e. `bi % nprow == myrow && bj % npcol == mycol`).
+    pub fn get_block(&self, bi: usize, bj: usize) -> Vec<T> {
+        let d = &self.desc;
+        debug_assert_eq!(bi % d.nprow, self.myrow, "block row {bi} not owned");
+        debug_assert_eq!(bj % d.npcol, self.mycol, "block col {bj} not owned");
+        let l0 = (bi / d.nprow) * d.mb;
+        let c0 = (bj / d.npcol) * d.nb;
+        let mut out = Vec::with_capacity(d.mb * d.nb);
+        for r in 0..d.mb {
+            for c in 0..d.nb {
+                out.push(self.get_local(l0 + r, c0 + c));
+            }
+        }
+        out
+    }
+
+    /// Overwrite the locally owned block `(bi, bj)` from a row-major
+    /// `mb × nb` buffer (inverse of [`DistMatrix::get_block`]).
+    pub fn set_block(&mut self, bi: usize, bj: usize, blk: &[T]) {
+        let d = self.desc;
+        debug_assert_eq!(blk.len(), d.mb * d.nb, "block buffer size mismatch");
+        let l0 = (bi / d.nprow) * d.mb;
+        let c0 = (bj / d.npcol) * d.nb;
+        for r in 0..d.mb {
+            for c in 0..d.nb {
+                self.set_local(l0 + r, c0 + c, blk[r * d.nb + c]);
+            }
+        }
+    }
+
+    /// Value of global element `(i, j)` if this rank owns it.
+    pub fn get_global(&self, i: usize, j: usize) -> Option<T> {
+        let ((pr, pc), (li, lj)) = self.desc.global_to_local(i, j);
+        if (pr, pc) == (self.myrow, self.mycol) {
+            Some(self.get_local(li, lj))
+        } else {
+            None
+        }
+    }
+
+    /// Set global element `(i, j)` if owned; returns whether it was.
+    pub fn set_global(&mut self, i: usize, j: usize, v: T) -> bool {
+        let ((pr, pc), (li, lj)) = self.desc.global_to_local(i, j);
+        if (pr, pc) == (self.myrow, self.mycol) {
+            self.set_local(li, lj, v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Gather the full matrix (row-major `m × n`) on grid rank 0.
+    /// Collective over the grid; debug/verification use only.
+    pub fn gather(&self, grid: &GridContext) -> Option<Vec<T>> {
+        let comm = grid.comm();
+        let parts = comm.gather(0, &self.data);
+        parts.map(|parts| {
+            let d = &self.desc;
+            let mut full = vec![T::default(); d.m * d.n];
+            for (rank, part) in parts.iter().enumerate() {
+                let (pr, pc) = grid.pcoord(rank);
+                let lr = d.local_rows(pr);
+                let lc = d.local_cols(pc);
+                assert_eq!(part.len(), lr * lc, "rank {rank} sent a wrong-sized panel");
+                for li in 0..lr {
+                    let gi = d.local_to_global_row(li, pr);
+                    for lj in 0..lc {
+                        let gj = d.local_to_global_col(lj, pc);
+                        full[gi * d.n + gj] = part[li * lc + lj];
+                    }
+                }
+            }
+            full
+        })
+    }
+
+    /// Scatter a replicated row-major `m × n` matrix from grid rank 0 into
+    /// the distribution. Collective; debug/verification use only.
+    pub fn scatter_from(desc: Descriptor, grid: &GridContext, full: Option<&[T]>) -> Self {
+        let comm = grid.comm();
+        let parts: Option<Vec<Vec<T>>> = if comm.rank() == 0 {
+            let full = full.expect("root must supply the matrix");
+            assert_eq!(full.len(), desc.m * desc.n, "matrix size mismatch");
+            Some(
+                (0..comm.size())
+                    .map(|rank| {
+                        let (pr, pc) = grid.pcoord(rank);
+                        let lr = desc.local_rows(pr);
+                        let lc = desc.local_cols(pc);
+                        let mut part = Vec::with_capacity(lr * lc);
+                        for li in 0..lr {
+                            let gi = desc.local_to_global_row(li, pr);
+                            for lj in 0..lc {
+                                let gj = desc.local_to_global_col(lj, pc);
+                                part.push(full[gi * desc.n + gj]);
+                            }
+                        }
+                        part
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let mine = comm.scatter(0, parts.as_deref());
+        let mut m = Self::new(desc, grid.myrow(), grid.mycol());
+        m.set_local_data(mine);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshape_mpisim::{NetModel, Universe};
+
+    #[test]
+    fn descriptor_local_shapes_cover_matrix() {
+        let d = Descriptor::new(10, 7, 3, 2, 2, 3);
+        let rows: usize = (0..2).map(|p| d.local_rows(p)).sum();
+        let cols: usize = (0..3).map(|p| d.local_cols(p)).sum();
+        assert_eq!(rows, 10);
+        assert_eq!(cols, 7);
+    }
+
+    #[test]
+    fn from_fn_places_by_global_index() {
+        let d = Descriptor::square(8, 2, 2, 2);
+        for pr in 0..2 {
+            for pc in 0..2 {
+                let m = DistMatrix::from_fn(d, pr, pc, |i, j| (i * 100 + j) as f64);
+                for li in 0..m.local_rows() {
+                    for lj in 0..m.local_cols() {
+                        let gi = d.local_to_global_row(li, pr);
+                        let gj = d.local_to_global_col(lj, pc);
+                        assert_eq!(m.get_local(li, lj), (gi * 100 + gj) as f64);
+                        assert_eq!(m.get_global(gi, gj), Some((gi * 100 + gj) as f64));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn get_global_returns_none_for_foreign_elements() {
+        let d = Descriptor::square(4, 1, 2, 2);
+        let m = DistMatrix::<f64>::new(d, 0, 0);
+        // (1,1) belongs to (1,1) under 1x1 blocks on a 2x2 grid.
+        assert!(m.get_global(1, 1).is_none());
+        assert!(m.get_global(0, 0).is_some());
+    }
+
+    #[test]
+    fn gather_reconstructs_global_matrix() {
+        let uni = Universe::new(6, 1, NetModel::ideal());
+        uni.launch(6, None, "gather", |comm| {
+            let grid = GridContext::new(&comm, 2, 3);
+            let d = Descriptor::new(9, 11, 2, 3, 2, 3);
+            let m = DistMatrix::from_fn(d, grid.myrow(), grid.mycol(), |i, j| {
+                (i * 1000 + j) as f64
+            });
+            let full = m.gather(&grid);
+            if comm.rank() == 0 {
+                let full = full.unwrap();
+                for i in 0..9 {
+                    for j in 0..11 {
+                        assert_eq!(full[i * 11 + j], (i * 1000 + j) as f64);
+                    }
+                }
+            } else {
+                assert!(full.is_none());
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn scatter_then_gather_round_trips() {
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        uni.launch(4, None, "scatter", |comm| {
+            let grid = GridContext::new(&comm, 2, 2);
+            let d = Descriptor::new(5, 6, 2, 2, 2, 2);
+            let full: Option<Vec<f64>> = if comm.rank() == 0 {
+                Some((0..30).map(|x| x as f64).collect())
+            } else {
+                None
+            };
+            let m = DistMatrix::scatter_from(d, &grid, full.as_deref());
+            let back = m.gather(&grid);
+            if comm.rank() == 0 {
+                assert_eq!(back.unwrap(), (0..30).map(|x| x as f64).collect::<Vec<_>>());
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "panel size mismatch")]
+    fn set_local_data_validates_size() {
+        let d = Descriptor::square(4, 2, 2, 2);
+        let mut m = DistMatrix::<f64>::new(d, 0, 0);
+        m.set_local_data(vec![0.0; 3]);
+    }
+}

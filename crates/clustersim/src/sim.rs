@@ -1,0 +1,938 @@
+//! The discrete-event cluster simulator.
+//!
+//! Runs the *actual* [`SchedulerCore`] (queue, FCFS/backfill, Performance
+//! Profiler, Remap Scheduler policy) against jobs whose iteration times come
+//! from calibrated [`AppModel`]s and whose redistribution costs come from
+//! real communication schedules. This is how the paper-scale experiments
+//! (Figures 3–5, Tables 4–5: 36 processors, matrices up to 24000²) run in
+//! milliseconds while exercising exactly the scheduling code a real cluster
+//! would.
+
+use std::collections::BinaryHeap;
+
+use reshape_core::{
+    Directive, EventKind, JobId, JobSpec, QueuePolicy, SchedEvent, SchedulerCore, StartAction,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::perfmodel::{AppModel, MachineParams};
+
+/// How resizing redistributions are priced (the three bars of Figure 3(b)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedistMode {
+    /// ReSHAPE's message-based contention-free redistribution.
+    Reshape,
+    /// File-based checkpoint/restart through a single node.
+    Checkpoint,
+}
+
+/// A job to simulate: scheduler-visible spec + performance model + arrival.
+#[derive(Clone, Debug)]
+pub struct SimJob {
+    pub spec: JobSpec,
+    pub model: AppModel,
+    pub arrival: f64,
+    /// Optional user cancellation time (absolute); queued jobs leave the
+    /// queue then, running jobs terminate at their next resize point.
+    pub cancel_at: Option<f64>,
+    /// Optional failure-injection time: the job dies with an application
+    /// error (the System Monitor path — resources reclaimed immediately).
+    pub fail_at: Option<f64>,
+}
+
+/// Per-job outcome of a simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobOutcome {
+    pub name: String,
+    pub job: JobId,
+    pub initial_procs: usize,
+    pub submitted: f64,
+    pub started: f64,
+    pub finished: f64,
+    /// Completion time minus submission time (the paper's Tables 4/5
+    /// metric).
+    pub turnaround: f64,
+    /// Total seconds spent redistributing data.
+    pub redist_total: f64,
+    /// Total seconds spent computing iterations.
+    pub compute_total: f64,
+    /// `(time, procs)` allocation history.
+    pub alloc_history: Vec<(f64, usize)>,
+    /// Per-iteration records as seen by the Performance Profiler (one per
+    /// resize point: configuration, iteration time, redistribution time
+    /// paid just before it). The final iteration has no resize point and
+    /// is therefore not recorded — exactly as in the real framework.
+    pub iter_log: Vec<reshape_core::PerfRecord>,
+}
+
+/// Complete result of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    pub jobs: Vec<JobOutcome>,
+    pub events: Vec<SchedEvent>,
+    pub makespan: f64,
+    /// Mean fraction of cluster cpu-seconds assigned to jobs over the
+    /// makespan (the paper's utilization metric).
+    pub utilization: f64,
+    pub total_procs: usize,
+}
+
+impl SimResult {
+    /// Busy-processor step series `(time, busy)` (Figures 4(b)/5(b)).
+    pub fn busy_series(&self) -> Vec<(f64, usize)> {
+        let mut busy = 0usize;
+        let mut per_job: std::collections::HashMap<JobId, usize> = Default::default();
+        let mut out = vec![(0.0, 0)];
+        for e in &self.events {
+            match &e.kind {
+                EventKind::Started { config } => {
+                    busy += config.procs();
+                    per_job.insert(e.job, config.procs());
+                }
+                EventKind::Expanded { to, .. } | EventKind::Shrunk { to, .. } => {
+                    let prev = per_job.insert(e.job, to.procs()).unwrap_or(0);
+                    busy = busy + to.procs() - prev;
+                }
+                EventKind::Finished | EventKind::Failed { .. } | EventKind::Cancelled => {
+                    busy -= per_job.remove(&e.job).unwrap_or(0);
+                }
+                EventKind::Submitted => continue,
+            }
+            out.push((e.time, busy));
+        }
+        out
+    }
+
+    /// Per-job allocation step series (Figures 4(a)/5(a)).
+    pub fn allocation_series(&self, job: JobId) -> Vec<(f64, usize)> {
+        self.jobs
+            .iter()
+            .find(|j| j.job == job)
+            .map(|j| j.alloc_history.clone())
+            .unwrap_or_default()
+    }
+
+    /// Render the run as an ASCII chart: one row per job showing its
+    /// processor allocation over time (digit buckets 1-9, `#` for ≥ 10×
+    /// scale overflow), plus a cluster-occupancy row — a terminal rendition
+    /// of the paper's Figures 4/5.
+    pub fn gantt(&self, width: usize) -> String {
+        assert!(width >= 10, "need a few columns to draw anything");
+        let span = self.makespan.max(1e-9);
+        let name_w = self
+            .jobs
+            .iter()
+            .map(|j| j.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let sample = |series: &[(f64, usize)], t: f64| -> usize {
+            let mut cur = 0;
+            for &(st, p) in series {
+                if st > t {
+                    break;
+                }
+                cur = p;
+            }
+            cur
+        };
+        let glyph = |p: usize| -> char {
+            match p {
+                0 => '.',
+                1..=9 => (b'0' + p as u8) as char,
+                10..=35 => (b'a' + (p - 10) as u8) as char,
+                _ => '#',
+            }
+        };
+        let mut out = String::new();
+        for j in &self.jobs {
+            out.push_str(&format!("{:>name_w$} |", j.name));
+            for c in 0..width {
+                let t = span * (c as f64 + 0.5) / width as f64;
+                out.push(glyph(sample(&j.alloc_history, t)));
+            }
+            out.push('\n');
+        }
+        let busy = self.busy_series();
+        out.push_str(&format!("{:>name_w$} |", "busy"));
+        for c in 0..width {
+            let t = span * (c as f64 + 0.5) / width as f64;
+            out.push(glyph(sample(&busy, t)));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:>name_w$} |0{:>pad$}",
+            "t(s)",
+            format!("{span:.0}"),
+            pad = width - 1
+        ));
+        out.push('\n');
+        out
+    }
+}
+
+#[derive(Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: Ev,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(usize),
+    IterationEnd(JobId),
+    Cancel(usize),
+    Fail(usize),
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, seq) through BinaryHeap's max ordering.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("finite times")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct JobSim {
+    model: AppModel,
+    iterations: usize,
+    done: usize,
+    last_iter_time: f64,
+    last_redist: f64,
+    redist_total: f64,
+    compute_total: f64,
+}
+
+/// The simulator.
+///
+/// ```
+/// use reshape_clustersim::{AppModel, ClusterSim, MachineParams, SimJob};
+/// use reshape_core::{JobSpec, ProcessorConfig, TopologyPref};
+///
+/// let job = SimJob {
+///     spec: JobSpec::new(
+///         "LU",
+///         TopologyPref::Grid { problem_size: 12000 },
+///         ProcessorConfig::new(1, 2),
+///         10,
+///     ),
+///     model: AppModel::Lu { n: 12000 },
+///     arrival: 0.0,
+///     cancel_at: None,
+///     fail_at: None,
+/// };
+/// let result = ClusterSim::new(36, MachineParams::system_x()).run(&[job]);
+/// assert_eq!(result.jobs.len(), 1);
+/// // The idle cluster lets the job grow beyond its 2 initial processors.
+/// assert!(result.jobs[0].alloc_history.iter().any(|&(_, p)| p > 2));
+/// ```
+pub struct ClusterSim {
+    machine: MachineParams,
+    total_procs: usize,
+    policy: QueuePolicy,
+    remap_policy: reshape_core::RemapPolicy,
+    redist_mode: RedistMode,
+    /// Advance reservations `(start, end, procs)` installed before the run.
+    reservations: Vec<(f64, f64, usize)>,
+    /// Per-slot speed factors (heterogeneous clusters); empty = homogeneous.
+    slot_speeds: Vec<f64>,
+    /// Ignore speeds when allocating (placement ablation).
+    naive_placement: bool,
+}
+
+impl ClusterSim {
+    pub fn new(total_procs: usize, machine: MachineParams) -> Self {
+        ClusterSim {
+            machine,
+            total_procs,
+            policy: QueuePolicy::Fcfs,
+            remap_policy: reshape_core::RemapPolicy::Paper,
+            redist_mode: RedistMode::Reshape,
+            reservations: Vec::new(),
+            slot_speeds: Vec::new(),
+            naive_placement: false,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_remap_policy(mut self, policy: reshape_core::RemapPolicy) -> Self {
+        self.remap_policy = policy;
+        self
+    }
+
+    pub fn with_redist_mode(mut self, mode: RedistMode) -> Self {
+        self.redist_mode = mode;
+        self
+    }
+
+    /// Install an advance reservation of `procs` processors over
+    /// `[start, end)` before the run.
+    pub fn with_reservation(mut self, start: f64, end: f64, procs: usize) -> Self {
+        self.reservations.push((start, end, procs));
+        self
+    }
+
+    /// Model a heterogeneous cluster: one speed factor per slot (must match
+    /// `total_procs`). Synchronous applications run at the pace of their
+    /// slowest assigned slot; allocation hands out fast slots first.
+    pub fn with_slot_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.total_procs, "one speed per slot");
+        self.slot_speeds = speeds;
+        self
+    }
+
+    /// Placement ablation: allocate slots by id, ignoring speed factors.
+    pub fn with_naive_placement(mut self) -> Self {
+        self.naive_placement = true;
+        self
+    }
+
+    fn redist_cost(
+        &self,
+        model: &AppModel,
+        from: reshape_core::ProcessorConfig,
+        to: reshape_core::ProcessorConfig,
+    ) -> f64 {
+        match self.redist_mode {
+            RedistMode::Reshape => model.redist_cost(from, to, &self.machine),
+            RedistMode::Checkpoint => model.checkpoint_redist_cost(from, to, &self.machine),
+        }
+    }
+
+    /// Run the workload to completion and report outcomes.
+    pub fn run(&self, workload: &[SimJob]) -> SimResult {
+        let mut core = SchedulerCore::new(self.total_procs, self.policy)
+            .with_remap_policy(self.remap_policy);
+        if !self.slot_speeds.is_empty() {
+            core = core.with_slot_speeds(self.slot_speeds.clone());
+        }
+        if self.naive_placement {
+            core = core.with_alloc_order(reshape_core::AllocOrder::LowestId);
+        }
+        for &(start, end, procs) in &self.reservations {
+            core.reserve(start, end, procs);
+        }
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: Ev| {
+            *seq += 1;
+            heap.push(Event {
+                time,
+                seq: *seq,
+                kind,
+            });
+        };
+        for (i, j) in workload.iter().enumerate() {
+            push(&mut heap, &mut seq, j.arrival, Ev::Arrival(i));
+            if let Some(t) = j.cancel_at {
+                assert!(t >= j.arrival, "cannot cancel before arrival");
+                push(&mut heap, &mut seq, t, Ev::Cancel(i));
+            }
+            if let Some(t) = j.fail_at {
+                assert!(t >= j.arrival, "cannot fail before arrival");
+                push(&mut heap, &mut seq, t, Ev::Fail(i));
+            }
+        }
+
+        let mut sims: std::collections::HashMap<JobId, JobSim> = Default::default();
+        // Map workload index -> JobId once submitted.
+        let mut submitted: Vec<Option<JobId>> = vec![None; workload.len()];
+        let mut makespan: f64 = 0.0;
+
+        // Schedule the first iteration of every newly started job. On a
+        // heterogeneous cluster, iteration time stretches by the slowest
+        // assigned slot (synchronous SPMD pace).
+        let handle_starts =
+            |core: &SchedulerCore,
+             starts: Vec<StartAction>,
+             sims: &mut std::collections::HashMap<JobId, JobSim>,
+             heap: &mut BinaryHeap<Event>,
+             seq: &mut u64,
+             now: f64,
+             machine: &MachineParams| {
+                for s in starts {
+                    let js = sims.get_mut(&s.job).expect("started job was submitted");
+                    let t_iter = js.model.iter_time_at(0, s.config, machine) / core.job_speed(s.job);
+                    js.last_iter_time = t_iter;
+                    js.compute_total += t_iter;
+                    push(heap, seq, now + t_iter, Ev::IterationEnd(s.job));
+                }
+            };
+
+        while let Some(ev) = heap.pop() {
+            let now = ev.time;
+            makespan = makespan.max(now);
+            match ev.kind {
+                Ev::Arrival(i) => {
+                    let j = &workload[i];
+                    let (id, starts) = core.submit(j.spec.clone(), now);
+                    submitted[i] = Some(id);
+                    sims.insert(
+                        id,
+                        JobSim {
+                            model: j.model.clone(),
+                            iterations: j.spec.iterations,
+                            done: 0,
+                            last_iter_time: 0.0,
+                            last_redist: 0.0,
+                            redist_total: 0.0,
+                            compute_total: 0.0,
+                        },
+                    );
+                    handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
+                }
+                Ev::Cancel(i) => {
+                    if let Some(id) = submitted[i] {
+                        let starts = core.cancel(id, now);
+                        handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
+                    }
+                }
+                Ev::Fail(i) => {
+                    if let Some(id) = submitted[i] {
+                        let starts = core.on_failed(id, "injected failure".into(), now);
+                        handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
+                    }
+                }
+                Ev::IterationEnd(id) => {
+                    let (iter_time, redist, done, iterations) = {
+                        let js = sims.get_mut(&id).expect("job exists");
+                        js.done += 1;
+                        (js.last_iter_time, js.last_redist, js.done, js.iterations)
+                    };
+                    if done >= iterations {
+                        let starts = core.on_finished(id, now);
+                        handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
+                        continue;
+                    }
+                    // Resize point: report the last iteration + the
+                    // redistribution paid before it. Capture the
+                    // configuration *before* the directive is applied — the
+                    // redistribution runs between it and the new one.
+                    let pre = match core.job(id).map(|r| &r.state) {
+                        Some(reshape_core::JobState::Running { config }) => *config,
+                        // Cancelled mid-iteration: the check-in consumes the
+                        // pending Terminate and the job simply stops.
+                        _ => {
+                            let (d, starts) =
+                                core.resize_point(id, iter_time, redist, now);
+                            debug_assert!(matches!(
+                                d,
+                                Directive::Terminate | Directive::NoChange
+                            ));
+                            handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
+                            continue;
+                        }
+                    };
+                    let (directive, starts) = core.resize_point(id, iter_time, redist, now);
+                    if directive == Directive::Terminate {
+                        handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
+                        continue;
+                    }
+                    let js = sims.get_mut(&id).expect("job exists");
+                    let (next_cfg, redist_cost) = match directive {
+                        Directive::NoChange => (pre, 0.0),
+                        Directive::Terminate => unreachable!("handled above"),
+                        Directive::Expand { to, .. } | Directive::Shrink { to } => {
+                            (to, self.redist_cost(&js.model, pre, to))
+                        }
+                    };
+                    if redist_cost > 0.0 {
+                        core.note_redist_cost(id, pre, next_cfg, redist_cost);
+                    }
+                    // Phase boundary: the next iteration belongs to a new
+                    // computational phase, so the profiler's timing history
+                    // resets and the job re-probes its sweet spot.
+                    if js.model.phase_at(done).1 {
+                        core.phase_change(id, now);
+                    }
+                    let speed = {
+                        // js borrows sims mutably; job_speed only reads core.
+                        let s = core.job_speed(id);
+                        if s > 0.0 { s } else { 1.0 }
+                    };
+                    let t_iter = js.model.iter_time_at(done, next_cfg, &self.machine) / speed;
+                    js.last_iter_time = t_iter;
+                    js.last_redist = redist_cost;
+                    js.redist_total += redist_cost;
+                    js.compute_total += t_iter;
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        now + redist_cost + t_iter,
+                        Ev::IterationEnd(id),
+                    );
+                    handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
+                }
+            }
+        }
+
+        // Assemble outcomes.
+        let events = core.events().to_vec();
+        let mut jobs = Vec::new();
+        for (i, j) in workload.iter().enumerate() {
+            let id = submitted[i].expect("all workload jobs were submitted");
+            let rec = core.job(id).expect("job exists");
+            let js = &sims[&id];
+            let started = rec.started_at.unwrap_or(f64::NAN);
+            let finished = rec.finished_at.unwrap_or(f64::NAN);
+            let mut alloc: Vec<(f64, usize)> = Vec::new();
+            for e in &events {
+                if e.job != id {
+                    continue;
+                }
+                match &e.kind {
+                    EventKind::Started { config } => alloc.push((e.time, config.procs())),
+                    EventKind::Expanded { to, .. } | EventKind::Shrunk { to, .. } => {
+                        alloc.push((e.time, to.procs()))
+                    }
+                    EventKind::Finished | EventKind::Failed { .. } | EventKind::Cancelled => {
+                        alloc.push((e.time, 0))
+                    }
+                    EventKind::Submitted => {}
+                }
+            }
+            jobs.push(JobOutcome {
+                name: j.spec.name.clone(),
+                job: id,
+                initial_procs: j.spec.initial.procs(),
+                submitted: j.arrival,
+                started,
+                finished,
+                turnaround: finished - j.arrival,
+                redist_total: js.redist_total,
+                compute_total: js.compute_total,
+                alloc_history: alloc,
+                iter_log: core
+                    .profiler()
+                    .profile(id)
+                    .map(|p| p.history().to_vec())
+                    .unwrap_or_default(),
+            });
+        }
+        let utilization = core.utilization(makespan);
+        SimResult {
+            jobs,
+            events,
+            makespan,
+            utilization,
+            total_procs: self.total_procs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshape_core::{ProcessorConfig, TopologyPref};
+
+    fn lu_job(n: usize, initial: (usize, usize), iters: usize, arrival: f64) -> SimJob {
+        SimJob {
+            spec: JobSpec::new(
+                format!("LU{n}"),
+                TopologyPref::Grid { problem_size: n },
+                ProcessorConfig::new(initial.0, initial.1),
+                iters,
+            ),
+            model: AppModel::Lu { n },
+            arrival,
+            cancel_at: None,
+        fail_at: None,
+        }
+    }
+
+    #[test]
+    fn single_job_expands_and_finishes_sooner_than_static() {
+        let machine = MachineParams::system_x();
+        let sim = ClusterSim::new(36, machine);
+        let dynamic = sim.run(&[lu_job(12000, (1, 2), 10, 0.0)]);
+        let mut static_job = lu_job(12000, (1, 2), 10, 0.0);
+        static_job.spec = static_job.spec.static_job();
+        let stat = sim.run(&[static_job]);
+        assert!(
+            dynamic.jobs[0].turnaround < stat.jobs[0].turnaround * 0.8,
+            "dynamic {} should beat static {}",
+            dynamic.jobs[0].turnaround,
+            stat.jobs[0].turnaround
+        );
+        // The dynamic job actually grew.
+        let max_procs = dynamic.jobs[0]
+            .alloc_history
+            .iter()
+            .map(|&(_, p)| p)
+            .max()
+            .unwrap();
+        assert!(max_procs > 2, "allocation history {:?}", dynamic.jobs[0].alloc_history);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let machine = MachineParams::system_x();
+        let sim = ClusterSim::new(36, machine);
+        let workload = vec![
+            lu_job(12000, (1, 2), 10, 0.0),
+            lu_job(8000, (2, 2), 10, 100.0),
+        ];
+        let a = sim.run(&workload);
+        let b = sim.run(&workload);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.utilization, b.utilization);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.turnaround, y.turnaround);
+            assert_eq!(x.alloc_history, y.alloc_history);
+        }
+    }
+
+    #[test]
+    fn queued_job_waits_for_processors() {
+        let machine = MachineParams::system_x();
+        let sim = ClusterSim::new(4, machine);
+        let result = sim.run(&[
+            lu_job(8000, (2, 2), 3, 0.0),
+            lu_job(8000, (2, 2), 3, 1.0), // must queue: cluster full
+        ]);
+        let a = &result.jobs[0];
+        let b = &result.jobs[1];
+        assert!(b.started >= a.finished - 1e-9, "B started {} before A finished {}", b.started, a.finished);
+    }
+
+    #[test]
+    fn checkpoint_mode_costs_more_total_time() {
+        let machine = MachineParams::system_x();
+        let base = ClusterSim::new(36, machine);
+        let fast = base.run(&[lu_job(12000, (1, 2), 10, 0.0)]);
+        let slow = ClusterSim::new(36, machine)
+            .with_redist_mode(RedistMode::Checkpoint)
+            .run(&[lu_job(12000, (1, 2), 10, 0.0)]);
+        assert!(
+            slow.jobs[0].redist_total > 2.0 * fast.jobs[0].redist_total,
+            "checkpoint redistribution {} should dwarf reshape {}",
+            slow.jobs[0].redist_total,
+            fast.jobs[0].redist_total
+        );
+    }
+
+    #[test]
+    fn utilization_improves_with_dynamic_scheduling() {
+        let machine = MachineParams::system_x();
+        let workload = || {
+            vec![
+                lu_job(12000, (2, 2), 10, 0.0),
+                SimJob {
+                    spec: JobSpec::new(
+                        "MW",
+                        TopologyPref::AnyCount { min: 2, max: 22, step: 2 },
+                        ProcessorConfig::linear(2),
+                        10,
+                    ),
+                    model: AppModel::MasterWorker { units: 20000, unit_time: 0.74e-3 },
+                    arrival: 50.0,
+                    cancel_at: None,
+        fail_at: None,
+                },
+            ]
+        };
+        let dynamic = ClusterSim::new(36, machine).run(&workload());
+        let static_run = {
+            let jobs: Vec<SimJob> = workload()
+                .into_iter()
+                .map(|mut j| {
+                    j.spec = j.spec.static_job();
+                    j
+                })
+                .collect();
+            ClusterSim::new(36, machine).run(&jobs)
+        };
+        assert!(
+            dynamic.utilization > static_run.utilization,
+            "dynamic {} <= static {}",
+            dynamic.utilization,
+            static_run.utilization
+        );
+    }
+
+    #[test]
+    fn reservation_carves_out_capacity_at_paper_scale() {
+        // A 30-processor reservation window opens at t=600, when the LU
+        // job has grown to ~12 processors: at its next resize point it must
+        // shrink to within the 6 unreserved processors and stay there for
+        // the whole window.
+        let machine = MachineParams::system_x();
+        let result = ClusterSim::new(36, machine)
+            .with_reservation(600.0, 1e6, 30)
+            .run(&[lu_job(21000, (2, 3), 10, 0.0)]);
+        let lu = &result.jobs[0];
+        // Find the first resize point after the window opens; from shortly
+        // after it, the allocation must fit the unreserved capacity.
+        let after_adjust: Vec<(f64, usize)> = lu
+            .alloc_history
+            .iter()
+            .copied()
+            .filter(|&(t, p)| t > 600.0 && p > 0)
+            .collect();
+        assert!(
+            !after_adjust.is_empty() && after_adjust.iter().all(|&(_, p)| p <= 6),
+            "LU must vacate reserved capacity: {:?}",
+            lu.alloc_history
+        );
+        let shrank = lu
+            .alloc_history
+            .windows(2)
+            .any(|w| w[1].1 < w[0].1 && w[1].1 > 0);
+        assert!(shrank, "{:?}", lu.alloc_history);
+    }
+
+    #[test]
+    fn high_priority_arrival_preempts_capacity_sooner() {
+        // Two identical late arrivals, one submitted with priority: the
+        // prioritized run must start it no later than the plain run.
+        let machine = MachineParams::system_x();
+        let mk = |priority: u8| {
+            let mut jobs = vec![
+                lu_job(21000, (2, 3), 10, 0.0),
+                lu_job(12000, (2, 2), 10, 0.0),
+            ];
+            let mut late = lu_job(8000, (4, 4), 5, 300.0);
+            late.spec = late.spec.with_priority(priority);
+            jobs.push(late);
+            jobs
+        };
+        let plain = ClusterSim::new(24, machine).run(&mk(0));
+        let prio = ClusterSim::new(24, machine).run(&mk(9));
+        let started = |r: &SimResult| r.jobs[2].started;
+        assert!(
+            started(&prio) <= started(&plain) + 1e-9,
+            "prioritized start {} vs plain {}",
+            started(&prio),
+            started(&plain)
+        );
+    }
+
+    #[test]
+    fn phased_application_reprobes_after_phase_change() {
+        // Phase 1: light work (sweet spot small). Phase 2: heavy work.
+        // After the boundary the profiler resets and the job grows again —
+        // without the reset, the phase-1 sweet-spot verdict would pin it.
+        let machine = MachineParams::system_x();
+        let job = SimJob {
+            spec: JobSpec::new(
+                "phased",
+                TopologyPref::Grid { problem_size: 8000 },
+                ProcessorConfig::new(1, 2),
+                16,
+            ),
+            model: AppModel::Phased {
+                phases: vec![
+                    (8, AppModel::Lu { n: 8000 }),
+                    (8, AppModel::Lu { n: 24000 }),
+                ],
+            },
+            arrival: 0.0,
+            cancel_at: None,
+        fail_at: None,
+        };
+        let result = ClusterSim::new(40, machine).run(&[job]);
+        let lu = &result.jobs[0];
+        // 16 iterations yield 15 resize-point records; the boundary reset
+        // wiped the 8 phase-1 records, leaving only phase 2's.
+        assert_eq!(
+            lu.iter_log.len(),
+            7,
+            "phase change must clear phase-1 records: {:?}",
+            lu.iter_log
+        );
+        // Phase-2 (LU-24000) iteration times are an order of magnitude
+        // heavier than phase 1's — the log must contain only those.
+        assert!(
+            lu.iter_log.iter().all(|r| r.iter_time > 50.0),
+            "only heavy-phase records expected: {:?}",
+            lu.iter_log
+        );
+        // And the job kept growing in phase 2 (re-probe after reset): the
+        // last recorded configuration is at least as large as the first
+        // phase-2 one.
+        let first = lu.iter_log.first().unwrap().config.procs();
+        let last = lu.iter_log.last().unwrap().config.procs();
+        assert!(
+            last >= first,
+            "phase 2 should re-expand from {first} (got {last}): {:?}",
+            lu.iter_log
+        );
+    }
+
+    #[test]
+    fn phase_at_maps_iterations_to_phases() {
+        let m = AppModel::Phased {
+            phases: vec![
+                (3, AppModel::Lu { n: 8000 }),
+                (2, AppModel::Mm { n: 8000 }),
+            ],
+        };
+        assert!(matches!(m.phase_at(0), (AppModel::Lu { .. }, false)));
+        assert!(matches!(m.phase_at(2), (AppModel::Lu { .. }, false)));
+        assert!(matches!(m.phase_at(3), (AppModel::Mm { .. }, true)));
+        assert!(matches!(m.phase_at(4), (AppModel::Mm { .. }, false)));
+        // Past the end: clamps to the last phase, no new boundary.
+        assert!(matches!(m.phase_at(99), (AppModel::Mm { .. }, false)));
+        // Single-phase models never report a boundary.
+        assert!(!AppModel::Lu { n: 8000 }.phase_at(5).1);
+    }
+
+    #[test]
+    fn gantt_renders_all_jobs_and_axis() {
+        let machine = MachineParams::system_x();
+        let result = ClusterSim::new(36, machine).run(&[
+            lu_job(12000, (1, 2), 5, 0.0),
+            lu_job(8000, (2, 2), 5, 100.0),
+        ]);
+        let chart = result.gantt(60);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2 + 2, "jobs + busy + axis");
+        assert!(lines.iter().all(|l| l.contains('|')));
+        // Busy row starts with the first job's 2 processors occupied (the
+        // final sampled column lands mid-way through the last iteration, so
+        // it is legitimately non-idle).
+        let busy_row = lines[2].split('|').nth(1).unwrap();
+        assert!(busy_row.starts_with('2'), "{busy_row}");
+        // Every job row has at least one non-idle glyph.
+        for l in &lines[..2] {
+            let body = l.split('|').nth(1).unwrap();
+            assert!(body.chars().any(|c| c != '.'), "{l}");
+        }
+        assert!(lines[3].contains("t(s)"));
+    }
+
+    #[test]
+    fn heterogeneous_slots_slow_jobs_down() {
+        let machine = MachineParams::system_x();
+        // 4-slot cluster where two slots run at half speed. A 4-proc static
+        // job must straddle the slow slots and pay for it.
+        let uniform = ClusterSim::new(4, machine).run(&[{
+            let mut j = lu_job(8000, (2, 2), 5, 0.0);
+            j.spec = j.spec.static_job();
+            j
+        }]);
+        let hetero = ClusterSim::new(4, machine)
+            .with_slot_speeds(vec![1.0, 1.0, 0.5, 0.5])
+            .run(&[{
+                let mut j = lu_job(8000, (2, 2), 5, 0.0);
+                j.spec = j.spec.static_job();
+                j
+            }]);
+        assert!(
+            (hetero.jobs[0].turnaround - 2.0 * uniform.jobs[0].turnaround).abs()
+                < 1e-6 * uniform.jobs[0].turnaround,
+            "slowest-slot pace: {} vs uniform {}",
+            hetero.jobs[0].turnaround,
+            uniform.jobs[0].turnaround
+        );
+    }
+
+    #[test]
+    fn speed_aware_placement_beats_naive() {
+        let machine = MachineParams::system_x();
+        // 8 slots: 4 fast, 4 half-speed (interleaved so id-order placement
+        // inevitably grabs slow slots). One 4-proc job: speed-aware
+        // allocation keeps it on the fast slots.
+        let speeds = vec![1.0, 0.5, 1.0, 0.5, 1.0, 0.5, 1.0, 0.5];
+        let job = || {
+            let mut j = lu_job(8000, (2, 2), 5, 0.0);
+            j.spec = j.spec.static_job();
+            j
+        };
+        let aware = ClusterSim::new(8, machine)
+            .with_slot_speeds(speeds.clone())
+            .run(&[job()]);
+        let naive = ClusterSim::new(8, machine)
+            .with_slot_speeds(speeds)
+            .with_naive_placement()
+            .run(&[job()]);
+        assert!(
+            naive.jobs[0].turnaround > 1.5 * aware.jobs[0].turnaround,
+            "naive {} should be ~2x aware {}",
+            naive.jobs[0].turnaround,
+            aware.jobs[0].turnaround
+        );
+    }
+
+    #[test]
+    fn scripted_cancellation_frees_the_cluster() {
+        let machine = MachineParams::system_x();
+        let mut hog = lu_job(21000, (2, 3), 10, 0.0);
+        hog.cancel_at = Some(500.0);
+        let late = lu_job(12000, (2, 2), 5, 600.0);
+        let result = ClusterSim::new(8, machine).run(&[hog, late]);
+        let hog_out = &result.jobs[0];
+        // The hog never ran to its natural completion (~2700s at 6-8 procs).
+        assert!(
+            hog_out.finished < 1500.0,
+            "cancelled job should end early: {}",
+            hog_out.finished
+        );
+        // The late arrival ran unobstructed.
+        let late_out = &result.jobs[1];
+        assert!(late_out.finished.is_finite());
+        assert!(late_out.started < hog_out.finished + 2000.0);
+        // Trace records the cancellation.
+        assert!(result
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Cancelled)));
+    }
+
+    #[test]
+    fn injected_failure_reclaims_resources_for_queued_work() {
+        let machine = MachineParams::system_x();
+        let mut flaky = lu_job(21000, (2, 3), 10, 0.0);
+        flaky.fail_at = Some(300.0);
+        let queued = lu_job(12000, (2, 3), 5, 10.0); // blocked on an 8-proc cluster
+        let result = ClusterSim::new(8, machine).run(&[flaky, queued]);
+        let f = &result.jobs[0];
+        assert!(f.finished <= 300.0 + 1e-9, "failed at 300, got {}", f.finished);
+        let q = &result.jobs[1];
+        assert!(
+            (q.started - 300.0).abs() < 1e-6,
+            "queued job starts when the failure frees the cluster: {}",
+            q.started
+        );
+        assert!(result
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Failed { .. })));
+    }
+
+    #[test]
+    fn busy_series_is_consistent_with_events() {
+        let machine = MachineParams::system_x();
+        let result = ClusterSim::new(36, machine).run(&[
+            lu_job(12000, (1, 2), 5, 0.0),
+            lu_job(8000, (2, 2), 5, 10.0),
+        ]);
+        let series = result.busy_series();
+        assert_eq!(series.first(), Some(&(0.0, 0)));
+        assert_eq!(series.last().map(|&(_, b)| b), Some(0), "cluster drains at the end");
+        for w in series.windows(2) {
+            assert!(w[0].0 <= w[1].0, "series must be time-ordered");
+        }
+        let max_busy = series.iter().map(|&(_, b)| b).max().unwrap();
+        assert!(max_busy <= 36);
+    }
+}

@@ -1,0 +1,450 @@
+//! The paper's experimental workloads (§4), expressed as simulator inputs.
+//!
+//! Calibration notes: per-application knobs (Jacobi sweeps per iteration,
+//! FFT batch size, master–worker unit time) are set so the *static-schedule*
+//! iteration times land near the paper's Tables 4 and 5 — the paper gives
+//! per-workload totals that imply different synthetic-work settings between
+//! workload 1 and workload 2, so the knobs differ per workload. See
+//! EXPERIMENTS.md for the paper-vs-model comparison.
+
+use reshape_core::{JobSpec, ProcessorConfig, TopologyPref};
+
+use crate::perfmodel::AppModel;
+use crate::sim::SimJob;
+
+/// A named workload: jobs plus the processor budget of the experiment.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub name: &'static str,
+    pub jobs: Vec<SimJob>,
+    pub total_procs: usize,
+}
+
+impl Workload {
+    /// The same workload with every job statically scheduled.
+    pub fn as_static(&self) -> Workload {
+        Workload {
+            name: self.name,
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| {
+                    let mut j = j.clone();
+                    j.spec = j.spec.clone().static_job();
+                    j
+                })
+                .collect(),
+            total_procs: self.total_procs,
+        }
+    }
+}
+
+fn grid_job(
+    name: &str,
+    n: usize,
+    initial: (usize, usize),
+    model: AppModel,
+    arrival: f64,
+) -> SimJob {
+    SimJob {
+        spec: JobSpec::new(
+            name,
+            TopologyPref::Grid { problem_size: n },
+            ProcessorConfig::new(initial.0, initial.1),
+            10,
+        ),
+        model,
+        arrival,
+        cancel_at: None,
+        fail_at: None,
+    }
+}
+
+fn linear_job(
+    name: &str,
+    n: usize,
+    initial: usize,
+    model: AppModel,
+    arrival: f64,
+) -> SimJob {
+    SimJob {
+        spec: JobSpec::new(
+            name,
+            TopologyPref::Linear {
+                problem_size: n,
+                even_only: true,
+            },
+            ProcessorConfig::linear(initial),
+            10,
+        ),
+        model,
+        arrival,
+        cancel_at: None,
+        fail_at: None,
+    }
+}
+
+fn mw_job(initial: usize, unit_time: f64, arrival: f64) -> SimJob {
+    SimJob {
+        spec: JobSpec::new(
+            "Master-worker",
+            TopologyPref::AnyCount {
+                min: 2,
+                max: 22,
+                step: 2,
+            },
+            ProcessorConfig::linear(initial),
+            10,
+        ),
+        model: AppModel::MasterWorker {
+            units: 20000,
+            unit_time,
+        },
+        arrival,
+        cancel_at: None,
+        fail_at: None,
+    }
+}
+
+/// Workload 1 (paper §4.2.1, Figure 4, Table 4): LU(21000) and MM(14000)
+/// at t=0, Master-worker at t=450, Jacobi(8000) and FFT(8192) at t=465,
+/// on 36 processors.
+pub fn workload1() -> Workload {
+    Workload {
+        name: "W1",
+        total_procs: 36,
+        jobs: vec![
+            grid_job("LU", 21000, (2, 3), AppModel::Lu { n: 21000 }, 0.0),
+            grid_job("MM", 14000, (2, 4), AppModel::Mm { n: 14000 }, 0.0),
+            mw_job(2, 0.7375e-3, 450.0),
+            linear_job(
+                "Jacobi",
+                8000,
+                4,
+                AppModel::Jacobi {
+                    n: 8000,
+                    sweeps: 34300,
+                },
+                465.0,
+            ),
+            linear_job("2D FFT", 8192, 4, AppModel::Fft { n: 8192, batch: 17 }, 465.0),
+        ],
+    }
+}
+
+/// Workload 2 (paper §4.2.2, Figure 5, Table 5): LU(21000) at 16 procs and
+/// Jacobi(8000) at 10 at t=0, Master-worker at t=560, a *statically
+/// scheduled* 2-D FFT at t=650, on 30 processors.
+pub fn workload2() -> Workload {
+    let mut fft = linear_job("2D FFT", 8192, 4, AppModel::Fft { n: 8192, batch: 6 }, 650.0);
+    fft.spec = fft.spec.static_job(); // the paper schedules W2's FFT statically
+    Workload {
+        name: "W2",
+        total_procs: 30,
+        jobs: vec![
+            grid_job("LU", 21000, (4, 4), AppModel::Lu { n: 21000 }, 0.0),
+            linear_job(
+                "Jacobi",
+                8000,
+                10,
+                AppModel::Jacobi {
+                    n: 8000,
+                    sweeps: 11700,
+                },
+                0.0,
+            ),
+            mw_job(6, 8.875e-3, 560.0),
+            fft,
+        ],
+    }
+}
+
+/// The Figure 3(a) experiment: LU on a 12000² matrix, 10 iterations,
+/// starting on 2 processors with the whole 36-processor cluster otherwise
+/// idle, driven by the paper's *measured* iteration-time profile so the
+/// resize trajectory (2 → 4 → 6 → 9 → 12 → 16 → back to 12) reproduces
+/// exactly.
+pub fn fig3a_job() -> SimJob {
+    SimJob {
+        spec: JobSpec::new(
+            "LU",
+            TopologyPref::Grid {
+                problem_size: 12000,
+            },
+            ProcessorConfig::new(1, 2),
+            10,
+        ),
+        model: AppModel::Table {
+            points: vec![
+                (2, 129.63),
+                (4, 112.52),
+                (6, 82.31),
+                (9, 79.61),
+                (12, 69.85),
+                (16, 74.91),
+            ],
+        },
+        arrival: 0.0,
+        cancel_at: None,
+        fail_at: None,
+    }
+}
+
+/// The five single-application jobs of Figure 3(b): LU(12000), MM(14000),
+/// Master-worker, Jacobi(8000) and FFT(8192); LU, MM, Jacobi and
+/// Master-worker start with 4 processors, FFT with 2.
+pub fn fig3b_jobs() -> Vec<SimJob> {
+    vec![
+        grid_job("LU", 12000, (2, 2), AppModel::Lu { n: 12000 }, 0.0),
+        grid_job("MM", 14000, (2, 2), AppModel::Mm { n: 14000 }, 0.0),
+        mw_job(4, 0.7375e-3, 0.0),
+        linear_job(
+            "Jacobi",
+            8000,
+            4,
+            AppModel::Jacobi {
+                n: 8000,
+                sweeps: 34300,
+            },
+            0.0,
+        ),
+        linear_job("2D FFT", 8192, 2, AppModel::Fft { n: 8192, batch: 17 }, 0.0),
+    ]
+}
+
+/// Deterministic xorshift64* generator for reproducible random workloads
+/// (kept dependency-free; the seed fully determines the workload).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() as usize) % items.len()]
+    }
+}
+
+/// Generate a reproducible random job mix in the style of the paper's
+/// workloads: a stream of LU / MM / Jacobi / FFT / master–worker jobs with
+/// varied sizes, initial allocations and staggered arrivals. The same seed
+/// always yields the same workload.
+pub fn random_workload(seed: u64, n_jobs: usize, total_procs: usize) -> Workload {
+    let mut rng = Rng::new(seed);
+    let mut jobs = Vec::with_capacity(n_jobs);
+    let mut arrival = 0.0;
+    for _ in 0..n_jobs {
+        let job = match rng.next() % 5 {
+            0 => {
+                let n = *rng.pick(&[8000usize, 12000, 16000, 20000]);
+                grid_job("LU", n, (2, 2), AppModel::Lu { n }, arrival)
+            }
+            1 => {
+                let n = *rng.pick(&[8000usize, 12000, 16000]);
+                grid_job("MM", n, (2, 2), AppModel::Mm { n }, arrival)
+            }
+            2 => {
+                let sweeps = 5000 + (rng.next() % 20000) as usize;
+                linear_job(
+                    "Jacobi",
+                    8000,
+                    4,
+                    AppModel::Jacobi { n: 8000, sweeps },
+                    arrival,
+                )
+            }
+            3 => {
+                let batch = 4 + (rng.next() % 16) as usize;
+                linear_job("FFT", 8192, *rng.pick(&[2usize, 4]), AppModel::Fft { n: 8192, batch }, arrival)
+            }
+            _ => {
+                let unit = 0.5e-3 + rng.uniform() * 4e-3;
+                mw_job(*rng.pick(&[2usize, 4, 6]), unit, arrival)
+            }
+        };
+        jobs.push(job);
+        // Staggered arrivals, exponential-ish gaps up to ~10 minutes.
+        arrival += 30.0 + rng.uniform() * 600.0;
+    }
+    Workload {
+        name: "random",
+        jobs,
+        total_procs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfmodel::MachineParams;
+    use crate::sim::ClusterSim;
+
+    #[test]
+    fn workload1_shape() {
+        let w = workload1();
+        assert_eq!(w.jobs.len(), 5);
+        assert_eq!(w.total_procs, 36);
+        let initial: usize = w.jobs.iter().map(|j| j.spec.initial.procs()).sum();
+        assert_eq!(initial, 6 + 8 + 2 + 4 + 4, "Table 4 initial allocations");
+        assert!(w.jobs.iter().all(|j| j.spec.resizable));
+    }
+
+    #[test]
+    fn workload2_fft_is_static() {
+        let w = workload2();
+        let fft = w.jobs.iter().find(|j| j.spec.name == "2D FFT").unwrap();
+        assert!(!fft.spec.resizable);
+        let lu = w.jobs.iter().find(|j| j.spec.name == "LU").unwrap();
+        assert_eq!(lu.spec.initial.procs(), 16);
+    }
+
+    #[test]
+    fn as_static_marks_everything() {
+        let w = workload1().as_static();
+        assert!(w.jobs.iter().all(|j| !j.spec.resizable));
+    }
+
+    #[test]
+    fn fig3a_reproduces_paper_trajectory() {
+        // The headline behavioural test: driven by the paper's measured LU
+        // profile, the real Remap Scheduler policy must walk
+        // 2 -> 4 -> 6 -> 9 -> 12 -> 16 -> 12 and hold at 12.
+        let sim = ClusterSim::new(36, MachineParams::system_x());
+        let result = sim.run(&[fig3a_job()]);
+        let procs: Vec<usize> = result.jobs[0]
+            .alloc_history
+            .iter()
+            .map(|&(_, p)| p)
+            .collect();
+        assert_eq!(
+            procs,
+            vec![2, 4, 6, 9, 12, 16, 12, 0],
+            "allocation trajectory (paper Figure 3(a))"
+        );
+    }
+
+    #[test]
+    fn random_workloads_are_reproducible_and_complete() {
+        let machine = MachineParams::system_x();
+        for seed in [1u64, 7, 42] {
+            let w = random_workload(seed, 8, 36);
+            assert_eq!(w.jobs.len(), 8);
+            // Reproducibility: same seed, same workload, same outcome.
+            let a = ClusterSim::new(w.total_procs, machine).run(&w.jobs);
+            let w2 = random_workload(seed, 8, 36);
+            let b = ClusterSim::new(w2.total_procs, machine).run(&w2.jobs);
+            assert_eq!(a.makespan, b.makespan, "seed {seed}");
+            // Every job completes and utilization is a fraction.
+            assert!(a.jobs.iter().all(|j| j.finished.is_finite()));
+            assert!((0.0..=1.0).contains(&a.utilization));
+        }
+        // Different seeds differ.
+        let w1 = random_workload(1, 8, 36);
+        let w2 = random_workload(2, 8, 36);
+        let names1: Vec<&str> = w1.jobs.iter().map(|j| j.spec.name.as_str()).collect();
+        let names2: Vec<&str> = w2.jobs.iter().map(|j| j.spec.name.as_str()).collect();
+        let arr1: Vec<u64> = w1.jobs.iter().map(|j| j.arrival as u64).collect();
+        let arr2: Vec<u64> = w2.jobs.iter().map(|j| j.arrival as u64).collect();
+        assert!(names1 != names2 || arr1 != arr2);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_average_over_random_mixes() {
+        // The paper's headline claim, checked statistically over ten random
+        // job mixes rather than one hand-picked workload.
+        let machine = MachineParams::system_x();
+        let mut dyn_total = 0.0;
+        let mut stat_total = 0.0;
+        for seed in 0..10u64 {
+            let w = random_workload(seed, 6, 36);
+            let d = ClusterSim::new(w.total_procs, machine).run(&w.jobs);
+            let s = ClusterSim::new(w.total_procs, machine).run(&w.as_static().jobs);
+            dyn_total += d.jobs.iter().map(|j| j.turnaround).sum::<f64>();
+            stat_total += s.jobs.iter().map(|j| j.turnaround).sum::<f64>();
+        }
+        assert!(
+            dyn_total < stat_total * 0.95,
+            "dynamic {dyn_total:.0} should beat static {stat_total:.0} by >5% on average"
+        );
+    }
+
+    #[test]
+    fn workload1_checkpoint_mode_is_worse_than_reshape() {
+        // Figure 3(b)'s point at workload scale: the same dynamic policy
+        // with file-based checkpoint redistribution loses time on every
+        // resize relative to ReSHAPE's message-based redistribution.
+        let machine = MachineParams::system_x();
+        let w = workload1();
+        let reshape_run = ClusterSim::new(w.total_procs, machine).run(&w.jobs);
+        let ckpt_run = ClusterSim::new(w.total_procs, machine)
+            .with_redist_mode(crate::sim::RedistMode::Checkpoint)
+            .run(&w.jobs);
+        let total_redist = |r: &crate::sim::SimResult| {
+            r.jobs.iter().map(|j| j.redist_total).sum::<f64>()
+        };
+        assert!(
+            total_redist(&ckpt_run) > 3.0 * total_redist(&reshape_run),
+            "checkpoint {} vs reshape {}",
+            total_redist(&ckpt_run),
+            total_redist(&reshape_run)
+        );
+        // And the mean turnaround suffers accordingly.
+        let mean = |r: &crate::sim::SimResult| {
+            r.jobs.iter().map(|j| j.turnaround).sum::<f64>() / r.jobs.len() as f64
+        };
+        assert!(mean(&ckpt_run) >= mean(&reshape_run));
+    }
+
+    #[test]
+    fn workload1_dynamic_beats_static() {
+        let machine = MachineParams::system_x();
+        let w = workload1();
+        let dynamic = ClusterSim::new(w.total_procs, machine).run(&w.jobs);
+        let stat = ClusterSim::new(w.total_procs, machine).run(&w.as_static().jobs);
+        // Table 4's headline: overall utilization improves substantially...
+        assert!(
+            dynamic.utilization > stat.utilization + 0.1,
+            "dynamic {:.3} vs static {:.3}",
+            dynamic.utilization,
+            stat.utilization
+        );
+        // ...and the resizable grid jobs finish sooner.
+        for name in ["LU", "MM", "Jacobi", "2D FFT"] {
+            let d = dynamic.jobs.iter().find(|j| j.name == name).unwrap();
+            let s = stat.jobs.iter().find(|j| j.name == name).unwrap();
+            assert!(
+                d.turnaround < s.turnaround * 1.02,
+                "{name}: dynamic {} should not lose to static {}",
+                d.turnaround,
+                s.turnaround
+            );
+        }
+    }
+
+    #[test]
+    fn workload2_shows_modest_gains() {
+        // Paper: "dynamic scheduling has only a small advantage over static
+        // in workload 2" — jobs start near their sweet spots.
+        let machine = MachineParams::system_x();
+        let w = workload2();
+        let dynamic = ClusterSim::new(w.total_procs, machine).run(&w.jobs);
+        let stat = ClusterSim::new(w.total_procs, machine).run(&w.as_static().jobs);
+        let d_lu = dynamic.jobs.iter().find(|j| j.name == "LU").unwrap();
+        let s_lu = stat.jobs.iter().find(|j| j.name == "LU").unwrap();
+        let gain = (s_lu.turnaround - d_lu.turnaround) / s_lu.turnaround;
+        assert!(
+            gain > -0.05 && gain < 0.5,
+            "W2 LU gain should be modest, got {:.1}%",
+            gain * 100.0
+        );
+    }
+}

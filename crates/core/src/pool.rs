@@ -1,0 +1,206 @@
+//! The processor resource pool: slot accounting for the Application
+//! Scheduler ("selects the compute nodes, marks them as unavailable in the
+//! resource pool").
+//!
+//! Slots may carry per-slot *speed factors* (paper §5 future work:
+//! "support for heterogeneous clusters ... as individual plug-ins"): a
+//! homogeneous pool has every factor at 1.0. Allocation can be speed-aware
+//! (fastest free slots first — synchronous SPMD applications run at the
+//! pace of their slowest processor, so concentrating fast slots matters)
+//! or id-ordered (the homogeneous default, which keeps co-scheduled jobs
+//! packed onto adjacent nodes).
+
+use std::collections::BTreeSet;
+
+/// How `allocate` picks among free slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocOrder {
+    /// Lowest-numbered free slots first (packs adjacent nodes).
+    LowestId,
+    /// Fastest free slots first (heterogeneity-aware; ties by id).
+    FastestFirst,
+}
+
+/// A pool of processor slots, identified `0..total`. Slot `s` lives on
+/// cluster node `s / slots_per_node` (the paper's nodes host 2 CPUs each).
+#[derive(Clone, Debug)]
+pub struct ResourcePool {
+    total: usize,
+    free: BTreeSet<usize>,
+    /// Relative speed of each slot (1.0 = nominal).
+    speeds: Vec<f64>,
+    order: AllocOrder,
+}
+
+impl ResourcePool {
+    /// Homogeneous pool (every slot at speed 1.0, id-ordered allocation).
+    pub fn new(total: usize) -> Self {
+        ResourcePool {
+            total,
+            free: (0..total).collect(),
+            speeds: vec![1.0; total],
+            order: AllocOrder::LowestId,
+        }
+    }
+
+    /// Heterogeneous pool with per-slot speed factors; allocation hands out
+    /// the fastest free slots first.
+    pub fn new_heterogeneous(speeds: Vec<f64>) -> Self {
+        assert!(!speeds.is_empty(), "empty pool");
+        assert!(
+            speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "speed factors must be positive and finite"
+        );
+        ResourcePool {
+            total: speeds.len(),
+            free: (0..speeds.len()).collect(),
+            speeds,
+            order: AllocOrder::FastestFirst,
+        }
+    }
+
+    /// Override the allocation order (for placement ablations).
+    pub fn with_order(mut self, order: AllocOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn busy(&self) -> usize {
+        self.total - self.free.len()
+    }
+
+    /// Speed factor of a slot.
+    pub fn speed(&self, slot: usize) -> f64 {
+        self.speeds[slot]
+    }
+
+    /// Allocate `n` slots according to the pool's order. Returns `None`
+    /// without side effects if fewer than `n` are free.
+    pub fn allocate(&mut self, n: usize) -> Option<Vec<usize>> {
+        if self.free.len() < n {
+            return None;
+        }
+        let slots: Vec<usize> = match self.order {
+            AllocOrder::LowestId => self.free.iter().take(n).copied().collect(),
+            AllocOrder::FastestFirst => {
+                let mut all: Vec<usize> = self.free.iter().copied().collect();
+                // Stable by id already; sort by descending speed, ties keep
+                // id order.
+                all.sort_by(|&a, &b| {
+                    self.speeds[b]
+                        .partial_cmp(&self.speeds[a])
+                        .expect("finite speeds")
+                        .then(a.cmp(&b))
+                });
+                all.truncate(n);
+                all
+            }
+        };
+        for s in &slots {
+            self.free.remove(s);
+        }
+        Some(slots)
+    }
+
+    /// Return slots to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double release or an out-of-range slot — both indicate
+    /// scheduler bookkeeping bugs that must not be masked.
+    pub fn release(&mut self, slots: &[usize]) {
+        for &s in slots {
+            assert!(s < self.total, "slot {s} out of range");
+            assert!(self.free.insert(s), "slot {s} double-released");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release() {
+        let mut p = ResourcePool::new(8);
+        assert_eq!(p.idle(), 8);
+        let a = p.allocate(3).unwrap();
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!((p.idle(), p.busy()), (5, 3));
+        let b = p.allocate(5).unwrap();
+        assert_eq!(b, vec![3, 4, 5, 6, 7]);
+        assert!(p.allocate(1).is_none());
+        p.release(&a);
+        assert_eq!(p.idle(), 3);
+        // Freed slots are handed out again, lowest first.
+        assert_eq!(p.allocate(2).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn failed_allocation_has_no_side_effects() {
+        let mut p = ResourcePool::new(4);
+        p.allocate(3).unwrap();
+        assert!(p.allocate(2).is_none());
+        assert_eq!(p.idle(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-released")]
+    fn double_release_panics() {
+        let mut p = ResourcePool::new(4);
+        let a = p.allocate(1).unwrap();
+        p.release(&a);
+        p.release(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_release_panics() {
+        let mut p = ResourcePool::new(4);
+        p.release(&[9]);
+    }
+
+    #[test]
+    fn heterogeneous_allocation_prefers_fast_slots() {
+        // Slots 2 and 5 are fast; they must be handed out first.
+        let mut p = ResourcePool::new_heterogeneous(vec![1.0, 1.0, 2.0, 1.0, 0.5, 2.0]);
+        let a = p.allocate(2).unwrap();
+        assert_eq!(a, vec![2, 5]);
+        // Next best: the 1.0 slots in id order.
+        let b = p.allocate(3).unwrap();
+        assert_eq!(b, vec![0, 1, 3]);
+        // The slow slot is last.
+        assert_eq!(p.allocate(1).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn heterogeneous_release_and_reallocate() {
+        let mut p = ResourcePool::new_heterogeneous(vec![0.5, 2.0, 1.0]);
+        let a = p.allocate(3).unwrap();
+        assert_eq!(a, vec![1, 2, 0]);
+        p.release(&[1]);
+        assert_eq!(p.allocate(1).unwrap(), vec![1], "fast slot reused first");
+    }
+
+    #[test]
+    fn naive_order_ignores_speeds() {
+        let mut p =
+            ResourcePool::new_heterogeneous(vec![0.5, 2.0, 1.0]).with_order(AllocOrder::LowestId);
+        assert_eq!(p.allocate(2).unwrap(), vec![0, 1]);
+        assert_eq!(p.speed(0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn invalid_speed_rejected() {
+        ResourcePool::new_heterogeneous(vec![1.0, 0.0]);
+    }
+}

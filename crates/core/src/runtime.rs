@@ -1,0 +1,509 @@
+//! Real-execution mode: the scheduler as a live service.
+//!
+//! The paper's "application scheduling and monitoring module" runs five
+//! components, each on its own thread. Here:
+//!
+//! * the **scheduler thread** combines the Application Scheduler, Remap
+//!   Scheduler and Performance Profiler (all state lives in
+//!   [`SchedulerCore`]) and also plays **Job Startup**: when the core says a
+//!   queued job can run, the thread launches its process group on the
+//!   simulated cluster;
+//! * the **System Monitor thread** subscribes to process lifecycle events
+//!   from the [`Universe`] and reclaims the resources of failed jobs;
+//! * applications talk to the scheduler through a [`SchedulerLink`]
+//!   implemented over channels, exactly like the paper's socket protocol
+//!   between the resize library and the scheduler.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use reshape_mpisim::{NodeId, ProcId, ProcStatus, Universe};
+
+use crate::core::{Directive, QueuePolicy, SchedulerCore, StartAction};
+use crate::driver::{run_resizable, AppDef, DriverShared, SchedulerLink};
+use crate::job::{JobId, JobSpec, JobState};
+use crate::topology::ProcessorConfig;
+
+enum Msg {
+    Submit {
+        spec: JobSpec,
+        app: AppDef,
+        reply: Sender<JobId>,
+    },
+    ResizePoint {
+        job: JobId,
+        iter_time: f64,
+        redist_time: f64,
+        now: f64,
+        reply: Sender<Directive>,
+    },
+    NoteRedist {
+        job: JobId,
+        from: ProcessorConfig,
+        to: ProcessorConfig,
+        seconds: f64,
+    },
+    Finished {
+        job: JobId,
+        now: f64,
+    },
+    PhaseChange {
+        job: JobId,
+        now: f64,
+    },
+    Cancel {
+        job: JobId,
+    },
+    Failed {
+        job: JobId,
+        reason: String,
+        now: f64,
+    },
+    Shutdown,
+}
+
+/// Channel-backed [`SchedulerLink`] handed to application processes.
+struct RuntimeLink {
+    tx: Sender<Msg>,
+}
+
+impl SchedulerLink for RuntimeLink {
+    fn resize_point(&self, job: JobId, iter_time: f64, redist_time: f64, now: f64) -> Directive {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Msg::ResizePoint {
+                job,
+                iter_time,
+                redist_time,
+                now,
+                reply,
+            })
+            .expect("scheduler thread alive");
+        rx.recv().expect("scheduler replies to resize points")
+    }
+
+    fn note_redist(&self, job: JobId, from: ProcessorConfig, to: ProcessorConfig, seconds: f64) {
+        let _ = self.tx.send(Msg::NoteRedist {
+            job,
+            from,
+            to,
+            seconds,
+        });
+    }
+
+    fn finished(&self, job: JobId, now: f64) {
+        let _ = self.tx.send(Msg::Finished { job, now });
+    }
+
+    fn phase_change(&self, job: JobId, now: f64) {
+        let _ = self.tx.send(Msg::PhaseChange { job, now });
+    }
+}
+
+/// The live ReSHAPE service: submit resizable jobs against a simulated
+/// cluster and let the framework schedule, monitor, resize and reclaim them.
+pub struct ReshapeRuntime {
+    universe: Arc<Universe>,
+    tx: Sender<Msg>,
+    core: Arc<Mutex<SchedulerCore>>,
+    /// First (rank-0) process of each job, which the System Monitor watches
+    /// — "only the monitor running on the first node of its processor set
+    /// communicates with the System Monitor".
+    watch: Arc<Mutex<HashMap<ProcId, JobId>>>,
+    sched_thread: Option<std::thread::JoinHandle<()>>,
+    monitor_thread: Option<std::thread::JoinHandle<()>>,
+    fold_wall_time: bool,
+}
+
+struct SchedThreadCtx {
+    universe: Arc<Universe>,
+    core: Arc<Mutex<SchedulerCore>>,
+    apps: HashMap<JobId, (AppDef, usize)>, // app + iterations
+    watch: Arc<Mutex<HashMap<ProcId, JobId>>>,
+    link_tx: Sender<Msg>,
+    slots_per_node: usize,
+    fold_wall_time: bool,
+}
+
+impl SchedThreadCtx {
+    fn actuate(&mut self, starts: Vec<StartAction>) {
+        for s in starts {
+            let (app, iterations) = match self.apps.get(&s.job) {
+                Some(a) => a.clone(),
+                // Bookkeeping-only job (tests submit specs without apps).
+                None => continue,
+            };
+            let nodes: Vec<NodeId> = s
+                .slots
+                .iter()
+                .map(|&slot| NodeId((slot / self.slots_per_node) as u32))
+                .collect();
+            let shared = Arc::new(DriverShared {
+                job: s.job,
+                app,
+                iterations,
+                link: Arc::new(RuntimeLink {
+                    tx: self.link_tx.clone(),
+                }),
+                slots_per_node: self.slots_per_node,
+                fold_wall_time: self.fold_wall_time,
+            });
+            let config = s.config;
+            let name = {
+                let core = self.core.lock();
+                core.job(s.job).map(|r| r.spec.name.clone()).unwrap_or_default()
+            };
+            let start_vtime = self.core.lock().job(s.job).and_then(|r| r.started_at).unwrap_or(0.0);
+            let handle = self.universe.launch_at(
+                config.procs(),
+                Some(nodes),
+                &format!("{name}-{}", s.job),
+                start_vtime,
+                move |comm| {
+                    run_resizable(comm, config, Arc::clone(&shared));
+                },
+            );
+            self.watch.lock().insert(handle.members()[0], s.job);
+            // Handles are joined through the universe's status tracking; the
+            // GroupHandle itself can be dropped (threads keep running).
+            drop(handle);
+        }
+    }
+
+    fn run(mut self, rx: Receiver<Msg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                Msg::Submit { spec, app, reply } => {
+                    let iterations = spec.iterations;
+                    let now = self.wall_now();
+                    let (id, starts) = self.core.lock().submit(spec, now);
+                    self.apps.insert(id, (app, iterations));
+                    let _ = reply.send(id);
+                    self.actuate(starts);
+                }
+                Msg::ResizePoint {
+                    job,
+                    iter_time,
+                    redist_time,
+                    now,
+                    reply,
+                } => {
+                    let (directive, starts) = self
+                        .core
+                        .lock()
+                        .resize_point(job, iter_time, redist_time, now);
+                    let _ = reply.send(directive);
+                    self.actuate(starts);
+                }
+                Msg::NoteRedist {
+                    job,
+                    from,
+                    to,
+                    seconds,
+                } => {
+                    self.core.lock().note_redist_cost(job, from, to, seconds);
+                }
+                Msg::Finished { job, now } => {
+                    let starts = self.core.lock().on_finished(job, now);
+                    self.actuate(starts);
+                }
+                Msg::PhaseChange { job, now } => {
+                    self.core.lock().phase_change(job, now);
+                }
+                Msg::Cancel { job } => {
+                    let now = self.wall_now();
+                    let starts = self.core.lock().cancel(job, now);
+                    self.actuate(starts);
+                }
+                Msg::Failed { job, reason, now } => {
+                    let starts = self.core.lock().on_failed(job, reason, now);
+                    self.actuate(starts);
+                }
+                Msg::Shutdown => break,
+            }
+        }
+    }
+
+    /// Wall-clock submission timestamps; virtual times come from the apps.
+    fn wall_now(&self) -> f64 {
+        // Submission order is what matters for the queue; monotone is enough.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        COUNTER.fetch_add(1, Ordering::Relaxed) as f64 * 1e-6
+    }
+}
+
+impl ReshapeRuntime {
+    /// Stand up the framework over `universe`. `policy` selects FCFS or
+    /// backfill for initial allocations.
+    pub fn new(universe: Universe, policy: QueuePolicy) -> Self {
+        Self::with_options(universe, policy, false)
+    }
+
+    /// `fold_wall_time` makes the driver add real compute time of each
+    /// iteration to the virtual clock (for measurement runs).
+    pub fn with_options(universe: Universe, policy: QueuePolicy, fold_wall_time: bool) -> Self {
+        let universe = Arc::new(universe);
+        let total = universe.total_slots();
+        let core = Arc::new(Mutex::new(SchedulerCore::new(total, policy)));
+        let watch: Arc<Mutex<HashMap<ProcId, JobId>>> = Arc::new(Mutex::new(HashMap::new()));
+        let (tx, rx) = unbounded();
+
+        let ctx = SchedThreadCtx {
+            universe: Arc::clone(&universe),
+            core: Arc::clone(&core),
+            apps: HashMap::new(),
+            watch: Arc::clone(&watch),
+            link_tx: tx.clone(),
+            slots_per_node: universe.slots_per_node(),
+            fold_wall_time,
+        };
+        let sched_thread = std::thread::Builder::new()
+            .name("reshape-scheduler".into())
+            .spawn(move || ctx.run(rx))
+            .expect("spawn scheduler thread");
+
+        // System Monitor: react to process failures. The per-job
+        // application monitor of the paper reports through the job's first
+        // process; failures of dynamically spawned ranks are attributed to
+        // the running job occupying the failed process's node. Caveat: with
+        // several slots per node, co-located jobs make this heuristic
+        // ambiguous (the first matching running job is blamed) — the same
+        // ambiguity a per-node monitor has on a real shared-node cluster.
+        let events = universe.events();
+        let mon_tx = tx.clone();
+        let mon_watch = Arc::clone(&watch);
+        let mon_core = Arc::clone(&core);
+        let spn = universe.slots_per_node();
+        let monitor_thread = std::thread::Builder::new()
+            .name("reshape-sysmon".into())
+            .spawn(move || {
+                while let Ok(ev) = events.recv() {
+                    if let ProcStatus::Failed(reason) = ev.status {
+                        let job = mon_watch.lock().get(&ev.proc).copied().or_else(|| {
+                            // Attribute by node occupancy.
+                            let core = mon_core.lock();
+                            let found = core
+                                .jobs()
+                                .find(|(_, r)| {
+                                    matches!(r.state, JobState::Running { .. })
+                                        && r.slots
+                                            .iter()
+                                            .any(|&s| (s / spn) as u32 == ev.node.0)
+                                })
+                                .map(|(id, _)| *id);
+                            found
+                        });
+                        if let Some(job) = job {
+                            let _ = mon_tx.send(Msg::Failed {
+                                job,
+                                reason,
+                                now: f64::NAN,
+                            });
+                        }
+                    }
+                }
+            })
+            .expect("spawn monitor thread");
+
+        ReshapeRuntime {
+            universe,
+            tx,
+            core,
+            watch,
+            sched_thread: Some(sched_thread),
+            monitor_thread: Some(monitor_thread),
+            fold_wall_time,
+        }
+    }
+
+    /// Submit a resizable application; returns its job id immediately (the
+    /// job may queue).
+    pub fn submit(&self, spec: JobSpec, app: AppDef) -> JobId {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Msg::Submit { spec, app, reply })
+            .expect("scheduler thread alive");
+        rx.recv().expect("submission acknowledged")
+    }
+
+    /// Cancel a job: queued jobs leave immediately, running jobs terminate
+    /// at their next resize point.
+    pub fn cancel(&self, job: JobId) {
+        let _ = self.tx.send(Msg::Cancel { job });
+    }
+
+    /// Shared scheduler state, for inspection (profiles, events, jobs).
+    pub fn core(&self) -> &Arc<Mutex<SchedulerCore>> {
+        &self.core
+    }
+
+    /// The underlying cluster.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+
+    /// Whether wall-time folding is enabled for this runtime.
+    pub fn folds_wall_time(&self) -> bool {
+        self.fold_wall_time
+    }
+
+    /// Block until every submitted job has left the system (finished or
+    /// failed), or panic after `timeout`.
+    pub fn wait_quiescent(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let core = self.core.lock();
+                let all_done = core.jobs().all(|(_, r)| !r.state.is_active());
+                if all_done {
+                    return;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "jobs still active after {timeout:?}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Wait for one specific job to leave the system and return its final
+    /// state.
+    pub fn wait_for(&self, job: JobId, timeout: Duration) -> JobState {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let core = self.core.lock();
+                if let Some(r) = core.job(job) {
+                    if !r.state.is_active() {
+                        return r.state.clone();
+                    }
+                }
+            }
+            assert!(Instant::now() < deadline, "{job} still active after {timeout:?}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for ReshapeRuntime {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.sched_thread.take() {
+            let _ = h.join();
+        }
+        // The monitor thread exits when the universe's event channel closes
+        // (universe dropped); don't block on it here.
+        if let Some(h) = self.monitor_thread.take() {
+            drop(h);
+        }
+        let _ = &self.watch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyPref;
+    use reshape_blockcyclic::{Descriptor, DistMatrix};
+    use reshape_mpisim::NetModel;
+
+    fn toy(n: usize, per_iter: f64) -> AppDef {
+        AppDef::new(
+            move |grid| {
+                let desc = Descriptor::square(n, 2, grid.nprow(), grid.npcol());
+                vec![DistMatrix::from_fn(desc, grid.myrow(), grid.mycol(), |i, j| {
+                    (i + j) as f64
+                })]
+            },
+            move |grid, _m, _it| {
+                let p = (grid.nprow() * grid.npcol()) as f64;
+                grid.comm().advance(per_iter / p);
+            },
+        )
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let rt = ReshapeRuntime::new(Universe::new(8, 1, NetModel::ideal()), QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "toy",
+            TopologyPref::Grid { problem_size: 8 },
+            ProcessorConfig::new(1, 2),
+            5,
+        );
+        let job = rt.submit(spec, toy(8, 1.0));
+        let state = rt.wait_for(job, Duration::from_secs(30));
+        assert!(matches!(state, JobState::Finished { .. }), "{state:?}");
+        // All processors returned to the pool.
+        assert_eq!(rt.core().lock().idle_procs(), 8);
+    }
+
+    #[test]
+    fn queued_job_starts_after_first_finishes() {
+        let rt = ReshapeRuntime::new(Universe::new(2, 1, NetModel::ideal()), QueuePolicy::Fcfs);
+        let mk = |name: &str| {
+            JobSpec::new(
+                name,
+                TopologyPref::Grid { problem_size: 8 },
+                ProcessorConfig::new(1, 2),
+                3,
+            )
+        };
+        let a = rt.submit(mk("A"), toy(8, 1.0));
+        let b = rt.submit(mk("B"), toy(8, 1.0));
+        assert!(matches!(
+            rt.wait_for(a, Duration::from_secs(30)),
+            JobState::Finished { .. }
+        ));
+        assert!(matches!(
+            rt.wait_for(b, Duration::from_secs(30)),
+            JobState::Finished { .. }
+        ));
+        rt.wait_quiescent(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn failing_job_resources_are_reclaimed() {
+        let rt = ReshapeRuntime::new(Universe::new(4, 1, NetModel::ideal()), QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "crasher",
+            TopologyPref::Grid { problem_size: 8 },
+            ProcessorConfig::new(2, 2),
+            5,
+        )
+        .static_job();
+        let app = AppDef::new(
+            |grid| {
+                let desc = Descriptor::square(8, 2, grid.nprow(), grid.npcol());
+                vec![DistMatrix::from_fn(desc, grid.myrow(), grid.mycol(), |_, _| 0.0)]
+            },
+            |grid, _m, it| {
+                if it == 2 && grid.comm().rank() == 0 {
+                    panic!("injected application error");
+                }
+                grid.comm().advance(0.1);
+            },
+        );
+        let job = rt.submit(spec, app);
+        let state = rt.wait_for(job, Duration::from_secs(30));
+        assert!(
+            matches!(state, JobState::Failed { ref reason, .. } if reason.contains("injected")),
+            "{state:?}"
+        );
+        // The monitor reclaims asynchronously; poll with a deadline.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if rt.core().lock().idle_procs() == 4 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "resources never reclaimed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}

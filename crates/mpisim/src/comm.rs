@@ -1,0 +1,483 @@
+//! Intracommunicators: process groups and point-to-point messaging.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::datum::{from_bytes, from_bytes_into, to_bytes, Pod};
+use crate::endpoint::Endpoint;
+use crate::router::{Envelope, ProcId};
+use crate::universe::UniverseCore;
+
+/// Identifier of a (virtual) compute node in the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// An ordered set of processes sharing a communicator, with their node
+/// placement. Rank i of the communicator is `members[i]` on `nodes[i]`.
+#[derive(Debug)]
+pub struct Group {
+    pub id: u64,
+    pub members: Vec<ProcId>,
+    pub nodes: Vec<NodeId>,
+}
+
+impl Group {
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn rank_of(&self, p: ProcId) -> Option<usize> {
+        self.members.iter().position(|&m| m == p)
+    }
+}
+
+// Internal tag namespace. User tags must stay below `TAG_INTERNAL`; the
+// library reserves the space above for collectives and control so that user
+// traffic can never be confused with protocol traffic on the same
+// communicator.
+pub(crate) const TAG_INTERNAL: u32 = 1 << 24;
+pub(crate) const TAG_BARRIER: u32 = TAG_INTERNAL;
+pub(crate) const TAG_BCAST: u32 = TAG_INTERNAL + 1;
+pub(crate) const TAG_REDUCE: u32 = TAG_INTERNAL + 2;
+pub(crate) const TAG_GATHER: u32 = TAG_INTERNAL + 3;
+pub(crate) const TAG_SCATTER: u32 = TAG_INTERNAL + 4;
+pub(crate) const TAG_ALLTOALL: u32 = TAG_INTERNAL + 5;
+pub(crate) const TAG_SPLIT: u32 = TAG_INTERNAL + 6;
+pub(crate) const TAG_MERGE: u32 = TAG_INTERNAL + 7;
+pub(crate) const TAG_SPAWN: u32 = TAG_INTERNAL + 8;
+pub(crate) const TAG_ALLGATHER: u32 = TAG_INTERNAL + 9;
+
+/// A communicator handle for the calling process.
+///
+/// `Comm` is cheap to clone (all clones share the process's endpoint) but is
+/// deliberately `!Send`: a communicator belongs to the rank that created it,
+/// mirroring MPI usage. New ranks get their own `Comm` via
+/// [`crate::Universe::launch`] or [`Comm::spawn`].
+///
+/// ```
+/// use reshape_mpisim::{NetModel, ReduceOp, Universe};
+///
+/// Universe::new(4, 1, NetModel::ideal())
+///     .launch(4, None, "doc", |comm| {
+///         // Point-to-point with MPI matching semantics.
+///         if comm.rank() == 0 {
+///             comm.send(1, 42, &[3.14f64]);
+///         } else if comm.rank() == 1 {
+///             assert_eq!(comm.recv::<f64>(0, 42), vec![3.14]);
+///         }
+///         // Collectives.
+///         let sum = comm.allreduce(ReduceOp::Sum, &[comm.rank() as u64]);
+///         assert_eq!(sum, vec![0 + 1 + 2 + 3]);
+///     })
+///     .join_ok();
+/// ```
+pub struct Comm {
+    pub(crate) group: Arc<Group>,
+    pub(crate) rank: usize,
+    pub(crate) ep: Rc<RefCell<Endpoint>>,
+    pub(crate) core: Arc<UniverseCore>,
+}
+
+impl Clone for Comm {
+    fn clone(&self) -> Self {
+        Comm {
+            group: Arc::clone(&self.group),
+            rank: self.rank,
+            ep: Rc::clone(&self.ep),
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("id", &self.group.id)
+            .field("rank", &self.rank)
+            .field("size", &self.group.size())
+            .finish()
+    }
+}
+
+impl Comm {
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.size()
+    }
+
+    /// The communicator's globally unique id (analogous to a BLACS context
+    /// handle).
+    pub fn id(&self) -> u64 {
+        self.group.id
+    }
+
+    /// The process group, for schedulers that need placement information.
+    pub fn group(&self) -> &Arc<Group> {
+        &self.group
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.group.nodes[rank]
+    }
+
+    /// The global process id of this rank.
+    pub fn proc_id(&self) -> ProcId {
+        self.group.members[self.rank]
+    }
+
+    /// Current virtual time at this process, in seconds.
+    pub fn vtime(&self) -> f64 {
+        self.ep.borrow().now
+    }
+
+    /// Advance this process's virtual clock by `dt` seconds of modeled
+    /// computation.
+    pub fn advance(&self, dt: f64) {
+        assert!(dt >= 0.0, "cannot advance virtual time backwards");
+        self.ep.borrow_mut().now += dt;
+    }
+
+    /// The universe this communicator lives in (for spawning).
+    pub(crate) fn core(&self) -> &Arc<UniverseCore> {
+        &self.core
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_raw(&self, dst: usize, tag: u32, payload: Bytes) {
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        let arrival = {
+            let mut ep = self.ep.borrow_mut();
+            ep.now += self.core.net.send_cost(payload.len());
+            ep.now + self.core.net.latency
+        };
+        self.core.router.deliver(
+            self.group.members[dst],
+            Envelope {
+                comm: self.group.id,
+                src: self.rank,
+                tag,
+                arrival,
+                payload,
+            },
+        );
+    }
+
+    pub(crate) fn recv_raw(&self, src: Option<usize>, tag: Option<u32>) -> (usize, u32, Bytes) {
+        if let Some(s) = src {
+            assert!(s < self.size(), "source rank {s} out of range");
+        }
+        let env = self
+            .ep
+            .borrow_mut()
+            .recv_match(self.group.id, src, tag, &self.core.net);
+        (env.src, env.tag, env.payload)
+    }
+
+    /// Send a slice of POD elements to `dst` with a user tag.
+    ///
+    /// Sends are buffered (never block on the receiver), like an eager-mode
+    /// MPI send. `tag` must be below `2^24`; higher tags are reserved.
+    pub fn send<T: Pod>(&self, dst: usize, tag: u32, data: &[T]) {
+        assert!(tag < TAG_INTERNAL, "tag {tag} is in the reserved range");
+        self.send_raw(dst, tag, to_bytes(data));
+    }
+
+    /// Blocking receive of a message from `src` with tag `tag`.
+    pub fn recv<T: Pod>(&self, src: usize, tag: u32) -> Vec<T> {
+        let (_, _, payload) = self.recv_raw(Some(src), Some(tag));
+        from_bytes(&payload)
+    }
+
+    /// Blocking receive into an existing buffer, reusing its allocation.
+    pub fn recv_into<T: Pod>(&self, src: usize, tag: u32, out: &mut Vec<T>) {
+        let (_, _, payload) = self.recv_raw(Some(src), Some(tag));
+        from_bytes_into(&payload, out);
+    }
+
+    /// Blocking receive with optional wildcards; returns `(source, tag,
+    /// data)`.
+    pub fn recv_match<T: Pod>(&self, src: Option<usize>, tag: Option<u32>) -> (usize, u32, Vec<T>) {
+        let (s, t, payload) = self.recv_raw(src, tag);
+        (s, t, from_bytes(&payload))
+    }
+
+    /// Combined exchange: send `data` to `dst` and receive from `src` with
+    /// the same tag. Deadlock-free because sends are buffered.
+    pub fn sendrecv<T: Pod>(&self, dst: usize, src: usize, tag: u32, data: &[T]) -> Vec<T> {
+        self.send(dst, tag, data);
+        self.recv(src, tag)
+    }
+
+    /// Non-blocking test for a matching incoming message.
+    pub fn iprobe(&self, src: Option<usize>, tag: Option<u32>) -> bool {
+        self.ep.borrow_mut().iprobe(self.group.id, src, tag)
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// Duplicate the communicator: same group, fresh id, so traffic on the
+    /// duplicate can never match traffic on the original.
+    pub fn dup(&self) -> Comm {
+        let id = if self.rank == 0 {
+            let id = self.core.router.alloc_comm_id();
+            for r in 1..self.size() {
+                self.send_raw(r, TAG_SPLIT, to_bytes(&[id]));
+            }
+            id
+        } else {
+            let (_, _, payload) = self.recv_raw(Some(0), Some(TAG_SPLIT));
+            from_bytes::<u64>(&payload)[0]
+        };
+        Comm {
+            group: Arc::new(Group {
+                id,
+                members: self.group.members.clone(),
+                nodes: self.group.nodes.clone(),
+            }),
+            rank: self.rank,
+            ep: Rc::clone(&self.ep),
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Partition the communicator by `color` (ranks passing `None` get no
+    /// new communicator), ordering ranks within each part by `(key, rank)`.
+    ///
+    /// This is `MPI_Comm_split`; ReSHAPE's shrink path uses it to carve the
+    /// retained subset out of the current processor set.
+    pub fn split(&self, color: Option<u32>, key: i64) -> Option<Comm> {
+        const NO_COLOR: u64 = u64::MAX;
+        // Encode (color, key) per rank and gather at rank 0.
+        let mine = [
+            color.map_or(NO_COLOR, |c| c as u64),
+            key as u64,
+        ];
+        if self.rank == 0 {
+            let mut entries: Vec<(u64, i64, usize)> = Vec::with_capacity(self.size());
+            entries.push((mine[0], mine[1] as i64, 0));
+            for r in 1..self.size() {
+                let v: Vec<u64> = {
+                    let (_, _, p) = self.recv_raw(Some(r), Some(TAG_SPLIT));
+                    from_bytes(&p)
+                };
+                entries.push((v[0], v[1] as i64, r));
+            }
+            // Group by color; order by (key, old rank).
+            let mut colors: Vec<u64> = entries
+                .iter()
+                .map(|e| e.0)
+                .filter(|&c| c != NO_COLOR)
+                .collect();
+            colors.sort_unstable();
+            colors.dedup();
+            // Per old rank: (new comm id, new rank, member list).
+            let mut assignments: Vec<Option<(u64, usize, Vec<usize>)>> = vec![None; self.size()];
+            for c in colors {
+                let mut part: Vec<(i64, usize)> = entries
+                    .iter()
+                    .filter(|e| e.0 == c)
+                    .map(|e| (e.1, e.2))
+                    .collect();
+                part.sort_unstable();
+                let id = self.core.router.alloc_comm_id();
+                let old_ranks: Vec<usize> = part.iter().map(|&(_, r)| r).collect();
+                for (new_rank, &(_, old_rank)) in part.iter().enumerate() {
+                    assignments[old_rank] = Some((id, new_rank, old_ranks.clone()));
+                }
+            }
+            // Scatter assignments: [id, new_rank, n, old_ranks...] or [NO_COLOR].
+            let mut my_assignment = None;
+            for (old_rank, a) in assignments.into_iter().enumerate() {
+                let msg: Vec<u64> = match &a {
+                    Some((id, new_rank, old_ranks)) => {
+                        let mut m = vec![*id, *new_rank as u64, old_ranks.len() as u64];
+                        m.extend(old_ranks.iter().map(|&r| r as u64));
+                        m
+                    }
+                    None => vec![NO_COLOR],
+                };
+                if old_rank == 0 {
+                    my_assignment = a;
+                } else {
+                    self.send_raw(old_rank, TAG_SPLIT, to_bytes(&msg));
+                }
+            }
+            my_assignment.map(|(id, new_rank, old_ranks)| self.subgroup_comm(id, new_rank, &old_ranks))
+        } else {
+            self.send_raw(0, TAG_SPLIT, to_bytes(&mine));
+            let v: Vec<u64> = {
+                let (_, _, p) = self.recv_raw(Some(0), Some(TAG_SPLIT));
+                from_bytes(&p)
+            };
+            if v[0] == NO_COLOR {
+                return None;
+            }
+            let id = v[0];
+            let new_rank = v[1] as usize;
+            let old_ranks: Vec<usize> = v[3..].iter().map(|&r| r as usize).collect();
+            Some(self.subgroup_comm(id, new_rank, &old_ranks))
+        }
+    }
+
+    fn subgroup_comm(&self, id: u64, new_rank: usize, old_ranks: &[usize]) -> Comm {
+        let members = old_ranks.iter().map(|&r| self.group.members[r]).collect();
+        let nodes = old_ranks.iter().map(|&r| self.group.nodes[r]).collect();
+        Comm {
+            group: Arc::new(Group { id, members, nodes }),
+            rank: new_rank,
+            ep: Rc::clone(&self.ep),
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NetModel, Universe};
+
+    #[test]
+    fn p2p_round_trip() {
+        let uni = Universe::new(2, 1, NetModel::ideal());
+        uni.launch(2, None, "p2p", |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1.0f64, 2.0, 3.0]);
+                let back: Vec<f64> = comm.recv(1, 2);
+                assert_eq!(back, vec![6.0]);
+            } else {
+                let data: Vec<f64> = comm.recv(0, 1);
+                comm.send(0, 2, &[data.iter().sum::<f64>()]);
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn self_send() {
+        let uni = Universe::new(1, 1, NetModel::ideal());
+        uni.launch(1, None, "self", |comm| {
+            comm.send(0, 3, &[42u64]);
+            let got: Vec<u64> = comm.recv(0, 3);
+            assert_eq!(got, vec![42]);
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        uni.launch(4, None, "ring", |comm| {
+            let p = comm.size();
+            let next = (comm.rank() + 1) % p;
+            let prev = (comm.rank() + p - 1) % p;
+            let got = comm.sendrecv(next, prev, 5, &[comm.rank() as u64]);
+            assert_eq!(got, vec![prev as u64]);
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn dup_isolates_traffic() {
+        let uni = Universe::new(2, 1, NetModel::ideal());
+        uni.launch(2, None, "dup", |comm| {
+            let dup = comm.dup();
+            assert_ne!(dup.id(), comm.id());
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[10u64]);
+                dup.send(1, 1, &[20u64]);
+            } else {
+                // Receive on dup first: must get the dup message even though
+                // the original-comm message arrived earlier.
+                let d: Vec<u64> = dup.recv(0, 1);
+                let o: Vec<u64> = comm.recv(0, 1);
+                assert_eq!((d[0], o[0]), (20, 10));
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn split_into_halves() {
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        uni.launch(4, None, "split", |comm| {
+            let color = (comm.rank() / 2) as u32;
+            let sub = comm.split(Some(color), comm.rank() as i64).unwrap();
+            assert_eq!(sub.size(), 2);
+            assert_eq!(sub.rank(), comm.rank() % 2);
+            // Message within subgroup.
+            if sub.rank() == 0 {
+                sub.send(1, 9, &[color as u64]);
+            } else {
+                let got: Vec<u64> = sub.recv(0, 9);
+                assert_eq!(got, vec![color as u64]);
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn split_with_none_color() {
+        let uni = Universe::new(3, 1, NetModel::ideal());
+        uni.launch(3, None, "split-none", |comm| {
+            let color = if comm.rank() == 2 { None } else { Some(0) };
+            let sub = comm.split(color, 0);
+            if comm.rank() == 2 {
+                assert!(sub.is_none());
+            } else {
+                assert_eq!(sub.unwrap().size(), 2);
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        uni.launch(4, None, "split-key", |comm| {
+            // Reverse the order via descending keys.
+            let key = -(comm.rank() as i64);
+            let sub = comm.split(Some(0), key).unwrap();
+            assert_eq!(sub.rank(), comm.size() - 1 - comm.rank());
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn virtual_time_causality() {
+        let uni = Universe::new(2, 1, NetModel::gigabit_ethernet());
+        uni.launch(2, None, "vtime", |comm| {
+            if comm.rank() == 0 {
+                comm.advance(1.0); // modeled computation
+                comm.send(1, 1, &vec![0u8; 1 << 20]);
+            } else {
+                let _: Vec<u8> = comm.recv(0, 1);
+                // Receiver time must reflect sender compute + transfer.
+                assert!(comm.vtime() > 1.0 + (1 << 20) as f64 / 125e6 * 0.9);
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved range")]
+    fn reserved_tag_rejected() {
+        let uni = Universe::new(1, 1, NetModel::ideal());
+        let h = uni.launch(1, None, "tag", |comm| {
+            comm.send(0, 1 << 25, &[0u8]);
+        });
+        h.join_ok();
+    }
+}

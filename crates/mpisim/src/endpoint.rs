@@ -1,0 +1,193 @@
+//! Per-process receive endpoint: mailbox, unexpected-message queue and the
+//! virtual clock.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crossbeam_channel::Receiver;
+
+use crate::net::NetModel;
+use crate::router::{Envelope, ProcId};
+
+/// How long a blocking receive waits before declaring the run deadlocked.
+/// Generous for CI, short enough that a hung test fails with context instead
+/// of timing out the whole suite. Override with the
+/// `RESHAPE_MPISIM_TIMEOUT_SECS` environment variable (e.g. for tests that
+/// deliberately provoke deadlocks).
+fn deadlock_timeout() -> Duration {
+    static TIMEOUT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        std::env::var("RESHAPE_MPISIM_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(Duration::from_secs(120))
+    })
+}
+
+pub(crate) struct Endpoint {
+    pub id: ProcId,
+    rx: Receiver<Envelope>,
+    /// Messages received from the channel that did not match the posted
+    /// receive. Kept in arrival order so MPI's non-overtaking guarantee
+    /// (per communicator/source/tag) holds.
+    unexpected: VecDeque<Envelope>,
+    /// Virtual clock, in seconds.
+    pub now: f64,
+}
+
+impl Endpoint {
+    pub fn new(id: ProcId, rx: Receiver<Envelope>, start: f64) -> Self {
+        Endpoint {
+            id,
+            rx,
+            unexpected: VecDeque::new(),
+            now: start,
+        }
+    }
+
+    fn matches(env: &Envelope, comm: u64, src: Option<usize>, tag: Option<u32>) -> bool {
+        env.comm == comm && src.is_none_or(|s| env.src == s) && tag.is_none_or(|t| env.tag == t)
+    }
+
+    /// Blocking matched receive. Advances the virtual clock to respect
+    /// message causality: the receive completes no earlier than the
+    /// message's arrival time.
+    pub fn recv_match(
+        &mut self,
+        comm: u64,
+        src: Option<usize>,
+        tag: Option<u32>,
+        net: &NetModel,
+    ) -> Envelope {
+        let env = if let Some(pos) = self
+            .unexpected
+            .iter()
+            .position(|e| Self::matches(e, comm, src, tag))
+        {
+            self.unexpected.remove(pos).expect("position just found")
+        } else {
+            loop {
+                let timeout = deadlock_timeout();
+                let env = self.rx.recv_timeout(timeout).unwrap_or_else(|_| {
+                    panic!(
+                        "{}: receive on comm {} from {:?} tag {:?} did not complete within {:?} \
+                         — likely deadlock or mismatched communication pattern",
+                        self.id, comm, src, tag, timeout
+                    )
+                });
+                if Self::matches(&env, comm, src, tag) {
+                    break env;
+                }
+                self.unexpected.push_back(env);
+            }
+        };
+        self.now = self.now.max(env.arrival) + net.recv_cost(env.payload.len());
+        env
+    }
+
+    /// Non-blocking probe: is a matching message available right now? Drains
+    /// the channel into the unexpected queue first so probing sees everything
+    /// already delivered.
+    pub fn iprobe(&mut self, comm: u64, src: Option<usize>, tag: Option<u32>) -> bool {
+        while let Ok(env) = self.rx.try_recv() {
+            self.unexpected.push_back(env);
+        }
+        self.unexpected
+            .iter()
+            .any(|e| Self::matches(e, comm, src, tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use crossbeam_channel::unbounded;
+
+    fn env(comm: u64, src: usize, tag: u32, arrival: f64) -> Envelope {
+        Envelope {
+            comm,
+            src,
+            tag,
+            arrival,
+            payload: Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn matching_skips_unrelated_messages() {
+        let (tx, rx) = unbounded();
+        let mut ep = Endpoint::new(ProcId(0), rx, 0.0);
+        tx.send(env(1, 0, 5, 0.0)).unwrap();
+        tx.send(env(1, 0, 7, 0.0)).unwrap();
+        let got = ep.recv_match(1, Some(0), Some(7), &NetModel::ideal());
+        assert_eq!(got.tag, 7);
+        // The skipped message is still receivable.
+        let got = ep.recv_match(1, Some(0), Some(5), &NetModel::ideal());
+        assert_eq!(got.tag, 5);
+    }
+
+    #[test]
+    fn fifo_order_preserved_for_same_match() {
+        let (tx, rx) = unbounded();
+        let mut ep = Endpoint::new(ProcId(0), rx, 0.0);
+        tx.send(Envelope {
+            comm: 1,
+            src: 0,
+            tag: 5,
+            arrival: 1.0,
+            payload: Bytes::from_static(b"first"),
+        })
+        .unwrap();
+        tx.send(Envelope {
+            comm: 1,
+            src: 0,
+            tag: 5,
+            arrival: 2.0,
+            payload: Bytes::from_static(b"second"),
+        })
+        .unwrap();
+        let a = ep.recv_match(1, Some(0), Some(5), &NetModel::ideal());
+        let b = ep.recv_match(1, Some(0), Some(5), &NetModel::ideal());
+        assert_eq!(&a.payload[..], b"first");
+        assert_eq!(&b.payload[..], b"second");
+    }
+
+    #[test]
+    fn clock_respects_arrival() {
+        let (tx, rx) = unbounded();
+        let mut ep = Endpoint::new(ProcId(0), rx, 1.0);
+        tx.send(env(1, 0, 0, 5.5)).unwrap();
+        ep.recv_match(1, Some(0), Some(0), &NetModel::ideal());
+        assert_eq!(ep.now, 5.5);
+    }
+
+    #[test]
+    fn clock_keeps_later_local_time() {
+        let (tx, rx) = unbounded();
+        let mut ep = Endpoint::new(ProcId(0), rx, 10.0);
+        tx.send(env(1, 0, 0, 5.5)).unwrap();
+        ep.recv_match(1, Some(0), Some(0), &NetModel::ideal());
+        assert_eq!(ep.now, 10.0);
+    }
+
+    #[test]
+    fn wildcard_source_and_tag() {
+        let (tx, rx) = unbounded();
+        let mut ep = Endpoint::new(ProcId(0), rx, 0.0);
+        tx.send(env(1, 3, 42, 0.0)).unwrap();
+        let got = ep.recv_match(1, None, None, &NetModel::ideal());
+        assert_eq!((got.src, got.tag), (3, 42));
+    }
+
+    #[test]
+    fn iprobe_sees_delivered_messages() {
+        let (tx, rx) = unbounded();
+        let mut ep = Endpoint::new(ProcId(0), rx, 0.0);
+        assert!(!ep.iprobe(1, None, None));
+        tx.send(env(1, 0, 9, 0.0)).unwrap();
+        assert!(ep.iprobe(1, Some(0), Some(9)));
+        assert!(!ep.iprobe(2, None, None));
+    }
+}

@@ -1,0 +1,101 @@
+//! Network cost model used to advance virtual time.
+//!
+//! The ReSHAPE experiments ran over switched Gigabit Ethernet; communication
+//! cost there is dominated by per-message latency plus volume divided by link
+//! bandwidth. The model charges the *sender* clock for serializing the
+//! message onto its NIC (which is what makes contention-free redistribution
+//! schedules matter: a rank that must send to two destinations in one step
+//! pays twice) and stamps the message with an arrival time the receiver
+//! cannot observe it before.
+
+/// Linear (latency + volume/bandwidth) network cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetModel {
+    /// One-way wire latency in seconds, charged between send completion and
+    /// earliest receive.
+    pub latency: f64,
+    /// Link bandwidth in bytes/second; `f64::INFINITY` disables volume cost.
+    pub bandwidth: f64,
+    /// Per-message CPU overhead in seconds charged to both endpoints.
+    pub overhead: f64,
+    /// Virtual cost of spawning one new process (fork/exec + connection
+    /// establishment in a real MPI implementation).
+    pub spawn_overhead: f64,
+}
+
+impl NetModel {
+    /// Zero-cost network: virtual time only advances via explicit
+    /// [`crate::Comm::advance`] calls. Use for pure-correctness tests.
+    pub fn ideal() -> Self {
+        NetModel {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            overhead: 0.0,
+            spawn_overhead: 0.0,
+        }
+    }
+
+    /// Parameters approximating the paper's testbed: MPICH2 over switched
+    /// Gigabit Ethernet (~125 MB/s per link, ~50 µs end-to-end latency).
+    pub fn gigabit_ethernet() -> Self {
+        NetModel {
+            latency: 50e-6,
+            bandwidth: 125e6,
+            overhead: 5e-6,
+            spawn_overhead: 0.25,
+        }
+    }
+
+    /// Virtual seconds the sender is busy pushing `bytes` onto the wire.
+    #[inline]
+    pub fn send_cost(&self, bytes: usize) -> f64 {
+        if self.bandwidth.is_finite() && self.bandwidth > 0.0 {
+            self.overhead + bytes as f64 / self.bandwidth
+        } else {
+            self.overhead
+        }
+    }
+
+    /// Virtual seconds the receiver spends draining the message.
+    #[inline]
+    pub fn recv_cost(&self, _bytes: usize) -> f64 {
+        // The volume cost is charged on the send side (store-and-forward
+        // through the sender NIC); the receiver pays only fixed overhead.
+        self.overhead
+    }
+
+    /// End-to-end virtual cost of a single `bytes`-sized message between two
+    /// idle endpoints. Used by analytic evaluators.
+    #[inline]
+    pub fn point_to_point(&self, bytes: usize) -> f64 {
+        self.send_cost(bytes) + self.latency + self.recv_cost(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_free() {
+        let m = NetModel::ideal();
+        assert_eq!(m.send_cost(1 << 30), 0.0);
+        assert_eq!(m.point_to_point(12345), 0.0);
+    }
+
+    #[test]
+    fn gige_costs_scale_with_volume() {
+        let m = NetModel::gigabit_ethernet();
+        let one_mb = m.point_to_point(1 << 20);
+        let ten_mb = m.point_to_point(10 << 20);
+        assert!(ten_mb > 9.0 * one_mb / 1.2, "volume term should dominate");
+        // 1 MiB over 125 MB/s is ~8.4 ms.
+        assert!((one_mb - (1 << 20) as f64 / 125e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn latency_floor() {
+        let m = NetModel::gigabit_ethernet();
+        assert!(m.point_to_point(0) >= m.latency);
+    }
+}

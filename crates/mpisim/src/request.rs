@@ -1,0 +1,143 @@
+//! Nonblocking communication requests (`MPI_Isend` / `MPI_Irecv`
+//! equivalents).
+//!
+//! Sends in this substrate are buffered and complete immediately, so
+//! [`Comm::isend`] exists for API parity and returns an already-complete
+//! request. [`Comm::irecv`] posts a receive that can be tested without
+//! blocking and waited on later — the overlap pattern iterative solvers use
+//! to hide halo-exchange latency.
+
+use crate::comm::Comm;
+use crate::datum::Pod;
+
+/// Handle to a posted nonblocking send. Complete on creation (sends are
+/// buffered); `wait` exists so code ported from MPI keeps its shape.
+#[derive(Debug)]
+pub struct SendRequest(());
+
+impl SendRequest {
+    /// Complete the send (a no-op; the payload was buffered at post time).
+    pub fn wait(self) {}
+
+    /// Nonblocking completion test — always true.
+    pub fn test(&self) -> bool {
+        true
+    }
+}
+
+/// Handle to a posted nonblocking receive from a fixed `(source, tag)`.
+pub struct RecvRequest<T: Pod> {
+    comm: Comm,
+    src: usize,
+    tag: u32,
+    done: Option<Vec<T>>,
+}
+
+impl<T: Pod> RecvRequest<T> {
+    /// Nonblocking test: if the matching message has arrived, consume it
+    /// and return true. After `test` returns true, `wait` returns the data
+    /// without blocking.
+    pub fn test(&mut self) -> bool {
+        if self.done.is_some() {
+            return true;
+        }
+        if self.comm.iprobe(Some(self.src), Some(self.tag)) {
+            self.done = Some(self.comm.recv(self.src, self.tag));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Block until the message arrives and return it.
+    pub fn wait(mut self) -> Vec<T> {
+        match self.done.take() {
+            Some(v) => v,
+            None => self.comm.recv(self.src, self.tag),
+        }
+    }
+}
+
+impl Comm {
+    /// Post a nonblocking send (completes immediately; returned request is
+    /// for MPI-shaped code).
+    pub fn isend<T: Pod>(&self, dst: usize, tag: u32, data: &[T]) -> SendRequest {
+        self.send(dst, tag, data);
+        SendRequest(())
+    }
+
+    /// Post a nonblocking receive from `(src, tag)`.
+    pub fn irecv<T: Pod>(&self, src: usize, tag: u32) -> RecvRequest<T> {
+        assert!(src < self.size(), "source rank {src} out of range");
+        RecvRequest {
+            comm: self.clone(),
+            src,
+            tag,
+            done: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::{NetModel, Universe};
+
+    #[test]
+    fn overlap_computation_with_communication() {
+        Universe::new(2, 1, NetModel::ideal())
+            .launch(2, None, "overlap", |comm| {
+                if comm.rank() == 0 {
+                    let req = comm.isend(1, 5, &[1.0f64, 2.0]);
+                    assert!(req.test());
+                    req.wait();
+                } else {
+                    let mut req = comm.irecv::<f64>(0, 5);
+                    // "Compute" while the message is in flight; test drains.
+                    let mut spins = 0;
+                    while !req.test() {
+                        spins += 1;
+                        std::thread::yield_now();
+                        assert!(spins < 1_000_000, "message never arrived");
+                    }
+                    assert_eq!(req.wait(), vec![1.0, 2.0]);
+                }
+            })
+            .join_ok();
+    }
+
+    #[test]
+    fn wait_without_test_blocks_until_arrival() {
+        Universe::new(2, 1, NetModel::ideal())
+            .launch(2, None, "wait", |comm| {
+                if comm.rank() == 0 {
+                    comm.advance(1.0);
+                    comm.send(1, 9, &[7u64]);
+                } else {
+                    let req = comm.irecv::<u64>(0, 9);
+                    assert_eq!(req.wait(), vec![7]);
+                }
+            })
+            .join_ok();
+    }
+
+    #[test]
+    fn test_does_not_steal_other_tags() {
+        Universe::new(2, 1, NetModel::ideal())
+            .launch(2, None, "tags", |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 1, &[10u64]);
+                    comm.send(1, 2, &[20u64]);
+                } else {
+                    let mut r2 = comm.irecv::<u64>(0, 2);
+                    // Poll until tag-2 arrives; tag-1 must stay receivable.
+                    while !r2.test() {
+                        std::thread::yield_now();
+                    }
+                    assert_eq!(r2.wait(), vec![20]);
+                    assert_eq!(comm.recv::<u64>(0, 1), vec![10]);
+                }
+            })
+            .join_ok();
+    }
+}

@@ -1,0 +1,274 @@
+//! Schedule executor: moves a real distributed matrix between grids.
+//!
+//! The executor runs over a single communicator covering `max(P, Q)` ranks,
+//! where the old grid occupies ranks `0..P` (row-major) and the new grid
+//! ranks `0..Q`. This matches ReSHAPE's process management exactly: on
+//! expansion the parents keep the low ranks of the merged communicator, and
+//! on shrink the retained subset is the low ranks of the old one.
+//!
+//! Steps execute in order; within a step each rank fires at most one send
+//! and completes at most one receive (the schedule is a partial
+//! permutation). The paper arms MPI persistent requests per step; buffered
+//! sends give identical semantics here, and receive buffers are reused
+//! across steps.
+
+use reshape_blockcyclic::DistMatrix;
+use reshape_mpisim::{Comm, Pod};
+
+use crate::plan2d::{Redist2d, Transfer2d};
+
+/// Base of the tag range used by redistribution steps. Redistribution runs
+/// at a resize point with no other application traffic in flight, so a fixed
+/// range is safe; it is kept far from small user tags as defense in depth.
+const TAG_REDIST_BASE: u32 = 8_000_000;
+
+/// Execute `plan` collectively. Ranks `0..P` supply their old panel in
+/// `src`; ranks `0..Q` get the new panel back. A rank outside both ranges
+/// (possible transiently during shrink) passes `None` and gets `None`.
+///
+/// # Panics
+///
+/// Panics if a rank that the plan says owns source data passes `None`, or
+/// if the supplied matrix disagrees with the plan's source descriptor.
+pub fn redistribute_2d<T: Pod + Default>(
+    comm: &Comm,
+    plan: &Redist2d,
+    src: Option<&DistMatrix<T>>,
+) -> Option<DistMatrix<T>> {
+    let p = plan.src.nprow * plan.src.npcol;
+    let q = plan.dst.nprow * plan.dst.npcol;
+    assert!(
+        comm.size() >= p.max(q),
+        "communicator ({}) smaller than the larger grid ({})",
+        comm.size(),
+        p.max(q)
+    );
+    let me = comm.rank();
+    let my_src = (me < p).then(|| (me / plan.src.npcol, me % plan.src.npcol));
+    let my_dst = (me < q).then(|| (me / plan.dst.npcol, me % plan.dst.npcol));
+
+    if let (Some((sr, sc)), Some(m)) = (my_src, src) {
+        assert_eq!(m.desc, plan.src, "source matrix descriptor mismatch");
+        assert_eq!((m.myrow, m.mycol), (sr, sc), "source matrix grid position mismatch");
+    }
+    if my_src.is_some() {
+        assert!(src.is_some(), "rank {me} owns source data but supplied none");
+    }
+
+    let mut out = my_dst.map(|(dr, dc)| DistMatrix::<T>::new(plan.dst, dr, dc));
+
+    // The executor tolerates steps that are NOT partial permutations (a
+    // rank may send and receive several messages per step): ReSHAPE's
+    // schedules never need that, but the naive single-step baseline used by
+    // the contention ablation does. Sends are buffered, so issuing every
+    // send before any receive is deadlock-free.
+    let mut buf: Vec<T> = Vec::new();
+    for (t, step) in plan.steps.iter().enumerate() {
+        let tag = TAG_REDIST_BASE + t as u32;
+        if let (Some(sc), Some(m)) = (my_src, src) {
+            for tr in step.iter().filter(|tr| tr.src == sc) {
+                pack(plan, tr, m, &mut buf);
+                if plan.dst_rank(tr.dst) == me {
+                    // Local move: both endpoints are this rank.
+                    unpack(plan, tr, &buf, out.as_mut().expect("local move implies dest"));
+                } else {
+                    comm.send(plan.dst_rank(tr.dst), tag, &buf);
+                }
+            }
+        }
+        if let Some(dc) = my_dst {
+            for tr in step.iter().filter(|tr| tr.dst == dc) {
+                let from = plan.src_rank(tr.src);
+                if from == me {
+                    continue; // handled as a local move above
+                }
+                comm.recv_into(from, tag, &mut buf);
+                unpack(plan, tr, &buf, out.as_mut().expect("recv implies dest"));
+            }
+        }
+    }
+    out
+}
+
+/// Serialize a transfer's elements from the source panel, row blocks outer,
+/// global row order within a block, column blocks inner.
+fn pack<T: Pod + Default>(plan: &Redist2d, tr: &Transfer2d, m: &DistMatrix<T>, buf: &mut Vec<T>) {
+    buf.clear();
+    let d = &plan.src;
+    for &rb in &tr.row_blocks {
+        let i0 = rb * d.mb;
+        let i1 = (i0 + d.mb).min(d.m);
+        for gi in i0..i1 {
+            let (_, li) = reshape_blockcyclic::g2l(gi, d.mb, d.nprow);
+            for &cb in &tr.col_blocks {
+                let j0 = cb * d.nb;
+                let j1 = (j0 + d.nb).min(d.n);
+                for gj in j0..j1 {
+                    let (_, lj) = reshape_blockcyclic::g2l(gj, d.nb, d.npcol);
+                    buf.push(m.get_local(li, lj));
+                }
+            }
+        }
+    }
+}
+
+/// Mirror of [`pack`] on the destination layout.
+fn unpack<T: Pod + Default>(plan: &Redist2d, tr: &Transfer2d, buf: &[T], m: &mut DistMatrix<T>) {
+    let ds = &plan.src;
+    let dd = &plan.dst;
+    let mut idx = 0;
+    for &rb in &tr.row_blocks {
+        let i0 = rb * ds.mb;
+        let i1 = (i0 + ds.mb).min(ds.m);
+        for gi in i0..i1 {
+            let (_, li) = reshape_blockcyclic::g2l(gi, dd.mb, dd.nprow);
+            for &cb in &tr.col_blocks {
+                let j0 = cb * ds.nb;
+                let j1 = (j0 + ds.nb).min(ds.n);
+                for gj in j0..j1 {
+                    let (_, lj) = reshape_blockcyclic::g2l(gj, dd.nb, dd.npcol);
+                    m.set_local(li, lj, buf[idx]);
+                    idx += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(idx, buf.len(), "transfer payload length mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan2d::plan_2d;
+    use reshape_blockcyclic::Descriptor;
+    use reshape_grid::GridContext;
+    use reshape_mpisim::{NetModel, Universe};
+
+    /// Launch max(p,q) ranks, build the source matrix on the p-grid,
+    /// redistribute to the q-grid, and verify every element landed on its
+    /// new owner with its value intact.
+    fn round_trip(m: usize, n: usize, mb: usize, nb: usize, sg: (usize, usize), dg: (usize, usize)) {
+        let p = sg.0 * sg.1;
+        let q = dg.0 * dg.1;
+        let ranks = p.max(q);
+        let uni = Universe::new(ranks, 1, NetModel::ideal());
+        uni.launch(ranks, None, "redist", move |comm| {
+            let src_desc = Descriptor::new(m, n, mb, nb, sg.0, sg.1);
+            let dst_desc = Descriptor::new(m, n, mb, nb, dg.0, dg.1);
+            let plan = plan_2d(src_desc, dst_desc);
+            let me = comm.rank();
+            let src = (me < p).then(|| {
+                DistMatrix::from_fn(src_desc, me / sg.1, me % sg.1, |i, j| (i * 7919 + j) as f64)
+            });
+            let out = redistribute_2d(&comm, &plan, src.as_ref());
+            if me < q {
+                let out = out.expect("destination rank gets a panel");
+                for li in 0..out.local_rows() {
+                    let gi = dst_desc.local_to_global_row(li, out.myrow);
+                    for lj in 0..out.local_cols() {
+                        let gj = dst_desc.local_to_global_col(lj, out.mycol);
+                        assert_eq!(
+                            out.get_local(li, lj),
+                            (gi * 7919 + gj) as f64,
+                            "element ({gi},{gj}) corrupted"
+                        );
+                    }
+                }
+            } else {
+                assert!(out.is_none());
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn expand_1x2_to_2x2() {
+        round_trip(16, 16, 2, 2, (1, 2), (2, 2));
+    }
+
+    #[test]
+    fn expand_2x2_to_2x4() {
+        round_trip(24, 32, 2, 2, (2, 2), (2, 4));
+    }
+
+    #[test]
+    fn shrink_2x4_to_2x2() {
+        round_trip(24, 32, 2, 2, (2, 4), (2, 2));
+    }
+
+    #[test]
+    fn coprime_grids() {
+        round_trip(30, 42, 3, 2, (2, 3), (3, 5));
+    }
+
+    #[test]
+    fn ragged_blocks() {
+        round_trip(17, 23, 4, 5, (2, 2), (3, 2));
+    }
+
+    #[test]
+    fn rectangular_matrix_one_dimensional_grids() {
+        round_trip(40, 10, 2, 2, (4, 1), (1, 5));
+    }
+
+    #[test]
+    fn identity_redistribution() {
+        round_trip(12, 12, 3, 3, (2, 2), (2, 2));
+    }
+
+    #[test]
+    fn redistribute_after_real_expansion() {
+        // End-to-end ReSHAPE expand: 2 ranks on 1x2 spawn 2 more, merge, and
+        // redistribute the live matrix onto the 2x2 grid.
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        let h = uni.launch(2, None, "grow", |comm| {
+            let src_desc = Descriptor::square(16, 2, 1, 2);
+            let dst_desc = Descriptor::square(16, 2, 2, 2);
+            let a = DistMatrix::from_fn(src_desc, 0, comm.rank(), |i, j| (i * 100 + j) as f64);
+            let merged = comm.spawn_merge(2, None, "new", move |ctx| {
+                let merged = ctx.parent.merge();
+                let plan = plan_2d(src_desc, dst_desc);
+                let out = redistribute_2d::<f64>(&merged, &plan, None);
+                let out = out.expect("spawned ranks join the new grid");
+                let grid = GridContext::new(&merged, 2, 2);
+                let full = out.gather(&grid);
+                assert!(full.is_none(), "only merged rank 0 gathers");
+            });
+            let plan = plan_2d(src_desc, dst_desc);
+            let out = redistribute_2d(&merged, &plan, Some(&a)).expect("parent stays in grid");
+            let grid = GridContext::new(&merged, 2, 2);
+            let full = out.gather(&grid);
+            if merged.rank() == 0 {
+                let full = full.unwrap();
+                for i in 0..16 {
+                    for j in 0..16 {
+                        assert_eq!(full[i * 16 + j], (i * 100 + j) as f64);
+                    }
+                }
+            }
+        });
+        h.join_ok();
+        uni.join_spawned();
+    }
+
+    #[test]
+    fn integer_payloads() {
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        uni.launch(4, None, "ints", |comm| {
+            let s = Descriptor::square(8, 2, 2, 2);
+            let d = Descriptor::square(8, 2, 1, 4);
+            let plan = plan_2d(s, d);
+            let me = comm.rank();
+            let src = DistMatrix::from_fn(s, me / 2, me % 2, |i, j| (i * 8 + j) as u64);
+            let out = redistribute_2d(&comm, &plan, Some(&src)).unwrap();
+            for li in 0..out.local_rows() {
+                let gi = d.local_to_global_row(li, out.myrow);
+                for lj in 0..out.local_cols() {
+                    let gj = d.local_to_global_col(lj, out.mycol);
+                    assert_eq!(out.get_local(li, lj), (gi * 8 + gj) as u64);
+                }
+            }
+        })
+        .join_ok();
+    }
+}

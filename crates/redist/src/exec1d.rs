@@ -1,0 +1,143 @@
+//! 1-D schedule executor: moves a [`DistVector`] between process counts
+//! using the contention-free 1-D schedule — the "1-D (row or column
+//! format)" redistribution path of the paper.
+
+use reshape_blockcyclic::DistVector;
+use reshape_mpisim::{Comm, Pod};
+
+use crate::plan1d::Redist1d;
+
+const TAG_REDIST1D_BASE: u32 = 8_200_000;
+
+/// Execute a 1-D plan collectively over `comm` (old layout on ranks
+/// `0..p`, new on ranks `0..q`). Source ranks pass their part; ranks in the
+/// destination layout get the new part back.
+pub fn redistribute_1d<T: Pod + Default>(
+    comm: &Comm,
+    plan: &Redist1d,
+    src: Option<&DistVector<T>>,
+) -> Option<DistVector<T>> {
+    assert!(
+        comm.size() >= plan.p.max(plan.q),
+        "communicator smaller than the larger layout"
+    );
+    let me = comm.rank();
+    if me < plan.p {
+        let v = src.expect("source rank must supply its part");
+        assert_eq!((v.n, v.nb, v.nprocs, v.iproc), (plan.n, plan.b, plan.p, me));
+    }
+    let mut out = (me < plan.q).then(|| DistVector::<T>::new(plan.n, plan.b, me, plan.q));
+
+    let mut buf: Vec<T> = Vec::new();
+    for (t, step) in plan.steps.iter().enumerate() {
+        let tag = TAG_REDIST1D_BASE + t as u32;
+        if let Some(v) = src.filter(|_| me < plan.p) {
+            for tr in step.iter().filter(|tr| tr.src == me) {
+                // Pack the blocks in ascending global order.
+                buf.clear();
+                for &k in &tr.blocks {
+                    let start = k * plan.b;
+                    let len = plan.block_len(k);
+                    // Local offset of block k on the source: block index
+                    // k/p, so local start = (k/p)*b.
+                    let l0 = (k / plan.p) * plan.b;
+                    debug_assert_eq!(v.global_index(l0), start);
+                    for off in 0..len {
+                        buf.push(v.get_local(l0 + off));
+                    }
+                }
+                if tr.dst == me {
+                    // Local copy straight into the output part.
+                    unpack(plan, &tr.blocks, &buf, out.as_mut().expect("dst"));
+                } else {
+                    comm.send(tr.dst, tag, &buf);
+                }
+            }
+        }
+        if let Some(part) = out.as_mut() {
+            for tr in step.iter().filter(|tr| tr.dst == me && tr.src != me) {
+                comm.recv_into(tr.src, tag, &mut buf);
+                unpack(plan, &tr.blocks, &buf, part);
+            }
+        }
+    }
+    out
+}
+
+fn unpack<T: Pod + Default>(plan: &Redist1d, blocks: &[usize], buf: &[T], part: &mut DistVector<T>) {
+    let mut idx = 0;
+    for &k in blocks {
+        let len = plan.block_len(k);
+        let l0 = (k / plan.q) * plan.b;
+        for off in 0..len {
+            part.set_local(l0 + off, buf[idx]);
+            idx += 1;
+        }
+    }
+    assert_eq!(idx, buf.len(), "payload length mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan1d::plan_1d;
+    use proptest::prelude::*;
+    use reshape_mpisim::{NetModel, Universe};
+
+    fn round_trip(n: usize, b: usize, p: usize, q: usize) {
+        let ranks = p.max(q);
+        Universe::new(ranks, 1, NetModel::ideal())
+            .launch(ranks, None, "r1d", move |comm| {
+                let plan = plan_1d(n, b, p, q);
+                let me = comm.rank();
+                let src = (me < p).then(|| {
+                    DistVector::from_fn(n, b, me, p, |g| (g * 31 + 7) as f64)
+                });
+                let out = redistribute_1d(&comm, &plan, src.as_ref());
+                if me < q {
+                    let out = out.expect("in destination layout");
+                    for l in 0..out.local_len() {
+                        let g = out.global_index(l);
+                        assert_eq!(out.get_local(l), (g * 31 + 7) as f64, "element {g}");
+                    }
+                } else {
+                    assert!(out.is_none());
+                }
+            })
+            .join_ok();
+    }
+
+    #[test]
+    fn expand_2_to_5() {
+        round_trip(40, 2, 2, 5);
+    }
+
+    #[test]
+    fn shrink_6_to_2() {
+        round_trip(36, 3, 6, 2);
+    }
+
+    #[test]
+    fn ragged_tail_block() {
+        round_trip(17, 4, 3, 4);
+    }
+
+    #[test]
+    fn identity_layout() {
+        round_trip(24, 4, 3, 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn random_1d_layouts_preserve_data(
+            n in 1usize..200,
+            b in 1usize..8,
+            p in 1usize..6,
+            q in 1usize..6,
+        ) {
+            round_trip(n, b, p, q);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # reshape-redist — contention-free block-cyclic redistribution
+//!
+//! The heart of ReSHAPE's resizing library: when an application expands or
+//! shrinks, its globally distributed block-cyclic arrays must move from a
+//! `Pr × Pc` process grid to a `Qr × Qc` grid. The paper extends the
+//! table-based framework of Park, Prasanna & Raghavendra (IEEE TPDS 1999)
+//! from 1-D to 2-D ("checkerboard") topologies, computing a **generalized
+//! circulant communication schedule** in which every step is a partial
+//! permutation — no process sends or receives more than one message per
+//! step, so steps are free of link contention.
+//!
+//! This crate provides:
+//!
+//! * [`plan_1d`] / [`Redist1d`] — the 1-D schedule for an `n`-element
+//!   block-cyclic array moving from `p` to `q` processes;
+//! * [`plan_2d`] / [`Redist2d`] — the checkerboard extension, the cross
+//!   product of independent row and column 1-D schedules;
+//! * [`redistribute_2d`] — an executor that moves a real
+//!   [`DistMatrix`](reshape_blockcyclic::DistMatrix) across grids over a
+//!   merged communicator (the paper uses MPI persistent requests per step;
+//!   sends here are buffered, which is semantically identical);
+//! * [`checkpoint`] — the file-based checkpoint/restart baseline the paper
+//!   compares against (all data funnelled through one node);
+//! * [`cost`] — an analytic evaluator turning a schedule plus a
+//!   [`NetModel`](reshape_mpisim::NetModel) into seconds of virtual time,
+//!   used to regenerate Figure 2(b) and by the cluster simulator.
+
+pub mod checkpoint;
+pub mod cost;
+mod exec;
+mod exec1d;
+mod general;
+mod general1d;
+mod general2d;
+mod naive;
+mod plan1d;
+mod plan2d;
+
+pub use checkpoint::{checkpoint_cost, checkpoint_redistribute, CheckpointParams};
+pub use cost::{evaluate_1d, evaluate_2d, evaluate_2d_contended, RedistCost, PACK_BANDWIDTH};
+pub use exec::redistribute_2d;
+pub use exec1d::redistribute_1d;
+pub use general::redistribute_general;
+pub use general1d::{
+    evaluate_general_1d, plan_general_1d, redistribute_general_1d, GTransfer, GeneralPlan1d,
+};
+pub use general2d::{plan_general_2d, redistribute_general_2d, GTransfer2d, GeneralPlan2d};
+pub use naive::plan_naive_2d;
+pub use plan1d::{plan_1d, Redist1d, Transfer1d};
+pub use plan2d::{plan_2d, Redist2d, Transfer2d};

@@ -1,0 +1,39 @@
+//! # reshape — umbrella crate for the ReSHAPE reproduction
+//!
+//! Re-exports the public API of every layer so examples and downstream users
+//! can depend on a single crate. See the workspace README for the
+//! architecture overview and DESIGN.md for the paper-to-module map.
+//!
+//! ## End-to-end example
+//!
+//! Submit a resizable LU job to the framework on a simulated cluster and
+//! watch the Remap Scheduler grow it:
+//!
+//! ```
+//! use reshape::core::runtime::ReshapeRuntime;
+//! use reshape::core::{JobSpec, JobState, ProcessorConfig, QueuePolicy, TopologyPref};
+//! use reshape::mpisim::{NetModel, Universe};
+//! use std::time::Duration;
+//!
+//! let runtime = ReshapeRuntime::new(Universe::new(8, 1, NetModel::ideal()), QueuePolicy::Fcfs);
+//! let spec = JobSpec::new(
+//!     "LU",
+//!     TopologyPref::Grid { problem_size: 24 },
+//!     ProcessorConfig::new(1, 2),
+//!     5,
+//! );
+//! let job = runtime.submit(spec, reshape::apps::lu_app(24, 4, 1.0e6));
+//! let state = runtime.wait_for(job, Duration::from_secs(60));
+//! assert!(matches!(state, JobState::Finished { .. }));
+//! // The profiler saw it grow beyond its initial 2 processors.
+//! let core = runtime.core().lock();
+//! assert!(core.profiler().profile(job).unwrap().visited().len() > 1);
+//! ```
+
+pub use reshape_apps as apps;
+pub use reshape_blockcyclic as blockcyclic;
+pub use reshape_clustersim as clustersim;
+pub use reshape_core as core;
+pub use reshape_grid as grid;
+pub use reshape_mpisim as mpisim;
+pub use reshape_redist as redist;
