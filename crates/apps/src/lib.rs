@@ -88,6 +88,9 @@ pub fn lu_app(n: usize, nb: usize, rate: f64) -> AppDef {
             lu::lu_factorize(grid, &mut mats[0]);
             let p = (grid.nprow() * grid.npcol()) as f64;
             grid.comm().advance(lu::lu_flops(n) / (rate * p));
+            if grid.comm().rank() == 0 {
+                reshape_telemetry::incr("apps.iterations.lu", 1);
+            }
         },
     )
 }
@@ -112,6 +115,9 @@ pub fn mm_app(n: usize, nb: usize, rate: f64) -> AppDef {
             mm::summa(grid, &ab[0], &ab[1], &mut c[0]);
             let p = (grid.nprow() * grid.npcol()) as f64;
             grid.comm().advance(mm::mm_flops(n) / (rate * p));
+            if grid.comm().rank() == 0 {
+                reshape_telemetry::incr("apps.iterations.mm", 1);
+            }
         },
     )
 }
@@ -141,6 +147,9 @@ pub fn jacobi_app(n: usize, nb: usize, sweeps_per_iter: usize, rate: f64) -> App
             let p = (grid.nprow() * grid.npcol()) as f64;
             grid.comm()
                 .advance(sweeps_per_iter as f64 * jacobi::jacobi_flops(n) / (rate * p));
+            if grid.comm().rank() == 0 {
+                reshape_telemetry::incr("apps.iterations.jacobi", 1);
+            }
         },
     )
 }
@@ -165,6 +174,9 @@ pub fn fft_app(n: usize, nb: usize, rate: f64) -> AppDef {
             fft::fft2d(grid, &mut re[0], &mut im[0], false);
             let p = (grid.nprow() * grid.npcol()) as f64;
             grid.comm().advance(fft::fft_flops(n) / (rate * p));
+            if grid.comm().rank() == 0 {
+                reshape_telemetry::incr("apps.iterations.fft", 1);
+            }
         },
     )
 }
@@ -176,6 +188,9 @@ pub fn mw_app(units: usize, unit_time: f64, chunk: usize) -> AppDef {
         |_grid| Vec::new(),
         move |grid, _mats, _iter| {
             masterworker::master_worker_round(grid.comm(), units, unit_time, chunk);
+            if grid.comm().rank() == 0 {
+                reshape_telemetry::incr("apps.iterations.mw", 1);
+            }
         },
     )
 }

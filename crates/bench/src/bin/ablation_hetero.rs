@@ -29,6 +29,7 @@ fn mean_turnaround(r: &SimResult) -> f64 {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let machine = MachineParams::system_x();
     let w = workload1();
     let total = w.total_procs;
@@ -90,4 +91,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, &rows);
     }
+    reshape_bench::flush_telemetry();
 }

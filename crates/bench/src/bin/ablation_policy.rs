@@ -39,6 +39,7 @@ fn summarize(variant: &str, r: &SimResult) -> Row {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let machine = MachineParams::system_x();
     let w = workload1();
 
@@ -117,4 +118,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, &rows);
     }
+    reshape_bench::flush_telemetry();
 }

@@ -24,6 +24,7 @@ struct Row {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let net = MachineParams::system_x().redist_net();
     type Case = (usize, (usize, usize), (usize, usize));
     let cases: Vec<Case> = vec![
@@ -80,4 +81,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, &rows);
     }
+    reshape_bench::flush_telemetry();
 }

@@ -17,6 +17,7 @@ struct Anchor {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let m = MachineParams::system_x();
     let mut anchors: Vec<Anchor> = Vec::new();
     let mut push = |what: &str, paper: f64, model: f64| {
@@ -120,4 +121,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, &anchors);
     }
+    reshape_bench::flush_telemetry();
 }

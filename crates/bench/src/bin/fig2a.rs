@@ -16,6 +16,7 @@ struct Series {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let machine = MachineParams::system_x();
     let cases: Vec<(usize, (usize, usize), usize)> = vec![
         (8000, (1, 2), 40),
@@ -74,4 +75,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, &series);
     }
+    reshape_bench::flush_telemetry();
 }

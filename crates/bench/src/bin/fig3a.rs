@@ -12,6 +12,7 @@ use reshape_bench::{json_arg, write_json, Table};
 use reshape_clustersim::{fig3a_job, ClusterSim, MachineParams};
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let sim = ClusterSim::new(36, MachineParams::system_x());
     let result = sim.run(&[fig3a_job()]);
     let job = &result.jobs[0];
@@ -47,4 +48,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, job);
     }
+    reshape_bench::flush_telemetry();
 }

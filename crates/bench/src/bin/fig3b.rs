@@ -54,6 +54,7 @@ fn run_one(job: &SimJob, mode: Option<RedistMode>, procs: usize) -> Bar {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     // 36 processors available, as in the workload experiments.
     let procs = 36;
     let mut rows = Vec::new();
@@ -106,4 +107,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, &rows);
     }
+    reshape_bench::flush_telemetry();
 }

@@ -39,6 +39,7 @@ fn print_busy(result: &SimResult, label: &str) {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let machine = MachineParams::system_x();
     let w = workload1();
     let dynamic = ClusterSim::new(w.total_procs, machine).run(&w.jobs);
@@ -91,4 +92,5 @@ fn main() {
             },
         );
     }
+    reshape_bench::flush_telemetry();
 }

@@ -18,6 +18,7 @@ struct Output {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let machine = MachineParams::system_x();
     let w = workload2();
     let dynamic = ClusterSim::new(w.total_procs, machine).run(&w.jobs);
@@ -82,4 +83,5 @@ fn main() {
             },
         );
     }
+    reshape_bench::flush_telemetry();
 }

@@ -89,6 +89,7 @@ const EXAMPLE: &str = r#"{
 }"#;
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--print-example") {
         println!("{EXAMPLE}");
@@ -176,7 +177,42 @@ fn main() {
         result.total_procs
     );
 
+    // End-of-run snapshot (SimResult::telemetry): the paper's aggregate
+    // quantities — utilization, turnaround statistics, resize activity.
+    let t = &result.telemetry;
+    println!("\n-- run summary --");
+    let mut summary = Table::new(vec!["metric", "value"]);
+    summary.row(vec![
+        "jobs finished / failed / cancelled".to_string(),
+        format!("{} / {} / {}", t.jobs_finished, t.jobs_failed, t.jobs_cancelled),
+    ]);
+    summary.row(vec![
+        "expansions / shrinks".to_string(),
+        format!("{} / {}", t.expansions, t.shrinks),
+    ]);
+    summary.row(vec![
+        "utilization".to_string(),
+        format!("{:.1}%", t.utilization * 100.0),
+    ]);
+    summary.row(vec![
+        "turnaround mean / p95 / max (s)".to_string(),
+        format!(
+            "{:.1} / {:.1} / {:.1}",
+            t.mean_turnaround, t.p95_turnaround, t.max_turnaround
+        ),
+    ]);
+    summary.row(vec![
+        "compute / redistribution (s)".to_string(),
+        format!("{:.1} / {:.1}", t.compute_seconds_total, t.redist_seconds_total),
+    ]);
+    summary.row(vec![
+        "bytes redistributed".to_string(),
+        t.bytes_redistributed.to_string(),
+    ]);
+    summary.print();
+
     if let Some(out) = json_arg() {
         write_json(&out, &result);
     }
+    reshape_bench::flush_telemetry();
 }

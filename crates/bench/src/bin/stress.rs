@@ -32,6 +32,7 @@ fn mean_tat(r: &SimResult) -> f64 {
 }
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let n: u64 = std::env::args()
         .nth(1)
         .filter(|a| !a.starts_with("--"))
@@ -107,4 +108,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, &results);
     }
+    reshape_bench::flush_telemetry();
 }

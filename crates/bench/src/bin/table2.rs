@@ -6,6 +6,7 @@ use reshape_bench::{json_arg, write_json, Table};
 use reshape_core::{ProcessorConfig, TopologyPref};
 
 fn main() {
+    reshape_bench::telemetry_from_args();
     let grid_cases: Vec<(&str, usize, (usize, usize), usize)> = vec![
         ("8000 (LU, MM)", 8000, (1, 2), 40),
         ("12000 (LU, MM)", 12000, (1, 2), 48),
@@ -75,4 +76,5 @@ fn main() {
     if let Some(path) = json_arg() {
         write_json(&path, &json);
     }
+    reshape_bench::flush_telemetry();
 }

@@ -68,6 +68,23 @@ impl Table {
     }
 }
 
+/// Honor a `--telemetry` flag: turns on text-mode telemetry for this
+/// process (an explicit `RESHAPE_TELEMETRY` setting wins). Call first
+/// thing in a bench binary's `main` so the run is recorded.
+pub fn telemetry_from_args() {
+    if std::env::args().any(|a| a == "--telemetry")
+        && reshape_telemetry::mode() == reshape_telemetry::Mode::Off
+    {
+        reshape_telemetry::set_mode(reshape_telemetry::Mode::Text);
+    }
+}
+
+/// End-of-run telemetry dump to `RESHAPE_TELEMETRY_PATH` or stderr
+/// (no-op when telemetry is off). Call last in a bench binary's `main`.
+pub fn flush_telemetry() {
+    reshape_telemetry::flush();
+}
+
 /// Parse `--json <path>` from argv; returns the path if present.
 pub fn json_arg() -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();

@@ -125,6 +125,8 @@ impl<T: Pod + Default> DistMatrix<T> {
         assert!(myrow < desc.nprow && mycol < desc.npcol, "position outside grid");
         let lrows = desc.local_rows(myrow);
         let lcols = desc.local_cols(mycol);
+        reshape_telemetry::incr("blockcyclic.panels_built", 1);
+        reshape_telemetry::incr("blockcyclic.panel_elems", (lrows * lcols) as u64);
         DistMatrix {
             desc,
             myrow,

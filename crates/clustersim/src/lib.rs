@@ -19,6 +19,6 @@ pub mod perfmodel;
 pub mod sim;
 pub mod workloads;
 
-pub use perfmodel::{AppModel, MachineParams, MODEL_BLOCK};
-pub use sim::{ClusterSim, JobOutcome, RedistMode, SimJob, SimResult};
+pub use perfmodel::{AppModel, MachineParams, RedistProfile, MODEL_BLOCK};
+pub use sim::{ClusterSim, JobOutcome, RedistMode, SimJob, SimResult, SimTelemetry};
 pub use workloads::{fig3a_job, fig3b_jobs, random_workload, workload1, workload2, Workload};

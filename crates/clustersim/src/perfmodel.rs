@@ -16,7 +16,7 @@
 use reshape_blockcyclic::Descriptor;
 use reshape_core::ProcessorConfig;
 use reshape_mpisim::NetModel;
-use reshape_redist::{checkpoint_cost, evaluate_2d, plan_2d, CheckpointParams};
+use reshape_redist::{checkpoint_cost, evaluate_2d, plan_2d, CheckpointParams, PACK_BANDWIDTH};
 use serde::{Deserialize, Serialize};
 
 /// Machine constants for the modeled cluster.
@@ -86,6 +86,25 @@ impl MachineParams {
 /// problem sizes are all multiples of 100... and of nothing smaller that
 /// divides every grid dimension, so 100 keeps schedules small and exact).
 pub const MODEL_BLOCK: usize = 100;
+
+/// Phase-decomposed cost of one modeled redistribution (see
+/// [`AppModel::redist_profile`]). `total_seconds` equals
+/// [`AppModel::redist_cost`] for the same pair of configurations; the phase
+/// fields decompose it minus the spawn overhead.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RedistProfile {
+    /// Bytes that cross the network, over all redistributed arrays.
+    pub bytes: u64,
+    /// Communication steps over all redistributed arrays.
+    pub plan_steps: u64,
+    /// Individual block transfers over all redistributed arrays.
+    pub transfers: u64,
+    pub pack_seconds: f64,
+    pub transfer_seconds: f64,
+    pub unpack_seconds: f64,
+    /// Modeled wall-clock total, including spawn overhead on expansion.
+    pub total_seconds: f64,
+}
 
 /// Performance model of one workload application.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -261,6 +280,57 @@ impl AppModel {
         total
     }
 
+    /// Phase-decomposed redistribution profile between two configurations:
+    /// the same schedules and pricing as [`AppModel::redist_cost`], but with
+    /// the total split into the pack / transfer / unpack phases of the
+    /// contention-free schedule, plus plan-shape counts. Feeds the
+    /// redistribution audit records in the telemetry journal.
+    pub fn redist_profile(
+        &self,
+        from: ProcessorConfig,
+        to: ProcessorConfig,
+        m: &MachineParams,
+    ) -> RedistProfile {
+        let mut prof = RedistProfile::default();
+        if from == to {
+            return prof;
+        }
+        let net = m.redist_net();
+        for (rows, cols, mb, nb) in self.data_shapes() {
+            let src = Descriptor::new(rows, cols, mb, nb, from.rows, from.cols);
+            let dst = Descriptor::new(rows, cols, mb, nb, to.rows, to.cols);
+            let plan = plan_2d(src, dst);
+            let cost = evaluate_2d(&plan, 8, &net);
+            prof.bytes += cost.network_bytes as u64;
+            prof.plan_steps += cost.steps as u64;
+            // Re-walk the steps to split the evaluator's total into phases.
+            for step in &plan.steps {
+                let mut max_wire = 0usize;
+                let mut max_touch = 0usize;
+                for t in step {
+                    let bytes = plan.transfer_elems(t) * 8;
+                    max_touch = max_touch.max(bytes);
+                    if plan.src_rank(t.src) != plan.dst_rank(t.dst) {
+                        max_wire = max_wire.max(bytes);
+                    }
+                }
+                prof.transfers += step.len() as u64;
+                if max_wire > 0 {
+                    prof.transfer_seconds +=
+                        net.latency + 2.0 * net.overhead + max_wire as f64 / net.bandwidth;
+                }
+                let touch = max_touch as f64 / PACK_BANDWIDTH;
+                prof.pack_seconds += touch;
+                prof.unpack_seconds += touch;
+            }
+            prof.total_seconds += cost.seconds;
+        }
+        if to.procs() > from.procs() {
+            prof.total_seconds += net.spawn_overhead;
+        }
+        prof
+    }
+
     /// Redistribution cost via the file-based checkpoint baseline.
     pub fn checkpoint_redist_cost(
         &self,
@@ -386,6 +456,31 @@ mod tests {
         let small = AppModel::Lu { n: 8000 }.redist_cost(cfg(2, 2), cfg(2, 4), &m);
         let large = AppModel::Lu { n: 24000 }.redist_cost(cfg(2, 2), cfg(2, 4), &m);
         assert!(large > 4.0 * small);
+    }
+
+    #[test]
+    fn redist_profile_phases_sum_to_redist_cost() {
+        let m = MachineParams::system_x();
+        let lu = AppModel::Lu { n: 8000 };
+        let (from, to) = (cfg(2, 2), cfg(2, 3));
+        let prof = lu.redist_profile(from, to, &m);
+        assert!(prof.bytes > 0);
+        assert!(prof.plan_steps > 0 && prof.transfers >= prof.plan_steps);
+        let phase_sum = prof.pack_seconds + prof.transfer_seconds + prof.unpack_seconds
+            + m.redist_net().spawn_overhead; // expansion pays the spawn
+        assert!(
+            (phase_sum - prof.total_seconds).abs() < 1e-9 * prof.total_seconds.max(1.0),
+            "phases {phase_sum} != total {}",
+            prof.total_seconds
+        );
+        assert!(
+            (prof.total_seconds - lu.redist_cost(from, to, &m)).abs() < 1e-12,
+            "profile total must match redist_cost"
+        );
+        // Identity resize is free.
+        let idp = lu.redist_profile(from, from, &m);
+        assert_eq!(idp.bytes, 0);
+        assert_eq!(idp.total_seconds, 0.0);
     }
 
     #[test]

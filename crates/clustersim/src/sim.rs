@@ -15,7 +15,7 @@ use reshape_core::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::perfmodel::{AppModel, MachineParams};
+use crate::perfmodel::{AppModel, MachineParams, RedistProfile};
 
 /// How resizing redistributions are priced (the three bars of Figure 3(b)).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,6 +65,29 @@ pub struct JobOutcome {
     pub iter_log: Vec<reshape_core::PerfRecord>,
 }
 
+/// End-of-run telemetry snapshot: the aggregate quantities the paper reports
+/// (utilization, turnaround statistics, resize activity), computed from the
+/// simulation itself — always populated, independent of the
+/// `RESHAPE_TELEMETRY` mode.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimTelemetry {
+    pub jobs_finished: usize,
+    pub jobs_failed: usize,
+    pub jobs_cancelled: usize,
+    pub expansions: usize,
+    pub shrinks: usize,
+    pub utilization: f64,
+    /// Turnaround statistics over jobs that ran to completion.
+    pub mean_turnaround: f64,
+    pub p95_turnaround: f64,
+    pub max_turnaround: f64,
+    pub compute_seconds_total: f64,
+    pub redist_seconds_total: f64,
+    /// Network bytes moved by resizing redistributions (ReSHAPE mode only —
+    /// the checkpoint baseline funnels through disk instead).
+    pub bytes_redistributed: u64,
+}
+
 /// Complete result of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimResult {
@@ -75,6 +98,9 @@ pub struct SimResult {
     /// makespan (the paper's utilization metric).
     pub utilization: f64,
     pub total_procs: usize,
+    /// Aggregate observability snapshot (see [`SimTelemetry`]).
+    #[serde(default)]
+    pub telemetry: SimTelemetry,
 }
 
 impl SimResult {
@@ -306,15 +332,23 @@ impl ClusterSim {
         self
     }
 
+    /// Price a resize, with the phase decomposition when the message-based
+    /// path is in use (the checkpoint baseline has no pack/transfer/unpack
+    /// schedule to decompose).
     fn redist_cost(
         &self,
         model: &AppModel,
         from: reshape_core::ProcessorConfig,
         to: reshape_core::ProcessorConfig,
-    ) -> f64 {
+    ) -> (f64, Option<RedistProfile>) {
         match self.redist_mode {
-            RedistMode::Reshape => model.redist_cost(from, to, &self.machine),
-            RedistMode::Checkpoint => model.checkpoint_redist_cost(from, to, &self.machine),
+            RedistMode::Reshape => {
+                let prof = model.redist_profile(from, to, &self.machine);
+                (prof.total_seconds, Some(prof))
+            }
+            RedistMode::Checkpoint => {
+                (model.checkpoint_redist_cost(from, to, &self.machine), None)
+            }
         }
     }
 
@@ -357,6 +391,7 @@ impl ClusterSim {
         // Map workload index -> JobId once submitted.
         let mut submitted: Vec<Option<JobId>> = vec![None; workload.len()];
         let mut makespan: f64 = 0.0;
+        let mut bytes_redistributed = 0u64;
 
         // Schedule the first iteration of every newly started job. On a
         // heterogeneous cluster, iteration time stretches by the slowest
@@ -448,15 +483,34 @@ impl ClusterSim {
                         continue;
                     }
                     let js = sims.get_mut(&id).expect("job exists");
-                    let (next_cfg, redist_cost) = match directive {
-                        Directive::NoChange => (pre, 0.0),
+                    let (next_cfg, redist_cost, profile) = match directive {
+                        Directive::NoChange => (pre, 0.0, None),
                         Directive::Terminate => unreachable!("handled above"),
                         Directive::Expand { to, .. } | Directive::Shrink { to } => {
-                            (to, self.redist_cost(&js.model, pre, to))
+                            let (cost, prof) = self.redist_cost(&js.model, pre, to);
+                            (to, cost, prof)
                         }
                     };
                     if redist_cost > 0.0 {
                         core.note_redist_cost(id, pre, next_cfg, redist_cost);
+                    }
+                    if let Some(prof) = &profile {
+                        bytes_redistributed += prof.bytes;
+                        if reshape_telemetry::enabled() {
+                            reshape_telemetry::record(reshape_telemetry::Event::Redistribution {
+                                time: now,
+                                job: id.0,
+                                from: pre.to_string(),
+                                to: next_cfg.to_string(),
+                                bytes: prof.bytes,
+                                plan_steps: prof.plan_steps as usize,
+                                transfers: prof.transfers as usize,
+                                pack_seconds: prof.pack_seconds,
+                                transfer_seconds: prof.transfer_seconds,
+                                unpack_seconds: prof.unpack_seconds,
+                                total_seconds: prof.total_seconds,
+                            });
+                        }
                     }
                     // Phase boundary: the next iteration belongs to a new
                     // computational phase, so the profiler's timing history
@@ -485,8 +539,9 @@ impl ClusterSim {
             }
         }
 
-        // Assemble outcomes.
-        let events = core.events().to_vec();
+        // Assemble outcomes. Draining keeps the core's bounded trace empty
+        // for any further use of the scheduler state.
+        let events = core.drain_events();
         let mut jobs = Vec::new();
         for (i, j) in workload.iter().enumerate() {
             let id = submitted[i].expect("all workload jobs were submitted");
@@ -510,6 +565,35 @@ impl ClusterSim {
                     EventKind::Submitted => {}
                 }
             }
+            if reshape_telemetry::enabled() {
+                let expansions = events
+                    .iter()
+                    .filter(|e| e.job == id && matches!(e.kind, EventKind::Expanded { .. }))
+                    .count();
+                let shrinks = events
+                    .iter()
+                    .filter(|e| e.job == id && matches!(e.kind, EventKind::Shrunk { .. }))
+                    .count();
+                let final_procs = alloc
+                    .iter()
+                    .rev()
+                    .map(|&(_, p)| p)
+                    .find(|&p| p > 0)
+                    .unwrap_or(0);
+                reshape_telemetry::record(reshape_telemetry::Event::JobTurnaround {
+                    job: id.0,
+                    name: j.spec.name.clone(),
+                    submitted: j.arrival,
+                    started,
+                    finished,
+                    turnaround: finished - j.arrival,
+                    compute_seconds: js.compute_total,
+                    redist_seconds: js.redist_total,
+                    expansions,
+                    shrinks,
+                    final_procs,
+                });
+            }
             jobs.push(JobOutcome {
                 name: j.spec.name.clone(),
                 job: id,
@@ -529,12 +613,45 @@ impl ClusterSim {
             });
         }
         let utilization = core.utilization(makespan);
+        let telemetry = {
+            let mut t = SimTelemetry {
+                utilization,
+                bytes_redistributed,
+                ..Default::default()
+            };
+            for e in &events {
+                match e.kind {
+                    EventKind::Finished => t.jobs_finished += 1,
+                    EventKind::Failed { .. } => t.jobs_failed += 1,
+                    EventKind::Cancelled => t.jobs_cancelled += 1,
+                    EventKind::Expanded { .. } => t.expansions += 1,
+                    EventKind::Shrunk { .. } => t.shrinks += 1,
+                    _ => {}
+                }
+            }
+            let mut turnarounds: Vec<f64> = jobs
+                .iter()
+                .filter(|j| j.turnaround.is_finite())
+                .map(|j| j.turnaround)
+                .collect();
+            turnarounds.sort_by(|a, b| a.partial_cmp(b).expect("finite turnarounds"));
+            if !turnarounds.is_empty() {
+                let n = turnarounds.len();
+                t.mean_turnaround = turnarounds.iter().sum::<f64>() / n as f64;
+                t.p95_turnaround = turnarounds[((n as f64 * 0.95).ceil() as usize).max(1) - 1];
+                t.max_turnaround = turnarounds[n - 1];
+            }
+            t.compute_seconds_total = jobs.iter().map(|j| j.compute_total).sum();
+            t.redist_seconds_total = jobs.iter().map(|j| j.redist_total).sum();
+            t
+        };
         SimResult {
             jobs,
             events,
             makespan,
             utilization,
             total_procs: self.total_procs,
+            telemetry,
         }
     }
 }
@@ -599,6 +716,34 @@ mod tests {
             assert_eq!(x.turnaround, y.turnaround);
             assert_eq!(x.alloc_history, y.alloc_history);
         }
+    }
+
+    #[test]
+    fn telemetry_snapshot_summarizes_the_run() {
+        let machine = MachineParams::system_x();
+        let result = ClusterSim::new(36, machine).run(&[
+            lu_job(12000, (1, 2), 10, 0.0),
+            lu_job(8000, (2, 2), 10, 100.0),
+        ]);
+        let t = &result.telemetry;
+        assert_eq!(t.jobs_finished, 2);
+        assert_eq!(t.jobs_failed + t.jobs_cancelled, 0);
+        assert!(t.expansions > 0, "idle cluster must trigger expansions");
+        assert!(t.bytes_redistributed > 0, "expansions move data");
+        assert_eq!(t.utilization, result.utilization);
+        let turnarounds: Vec<f64> = result.jobs.iter().map(|j| j.turnaround).collect();
+        let mean = turnarounds.iter().sum::<f64>() / turnarounds.len() as f64;
+        assert!((t.mean_turnaround - mean).abs() < 1e-9);
+        assert_eq!(
+            t.max_turnaround,
+            turnarounds.iter().cloned().fold(f64::MIN, f64::max)
+        );
+        assert!(t.p95_turnaround <= t.max_turnaround && t.p95_turnaround >= t.mean_turnaround);
+        assert!(t.compute_seconds_total > 0.0 && t.redist_seconds_total > 0.0);
+        // The snapshot round-trips with the rest of the result.
+        let json = serde_json::to_string(&result).unwrap();
+        let back: SimResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.telemetry, result.telemetry);
     }
 
     #[test]

@@ -110,6 +110,10 @@ impl Reservation {
     }
 }
 
+/// Default retention cap for the scheduling trace (see
+/// [`SchedulerCore::with_event_cap`]).
+pub const DEFAULT_EVENT_CAP: usize = 65_536;
+
 /// The combined scheduler state machine.
 pub struct SchedulerCore {
     pool: ResourcePool,
@@ -119,6 +123,10 @@ pub struct SchedulerCore {
     profiler: Profiler,
     next_id: u64,
     events: Vec<SchedEvent>,
+    /// Retention cap for `events`; oldest entries are dropped beyond it so
+    /// a long-lived scheduler cannot grow without bound.
+    events_cap: usize,
+    events_dropped: u64,
     remap_policy: RemapPolicy,
     reservations: Vec<Reservation>,
     next_reservation: u64,
@@ -142,6 +150,8 @@ impl SchedulerCore {
             profiler: Profiler::new(),
             next_id: 1,
             events: Vec::new(),
+            events_cap: DEFAULT_EVENT_CAP,
+            events_dropped: 0,
             remap_policy: RemapPolicy::default(),
             reservations: Vec::new(),
             next_reservation: 1,
@@ -156,6 +166,30 @@ impl SchedulerCore {
     pub fn with_remap_policy(mut self, policy: RemapPolicy) -> Self {
         self.remap_policy = policy;
         self
+    }
+
+    /// Cap the scheduling trace at `cap` events (default
+    /// [`DEFAULT_EVENT_CAP`]); the oldest events are dropped beyond it and
+    /// counted in [`SchedulerCore::events_dropped`]. Consumers that need
+    /// the full trace should call [`SchedulerCore::drain_events`]
+    /// periodically instead of raising the cap.
+    pub fn with_event_cap(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "event cap must be at least 1");
+        self.events_cap = cap;
+        self
+    }
+
+    /// Append to the scheduling trace, enforcing the retention cap. Drops
+    /// the oldest half in one pass so the amortized cost stays O(1).
+    fn push_event(&mut self, ev: SchedEvent) {
+        if self.events.len() >= self.events_cap {
+            let drop = (self.events_cap / 2).max(1);
+            self.events.drain(..drop);
+            self.events_dropped += drop as u64;
+        }
+        self.events.push(ev);
+        reshape_telemetry::incr("core.sched_events", 1);
+        reshape_telemetry::gauge_set("core.queue_depth", self.queue.len() as f64);
     }
 
     /// Replace the processor pool with a heterogeneous one (per-slot speed
@@ -315,7 +349,7 @@ impl SchedulerCore {
             .position(|j| self.jobs[j].spec.priority < priority)
             .unwrap_or(self.queue.len());
         self.queue.insert(pos, id);
-        self.events.push(SchedEvent {
+        self.push_event(SchedEvent {
             time: now,
             job: id,
             kind: EventKind::Submitted,
@@ -339,7 +373,7 @@ impl SchedulerCore {
                 rec.slots = slots.clone();
                 rec.started_at = Some(now);
                 self.queue.remove(i);
-                self.events.push(SchedEvent {
+                self.push_event(SchedEvent {
                     time: now,
                     job: id,
                     kind: EventKind::Started { config },
@@ -420,6 +454,30 @@ impl SchedulerCore {
             &snapshot,
             max_procs,
         );
+        if reshape_telemetry::enabled() {
+            let (decision_str, to_str) = match &decision {
+                RemapDecision::Expand { to } => ("expand", Some(to.to_string())),
+                RemapDecision::Shrink { to } => ("shrink", Some(to.to_string())),
+                RemapDecision::NoChange => ("no_change", None),
+            };
+            reshape_telemetry::record(reshape_telemetry::Event::ResizeDecision {
+                time: now,
+                job: job.0,
+                from: current.to_string(),
+                decision: decision_str.to_string(),
+                to: to_str,
+                idle_procs: snapshot.idle_procs,
+                queue_len: self.queue.len(),
+                queue_head_need: snapshot.queue_head_need,
+                last_expansion_improved: self
+                    .profiler
+                    .profile(job)
+                    .and_then(|p| p.last_expansion_improved()),
+                iter_time,
+                redist_time,
+                remaining_iters,
+            });
+        }
         match decision {
             RemapDecision::Expand { to } => {
                 let delta = to.procs() - current.procs();
@@ -432,7 +490,7 @@ impl SchedulerCore {
                 rec.state = JobState::Running { config: to };
                 self.profiler
                     .record_resize(job, Resize::Expanded { from: current, to }, 0.0);
-                self.events.push(SchedEvent {
+                self.push_event(SchedEvent {
                     time: now,
                     job,
                     kind: EventKind::Expanded { from: current, to },
@@ -447,7 +505,7 @@ impl SchedulerCore {
                 self.pool.release(&released);
                 self.profiler
                     .record_resize(job, Resize::Shrunk { from: current, to }, 0.0);
-                self.events.push(SchedEvent {
+                self.push_event(SchedEvent {
                     time: now,
                     job,
                     kind: EventKind::Shrunk { from: current, to },
@@ -508,7 +566,7 @@ impl SchedulerCore {
             rec.finished_at = Some(now);
             self.pool.release(&slots);
             self.queue.retain(|&j| j != job);
-            self.events.push(SchedEvent {
+            self.push_event(SchedEvent {
                 time: now,
                 job,
                 kind: EventKind::Finished,
@@ -532,7 +590,7 @@ impl SchedulerCore {
             rec.finished_at = Some(now);
             self.pool.release(&slots);
             self.queue.retain(|&j| j != job);
-            self.events.push(SchedEvent {
+            self.push_event(SchedEvent {
                 time: now,
                 job,
                 kind: EventKind::Failed { reason },
@@ -555,7 +613,7 @@ impl SchedulerCore {
                 rec.state = JobState::Cancelled { at: now };
                 rec.finished_at = Some(now);
                 self.queue.retain(|&j| j != job);
-                self.events.push(SchedEvent {
+                self.push_event(SchedEvent {
                     time: now,
                     job,
                     kind: EventKind::Cancelled,
@@ -571,7 +629,7 @@ impl SchedulerCore {
                 rec.finished_at = Some(now);
                 self.pool.release(&slots);
                 self.pending_cancel.insert(job);
-                self.events.push(SchedEvent {
+                self.push_event(SchedEvent {
                     time: now,
                     job,
                     kind: EventKind::Cancelled,
@@ -622,6 +680,18 @@ impl SchedulerCore {
 
     pub fn events(&self) -> &[SchedEvent] {
         &self.events
+    }
+
+    /// Remove and return the retained scheduling trace. Long-running
+    /// consumers (the threaded runtime, the cluster simulator) should pull
+    /// events through this instead of letting the trace hit its cap.
+    pub fn drain_events(&mut self) -> Vec<SchedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events evicted because the trace reached its retention cap.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped
     }
 
     /// Mean utilization over `[0, now]`: the fraction of available
@@ -942,6 +1012,22 @@ mod tests {
         core.on_finished(a, 5.0);
         assert!(core.cancel(a, 6.0).is_empty());
         assert!(matches!(core.job(a).unwrap().state, JobState::Finished { .. }));
+    }
+
+    #[test]
+    fn event_trace_is_bounded_and_drainable() {
+        let mut core = SchedulerCore::new(8, QueuePolicy::Fcfs).with_event_cap(4);
+        for i in 0..6 {
+            let (a, _) = core.submit(lu(8000, 1, 2), i as f64);
+            core.on_finished(a, i as f64 + 0.5);
+        }
+        // 6 jobs x (Submitted, Started, Finished) = 18 events against cap 4.
+        assert!(core.events().len() <= 4, "cap not enforced: {}", core.events().len());
+        assert!(core.events_dropped() >= 14, "drops uncounted: {}", core.events_dropped());
+        let drained = core.drain_events();
+        assert!(!drained.is_empty());
+        assert!(core.events().is_empty());
+        assert!(core.drain_events().is_empty());
     }
 
     #[test]

@@ -274,6 +274,8 @@ impl ResizeContext {
         let dt = self.comm.vtime() - t0;
         self.last_redist = dt;
         if self.comm.rank() == 0 {
+            reshape_telemetry::incr("driver.expansions", 1);
+            reshape_telemetry::observe("driver.redist_vtime_seconds", dt);
             self.shared.link.note_redist(self.shared.job, from, to, dt);
         }
         self.comm = merged;
@@ -304,6 +306,8 @@ impl ResizeContext {
         *mats = out.expect("retained ranks received their panels");
         self.last_redist = dt;
         if self.comm.rank() == 0 {
+            reshape_telemetry::incr("driver.shrinks", 1);
+            reshape_telemetry::observe("driver.redist_vtime_seconds", dt);
             self.shared.link.note_redist(self.shared.job, from, to, dt);
         }
         self.comm = sub.expect("retained ranks form the new communicator");
@@ -432,12 +436,21 @@ fn drive_loop(mut ctx: ResizeContext, mut mats: Vec<DistMatrix<f64>>) {
     let shared = Arc::clone(&ctx.shared);
     while ctx.iter < shared.iterations {
         let v0 = ctx.comm.vtime();
-        let w0 = std::time::Instant::now();
+        // One span per iteration: the measured wall time is recorded into
+        // the `driver.iter_wall_seconds` histogram *and* reused as the
+        // value folded into the virtual clock, so the clock and the
+        // telemetry can never disagree about how long an iteration took.
+        let span = reshape_telemetry::span("driver.iter_wall_seconds");
         (shared.app.iterate)(&ctx.grid, &mut mats, ctx.iter);
+        let wall = span.stop();
         if shared.fold_wall_time {
-            ctx.comm.advance(w0.elapsed().as_secs_f64());
+            ctx.comm.advance(wall);
         }
         let t_iter = ctx.log(ctx.comm.vtime() - v0);
+        if ctx.comm.rank() == 0 {
+            // Virtual iteration time — what the profiler sees.
+            reshape_telemetry::observe("driver.iter_vtime_seconds", t_iter);
+        }
         ctx.iter += 1;
         if ctx.iter >= shared.iterations {
             break;

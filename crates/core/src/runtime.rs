@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 
 use reshape_mpisim::{NodeId, ProcId, ProcStatus, Universe};
 
-use crate::core::{Directive, QueuePolicy, SchedulerCore, StartAction};
+use crate::core::{Directive, QueuePolicy, SchedEvent, SchedulerCore, StartAction};
 use crate::driver::{run_resizable, AppDef, DriverShared, SchedulerLink};
 use crate::job::{JobId, JobSpec, JobState};
 use crate::topology::ProcessorConfig;
@@ -176,6 +176,11 @@ impl SchedThreadCtx {
 
     fn run(mut self, rx: Receiver<Msg>) {
         while let Ok(msg) = rx.recv() {
+            // Scheduler-loop latency: how long each message (resize point,
+            // submission, completion, ...) holds the scheduler. Recorded on
+            // drop, including early exits.
+            let _span = reshape_telemetry::span("core.sched_loop_seconds");
+            reshape_telemetry::incr("core.sched_msgs", 1);
             match msg {
                 Msg::Submit { spec, app, reply } => {
                     let iterations = spec.iterations;
@@ -340,6 +345,13 @@ impl ReshapeRuntime {
     /// Shared scheduler state, for inspection (profiles, events, jobs).
     pub fn core(&self) -> &Arc<Mutex<SchedulerCore>> {
         &self.core
+    }
+
+    /// Remove and return the scheduling trace accumulated so far (see
+    /// [`SchedulerCore::drain_events`]); keeps long-lived runtimes from
+    /// hitting the trace retention cap.
+    pub fn drain_events(&self) -> Vec<SchedEvent> {
+        self.core.lock().drain_events()
     }
 
     /// The underlying cluster.

@@ -64,6 +64,9 @@ impl GridContext {
         let col_comm = comm
             .split(Some(mycol as u32), myrow as i64)
             .expect("column split always assigns a color");
+        if comm.rank() == 0 {
+            reshape_telemetry::incr("grid.contexts_built", 1);
+        }
         GridContext {
             comm: comm.clone(),
             nprow,

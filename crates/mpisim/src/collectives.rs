@@ -80,6 +80,7 @@ impl Comm {
     /// Broadcast `data` from `root` to all ranks; every rank returns the
     /// root's buffer.
     pub fn bcast<T: Pod>(&self, root: usize, data: &[T]) -> Vec<T> {
+        reshape_telemetry::incr("mpisim.collectives.bcast", 1);
         let payload = if self.rank == root {
             to_bytes(data)
         } else {
@@ -91,6 +92,7 @@ impl Comm {
     /// Synchronize all ranks (and their virtual clocks: every rank leaves the
     /// barrier at a time ≥ every rank's entry time).
     pub fn barrier(&self) {
+        reshape_telemetry::incr("mpisim.collectives.barrier", 1);
         // Reduce an empty message to rank 0, then broadcast back down.
         let p = self.size();
         if p == 1 {
@@ -114,6 +116,7 @@ impl Comm {
     /// Elementwise reduction to `root`. Returns `Some(result)` on the root,
     /// `None` elsewhere.
     pub fn reduce<T: Reducible>(&self, root: usize, op: ReduceOp, data: &[T]) -> Option<Vec<T>> {
+        reshape_telemetry::incr("mpisim.collectives.reduce", 1);
         let p = self.size();
         let mut acc = data.to_vec();
         let vrank = (self.rank + p - root) % p;
@@ -141,6 +144,7 @@ impl Comm {
 
     /// Reduction whose result is returned on every rank.
     pub fn allreduce<T: Reducible>(&self, op: ReduceOp, data: &[T]) -> Vec<T> {
+        reshape_telemetry::incr("mpisim.collectives.allreduce", 1);
         let reduced = self.reduce(0, op, data);
         let payload = match &reduced {
             Some(v) => to_bytes(v),
@@ -152,6 +156,7 @@ impl Comm {
     /// Gather variable-length contributions at `root`, in rank order.
     /// Returns `Some(per-rank vectors)` on the root, `None` elsewhere.
     pub fn gather<T: Pod>(&self, root: usize, data: &[T]) -> Option<Vec<Vec<T>>> {
+        reshape_telemetry::incr("mpisim.collectives.gather", 1);
         if self.rank == root {
             let mut out = Vec::with_capacity(self.size());
             for r in 0..self.size() {
@@ -171,6 +176,7 @@ impl Comm {
 
     /// Gather variable-length contributions on every rank.
     pub fn allgather<T: Pod>(&self, data: &[T]) -> Vec<Vec<T>> {
+        reshape_telemetry::incr("mpisim.collectives.allgather", 1);
         let gathered = self.gather(0, data);
         // Flatten with a length header so one broadcast carries everything.
         let encoded: Vec<u8> = match &gathered {
@@ -208,6 +214,7 @@ impl Comm {
     /// Scatter per-rank slices from `root`; rank i receives `parts[i]`.
     /// Non-roots pass `None`.
     pub fn scatter<T: Pod>(&self, root: usize, parts: Option<&[Vec<T>]>) -> Vec<T> {
+        reshape_telemetry::incr("mpisim.collectives.scatter", 1);
         if self.rank == root {
             let parts = parts.expect("root must supply scatter data");
             assert_eq!(parts.len(), self.size(), "need one part per rank");
@@ -226,6 +233,7 @@ impl Comm {
     /// Personalized all-to-all exchange: rank i sends `parts[j]` to rank j
     /// and returns the vector of contributions received, indexed by source.
     pub fn alltoallv<T: Pod>(&self, parts: &[Vec<T>]) -> Vec<Vec<T>> {
+        reshape_telemetry::incr("mpisim.collectives.alltoallv", 1);
         assert_eq!(parts.len(), self.size(), "need one part per rank");
         // All sends are buffered, so issue them first, then receive in rank
         // order — deadlock-free.

@@ -56,7 +56,7 @@ mod spawn;
 mod universe;
 
 pub use collectives::ReduceOp;
-pub use comm::{Comm, Group, NodeId};
+pub use comm::{Comm, CommStats, Group, NodeId};
 pub use datum::{from_bytes, to_bytes, Pod, Reducible};
 pub use net::NetModel;
 pub use persistent::{PersistentRecv, PersistentSend};

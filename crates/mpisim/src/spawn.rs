@@ -124,6 +124,7 @@ impl InterComm {
             rank,
             ep: std::rc::Rc::clone(&self.local.ep),
             core,
+            stats: std::rc::Rc::default(),
         };
         merged.barrier();
         merged
@@ -147,8 +148,13 @@ impl Comm {
             // Virtual spawn cost: process startup is far from free on a real
             // cluster (fork/exec, connection setup).
             self.advance(core.net.spawn_overhead);
+            reshape_telemetry::incr("mpisim.spawns", 1);
+            reshape_telemetry::incr("mpisim.spawned_procs", n as u64);
+            reshape_telemetry::observe("mpisim.spawn_overhead_seconds", core.net.spawn_overhead);
+            let span = reshape_telemetry::span("mpisim.spawn_wall_seconds");
             let (inter_id, child_group) =
                 spawn_children(&core, n, nodes, name, entry, Arc::clone(self.group()), self.vtime());
+            span.stop();
             let mut msg: Vec<u64> = vec![inter_id, n as u64];
             msg.extend(child_group.members.iter().map(|p| p.0));
             msg.extend(child_group.nodes.iter().map(|nd| nd.0 as u64));
@@ -256,6 +262,7 @@ where
                     rank,
                     ep: std::rc::Rc::clone(&ep),
                     core: Arc::clone(&core2),
+                    stats: std::rc::Rc::default(),
                 };
                 let parent = InterComm {
                     id: inter_id,

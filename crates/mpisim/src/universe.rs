@@ -228,6 +228,7 @@ impl Universe {
                         rank,
                         ep,
                         core,
+                        stats: std::rc::Rc::default(),
                     };
                     entry(comm);
                 },

@@ -57,6 +57,16 @@ pub fn redistribute_2d<T: Pod + Default>(
 
     let mut out = my_dst.map(|(dr, dc)| DistMatrix::<T>::new(plan.dst, dr, dc));
 
+    // Per-phase wall-clock accounting (pack / transfer / unpack), recorded
+    // once per execution. `tel` keeps the hot loops free of clock reads
+    // when telemetry is off.
+    let tel = reshape_telemetry::enabled();
+    let mut pack_s = 0.0f64;
+    let mut xfer_s = 0.0f64;
+    let mut unpack_s = 0.0f64;
+    let mut bytes_sent = 0u64;
+    let mut transfers = 0u64;
+
     // The executor tolerates steps that are NOT partial permutations (a
     // rank may send and receive several messages per step): ReSHAPE's
     // schedules never need that, but the naive single-step baseline used by
@@ -67,12 +77,26 @@ pub fn redistribute_2d<T: Pod + Default>(
         let tag = TAG_REDIST_BASE + t as u32;
         if let (Some(sc), Some(m)) = (my_src, src) {
             for tr in step.iter().filter(|tr| tr.src == sc) {
+                let t0 = tel.then(std::time::Instant::now);
                 pack(plan, tr, m, &mut buf);
+                if let Some(t0) = t0 {
+                    pack_s += t0.elapsed().as_secs_f64();
+                }
                 if plan.dst_rank(tr.dst) == me {
                     // Local move: both endpoints are this rank.
+                    let t0 = tel.then(std::time::Instant::now);
                     unpack(plan, tr, &buf, out.as_mut().expect("local move implies dest"));
+                    if let Some(t0) = t0 {
+                        unpack_s += t0.elapsed().as_secs_f64();
+                    }
                 } else {
+                    let t0 = tel.then(std::time::Instant::now);
                     comm.send(plan.dst_rank(tr.dst), tag, &buf);
+                    if let Some(t0) = t0 {
+                        xfer_s += t0.elapsed().as_secs_f64();
+                        transfers += 1;
+                        bytes_sent += (buf.len() * std::mem::size_of::<T>()) as u64;
+                    }
                 }
             }
         }
@@ -82,10 +106,27 @@ pub fn redistribute_2d<T: Pod + Default>(
                 if from == me {
                     continue; // handled as a local move above
                 }
+                let t0 = tel.then(std::time::Instant::now);
                 comm.recv_into(from, tag, &mut buf);
+                if let Some(t0) = t0 {
+                    xfer_s += t0.elapsed().as_secs_f64();
+                }
+                let t0 = tel.then(std::time::Instant::now);
                 unpack(plan, tr, &buf, out.as_mut().expect("recv implies dest"));
+                if let Some(t0) = t0 {
+                    unpack_s += t0.elapsed().as_secs_f64();
+                }
             }
         }
+    }
+    if tel {
+        reshape_telemetry::incr("redist.executions", 1);
+        reshape_telemetry::incr("redist.plan_steps", plan.steps.len() as u64);
+        reshape_telemetry::incr("redist.transfers", transfers);
+        reshape_telemetry::incr("redist.bytes_sent", bytes_sent);
+        reshape_telemetry::observe("redist.pack_seconds", pack_s);
+        reshape_telemetry::observe("redist.transfer_seconds", xfer_s);
+        reshape_telemetry::observe("redist.unpack_seconds", unpack_s);
     }
     out
 }

@@ -1,0 +1,241 @@
+//! Bounded structured event journal.
+//!
+//! Subsystems append typed [`Event`]s; the journal keeps the most recent
+//! `capacity` of them (dropping the oldest and counting the drops) and can
+//! export everything as JSONL. Recording is a no-op while telemetry is off,
+//! so long-lived schedulers pay nothing by default.
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Default retention: enough for every decision of a paper-scale trace.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One structured record. Field types are primitives (job ids as `u64`,
+/// processor configurations as strings like `"4x2"`) so that every crate in
+/// the stack can emit events without `reshape-telemetry` depending on any
+/// of them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Event {
+    /// Remap Scheduler verdict at a resize point, with the §3.1 policy
+    /// inputs it was derived from.
+    ResizeDecision {
+        /// Virtual time of the resize point.
+        time: f64,
+        job: u64,
+        /// Processor configuration before the decision, e.g. `"2x4"`.
+        from: String,
+        /// `"expand"`, `"shrink"`, or `"no_change"`.
+        decision: String,
+        /// Target configuration when the decision changes the allocation.
+        to: Option<String>,
+        idle_procs: usize,
+        queue_len: usize,
+        queue_head_need: Option<usize>,
+        last_expansion_improved: Option<bool>,
+        iter_time: f64,
+        redist_time: f64,
+        remaining_iters: usize,
+    },
+    /// One data redistribution between processor configurations.
+    Redistribution {
+        time: f64,
+        job: u64,
+        from: String,
+        to: String,
+        bytes: u64,
+        plan_steps: usize,
+        transfers: usize,
+        pack_seconds: f64,
+        transfer_seconds: f64,
+        unpack_seconds: f64,
+        total_seconds: f64,
+    },
+    /// Per-job summary emitted when a job completes.
+    JobTurnaround {
+        job: u64,
+        name: String,
+        submitted: f64,
+        started: f64,
+        finished: f64,
+        turnaround: f64,
+        compute_seconds: f64,
+        redist_seconds: f64,
+        expansions: usize,
+        shrinks: usize,
+        final_procs: usize,
+    },
+    /// Free-form annotation.
+    Note { time: f64, text: String },
+}
+
+impl Event {
+    /// The `type` tag this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ResizeDecision { .. } => "resize_decision",
+            Event::Redistribution { .. } => "redistribution",
+            Event::JobTurnaround { .. } => "job_turnaround",
+            Event::Note { .. } => "note",
+        }
+    }
+}
+
+struct Inner {
+    events: VecDeque<Event>,
+    cap: usize,
+    dropped: u64,
+}
+
+fn inner() -> &'static Mutex<Inner> {
+    static JOURNAL: OnceLock<Mutex<Inner>> = OnceLock::new();
+    JOURNAL.get_or_init(|| {
+        Mutex::new(Inner {
+            events: VecDeque::new(),
+            cap: DEFAULT_CAPACITY,
+            dropped: 0,
+        })
+    })
+}
+
+/// Append an event (dropping the oldest at capacity). No-op when telemetry
+/// is off.
+pub fn record(ev: Event) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut j = inner().lock();
+    if j.events.len() >= j.cap {
+        j.events.pop_front();
+        j.dropped += 1;
+    }
+    j.events.push_back(ev);
+}
+
+/// Change the retention cap, evicting oldest events if over it.
+pub fn set_capacity(cap: usize) {
+    let mut j = inner().lock();
+    j.cap = cap.max(1);
+    while j.events.len() > j.cap {
+        j.events.pop_front();
+        j.dropped += 1;
+    }
+}
+
+/// Remove and return every retained event.
+pub fn drain() -> Vec<Event> {
+    inner().lock().events.drain(..).collect()
+}
+
+/// Copy of the retained events, oldest first.
+pub fn snapshot_events() -> Vec<Event> {
+    inner().lock().events.iter().cloned().collect()
+}
+
+/// How many events have been evicted since process start.
+pub fn dropped() -> u64 {
+    inner().lock().dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(i: usize) -> Event {
+        Event::Note {
+            time: i as f64,
+            text: format!("n{i}"),
+        }
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts_drops() {
+        // The journal is global; this is the only test in the crate that
+        // records into it, and it pins the mode first.
+        crate::set_mode(crate::Mode::Text);
+        set_capacity(4);
+        drain();
+        let before = dropped();
+        for i in 0..10 {
+            record(note(i));
+        }
+        let kept = drain();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept.first(), Some(&note(6)));
+        assert_eq!(kept.last(), Some(&note(9)));
+        assert_eq!(dropped() - before, 6);
+        set_capacity(DEFAULT_CAPACITY);
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_every_variant() {
+        let events = vec![
+            Event::ResizeDecision {
+                time: 12.5,
+                job: 3,
+                from: "2x2".into(),
+                decision: "expand".into(),
+                to: Some("2x4".into()),
+                idle_procs: 6,
+                queue_len: 1,
+                queue_head_need: Some(8),
+                last_expansion_improved: Some(true),
+                iter_time: 0.8,
+                redist_time: 0.05,
+                remaining_iters: 17,
+            },
+            Event::Redistribution {
+                time: 13.0,
+                job: 3,
+                from: "2x2".into(),
+                to: "2x4".into(),
+                bytes: 1 << 20,
+                plan_steps: 4,
+                transfers: 8,
+                pack_seconds: 0.001,
+                transfer_seconds: 0.04,
+                unpack_seconds: 0.001,
+                total_seconds: 0.042,
+            },
+            Event::JobTurnaround {
+                job: 3,
+                name: "lu-8000".into(),
+                submitted: 0.0,
+                started: 1.0,
+                finished: 90.0,
+                turnaround: 90.0,
+                compute_seconds: 80.0,
+                redist_seconds: 4.0,
+                expansions: 2,
+                shrinks: 1,
+                final_procs: 8,
+            },
+            Event::Note {
+                time: 99.0,
+                text: "done".into(),
+            },
+        ];
+        // One JSON object per line, each tagged with `type`.
+        let jsonl: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let back: Vec<Event> = jsonl
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(back, events);
+        for l in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(l).unwrap();
+            assert!(v.get("type").is_some(), "line missing type tag: {l}");
+        }
+        assert_eq!(events[0].kind(), "resize_decision");
+        assert_eq!(events[1].kind(), "redistribution");
+        assert_eq!(events[2].kind(), "job_turnaround");
+        assert_eq!(events[3].kind(), "note");
+    }
+}

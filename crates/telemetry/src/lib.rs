@@ -1,0 +1,199 @@
+//! # reshape-telemetry — metrics, span timers, and a structured journal
+//!
+//! The paper's Performance Profiler and Remap Scheduler (§3.1) decide from
+//! measured iteration times and redistribution costs; this crate makes
+//! those measurements observable at runtime across the whole stack. It
+//! provides:
+//!
+//! - a process-wide [`Registry`] of named [`Counter`]s, [`Gauge`]s, and
+//!   fixed-bucket [`Histogram`]s with quantile summaries,
+//! - RAII [`Span`] timers for wall-clock latencies,
+//! - a bounded structured [`Event`] journal (resize decisions with their
+//!   policy inputs, redistributions with per-phase timings, per-job
+//!   turnaround summaries) exportable as JSONL.
+//!
+//! Everything is controlled by two environment variables:
+//!
+//! - `RESHAPE_TELEMETRY` — `off` (default), `text`, or `json`;
+//! - `RESHAPE_TELEMETRY_PATH` — where [`flush`] writes its report
+//!   (stderr when unset).
+//!
+//! With telemetry off, every recording call is a single relaxed atomic
+//! load and a branch — cheap enough to leave in the mpisim send path.
+
+mod histogram;
+mod journal;
+mod metrics;
+mod span;
+
+pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS, MIN_BOUND};
+pub use journal::{
+    drain as drain_journal, dropped as journal_dropped, record, set_capacity as set_journal_capacity,
+    snapshot_events, Event, DEFAULT_CAPACITY,
+};
+pub use metrics::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Once;
+
+/// Telemetry output mode, from `RESHAPE_TELEMETRY`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// No recording, no output (the default).
+    Off,
+    /// Record everything; [`flush`] emits a human-readable report.
+    Text,
+    /// Record everything; [`flush`] emits JSONL.
+    Json,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+static MODE_INIT: Once = Once::new();
+
+fn init_mode_from_env() {
+    MODE_INIT.call_once(|| {
+        let m = match std::env::var("RESHAPE_TELEMETRY").ok().as_deref() {
+            Some("text") => 1,
+            Some("json") => 2,
+            _ => 0,
+        };
+        MODE.store(m, Ordering::Relaxed);
+    });
+}
+
+/// Current mode; reads `RESHAPE_TELEMETRY` once on first call.
+pub fn mode() -> Mode {
+    init_mode_from_env();
+    match MODE.load(Ordering::Relaxed) {
+        1 => Mode::Text,
+        2 => Mode::Json,
+        _ => Mode::Off,
+    }
+}
+
+/// Override the mode programmatically (tests, benches, embedders).
+pub fn set_mode(m: Mode) {
+    init_mode_from_env();
+    let v = match m {
+        Mode::Off => 0,
+        Mode::Text => 1,
+        Mode::Json => 2,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// Whether anything should be recorded. Inlined fast path for hot sites.
+#[inline]
+pub fn enabled() -> bool {
+    mode() != Mode::Off
+}
+
+/// Handle to a named counter in the global registry (not gated — useful
+/// for caching handles or for always-on bookkeeping).
+pub fn counter(name: &str) -> std::sync::Arc<Counter> {
+    Registry::global().counter(name)
+}
+
+/// Add to a named counter when telemetry is enabled.
+pub fn incr(name: &str, n: u64) {
+    if enabled() {
+        Registry::global().counter(name).add(n);
+    }
+}
+
+/// Set a named gauge when telemetry is enabled.
+pub fn gauge_set(name: &str, v: f64) {
+    if enabled() {
+        Registry::global().gauge(name).set(v);
+    }
+}
+
+/// Record into a named histogram when telemetry is enabled.
+pub fn observe(name: &str, v: f64) {
+    if enabled() {
+        Registry::global().histogram(name).record(v);
+    }
+}
+
+/// Start a wall-clock span recording into histogram `name` when stopped.
+pub fn span(name: &'static str) -> Span {
+    Span::new(name)
+}
+
+/// Render journal + metrics as JSONL: one tagged object per journal event,
+/// then a final `{"type":"metrics",...}` line with the registry snapshot.
+pub fn json_lines() -> String {
+    let mut out = String::new();
+    for ev in snapshot_events() {
+        out.push_str(&serde_json::to_string(&ev).expect("telemetry events serialize"));
+        out.push('\n');
+    }
+    let tail = serde_json::json!({
+        "type": "metrics",
+        "journal_dropped": journal_dropped(),
+        "metrics": Registry::global().snapshot(),
+    });
+    out.push_str(&tail.to_string());
+    out.push('\n');
+    out
+}
+
+/// Render a human-readable report of every instrument and journal tallies.
+pub fn text_report() -> String {
+    use std::fmt::Write as _;
+    let snap = Registry::global().snapshot();
+    let mut s = String::from("== reshape telemetry ==\n");
+    if !snap.counters.is_empty() {
+        s.push_str("-- counters --\n");
+        for (k, v) in &snap.counters {
+            let _ = writeln!(s, "{k:<44} {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        s.push_str("-- gauges --\n");
+        for (k, v) in &snap.gauges {
+            let _ = writeln!(s, "{k:<44} {v}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        s.push_str("-- histograms --\n");
+        for (k, v) in &snap.histograms {
+            let _ = writeln!(s, "{k:<44} {}", v.summary());
+        }
+    }
+    let events = snapshot_events();
+    let mut tally: std::collections::BTreeMap<&'static str, usize> = std::collections::BTreeMap::new();
+    for ev in &events {
+        *tally.entry(ev.kind()).or_insert(0) += 1;
+    }
+    let _ = writeln!(
+        s,
+        "-- journal -- ({} events retained, {} dropped)",
+        events.len(),
+        journal_dropped()
+    );
+    for (k, v) in &tally {
+        let _ = writeln!(s, "{k:<44} {v}");
+    }
+    s
+}
+
+/// Write the report for the current [`mode`] to `RESHAPE_TELEMETRY_PATH`
+/// (truncating), or to stderr when the variable is unset. No-op when off.
+/// Non-destructive: the journal and registry are left intact.
+pub fn flush() {
+    let body = match mode() {
+        Mode::Off => return,
+        Mode::Json => json_lines(),
+        Mode::Text => text_report(),
+    };
+    match std::env::var("RESHAPE_TELEMETRY_PATH").ok().filter(|p| !p.is_empty()) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("reshape-telemetry: cannot write {path}: {e}");
+            }
+        }
+        None => eprint!("{body}"),
+    }
+}

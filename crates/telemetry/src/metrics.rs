@@ -1,0 +1,156 @@
+//! Named counters, gauges, and histograms in a process-wide registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge (stored as bit pattern).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+}
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Registry of named instruments. Handles are `Arc`s, so call sites may
+/// cache them; lookup by name is also cheap enough for gated paths.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// The process-wide registry all convenience functions write to.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().entry(name.to_string()).or_default())
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().entry(name.to_string()).or_default())
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(self.histograms.lock().entry(name.to_string()).or_default())
+    }
+
+    /// Point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Drop every instrument (test isolation helper).
+    pub fn reset(&self) {
+        self.counters.lock().clear();
+        self.gauges.lock().clear();
+        self.histograms.lock().clear();
+    }
+}
+
+/// Serializable copy of a [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_by_name() {
+        let r = Registry::default();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.incr();
+        assert_eq!(r.counter("x").get(), 3);
+        assert_eq!(r.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauge_stores_last_value() {
+        let r = Registry::default();
+        let g = r.gauge("depth");
+        g.set(4.0);
+        g.set(2.5);
+        assert_eq!(r.gauge("depth").get(), 2.5);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = Registry::default();
+        r.counter("msgs").add(7);
+        r.gauge("q").set(3.0);
+        r.histogram("lat").record(0.25);
+        r.histogram("lat").record(0.5);
+        let snap = r.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counters["msgs"], 7);
+        assert_eq!(back.histograms["lat"].count, 2);
+    }
+}

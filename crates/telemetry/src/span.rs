@@ -1,0 +1,60 @@
+//! RAII wall-clock span timers.
+
+use std::time::Instant;
+
+/// Measures wall time from construction until [`Span::stop`] (or drop) and
+/// records the elapsed seconds into the histogram named at construction —
+/// but only when telemetry is enabled. The clock always runs, so callers
+/// that need the measured value (e.g. the driver's iteration loop feeding
+/// the virtual clock) can use `stop()`'s return value whether or not the
+/// observation was kept.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    pub fn new(name: &'static str) -> Self {
+        Span {
+            name,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Seconds elapsed so far, without ending the span.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// End the span, record the observation, and return elapsed seconds.
+    pub fn stop(mut self) -> f64 {
+        let dt = self.elapsed();
+        self.recorded = true;
+        crate::observe(self.name, dt);
+        dt
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            crate::observe(self.name, self.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_returns_elapsed_seconds() {
+        let s = Span::new("test.span");
+        let dt = s.stop();
+        assert!(dt >= 0.0);
+        assert!(dt < 60.0, "a no-op span took {dt}s");
+    }
+}

@@ -37,3 +37,4 @@ pub use reshape_core as core;
 pub use reshape_grid as grid;
 pub use reshape_mpisim as mpisim;
 pub use reshape_redist as redist;
+pub use reshape_telemetry as telemetry;
