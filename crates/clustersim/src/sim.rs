@@ -119,6 +119,11 @@ impl SimResult {
                     let prev = per_job.insert(e.job, to.procs()).unwrap_or(0);
                     busy = busy + to.procs() - prev;
                 }
+                EventKind::ExpandFailed { from, .. } => {
+                    // Failed expansion reverts the allocation to `from`.
+                    let prev = per_job.insert(e.job, from.procs()).unwrap_or(0);
+                    busy = busy + from.procs() - prev;
+                }
                 EventKind::Finished | EventKind::Failed { .. } | EventKind::Cancelled => {
                     busy -= per_job.remove(&e.job).unwrap_or(0);
                 }
@@ -559,6 +564,7 @@ impl ClusterSim {
                     EventKind::Expanded { to, .. } | EventKind::Shrunk { to, .. } => {
                         alloc.push((e.time, to.procs()))
                     }
+                    EventKind::ExpandFailed { from, .. } => alloc.push((e.time, from.procs())),
                     EventKind::Finished | EventKind::Failed { .. } | EventKind::Cancelled => {
                         alloc.push((e.time, 0))
                     }

@@ -80,6 +80,9 @@ pub enum EventKind {
     Started { config: ProcessorConfig },
     Expanded { from: ProcessorConfig, to: ProcessorConfig },
     Shrunk { from: ProcessorConfig, to: ProcessorConfig },
+    /// An expansion directive could not be actuated (spawn failure); the job
+    /// reverted to `from` and the granted processors returned to the pool.
+    ExpandFailed { from: ProcessorConfig, to: ProcessorConfig },
     Finished,
     Failed { reason: String },
     Cancelled,
@@ -138,6 +141,10 @@ pub struct SchedulerCore {
     // Utilization integral: busy processor-seconds and its last update time.
     busy_proc_seconds: f64,
     last_tick: f64,
+    /// Testing backdoor: when set, `on_failed` "forgets" to release the
+    /// failed job's processors — a planted pool leak the invariant oracle
+    /// must catch. Never enabled outside tests.
+    chaos_leak_on_failure: bool,
 }
 
 impl SchedulerCore {
@@ -159,7 +166,17 @@ impl SchedulerCore {
             pending_cancel: std::collections::HashSet::new(),
             busy_proc_seconds: 0.0,
             last_tick: 0.0,
+            chaos_leak_on_failure: false,
         }
+    }
+
+    /// Plant a processor leak in the failure path: subsequent `on_failed`
+    /// calls keep the job's slots allocated instead of releasing them.
+    /// Exists so the testkit can prove its invariant oracle detects leaks;
+    /// do not use outside tests.
+    #[doc(hidden)]
+    pub fn chaos_skip_release_on_failure(&mut self, on: bool) {
+        self.chaos_leak_on_failure = on;
     }
 
     /// Select the Remap Scheduler policy variant (default: the paper's).
@@ -588,14 +605,65 @@ impl SchedulerCore {
                 reason: reason.clone(),
             };
             rec.finished_at = Some(now);
-            self.pool.release(&slots);
+            if !self.chaos_leak_on_failure {
+                self.pool.release(&slots);
+            }
             self.queue.retain(|&j| j != job);
             self.push_event(SchedEvent {
                 time: now,
                 job,
                 kind: EventKind::Failed { reason },
             });
+            reshape_telemetry::incr("core.job_failures", 1);
+            reshape_telemetry::record(reshape_telemetry::Event::Recovery {
+                time: now,
+                job: job.0,
+                action: "reclaim_failed_job".to_string(),
+                freed: slots.len(),
+            });
         }
+        self.try_schedule(now)
+    }
+
+    /// An expansion directive could not be actuated: the spawn was granted
+    /// fewer processes than the Remap Scheduler allocated (or none). The job
+    /// keeps running at its previous configuration `from`; this reclaims the
+    /// granted-but-unused processors, records the attempt as "expansion did
+    /// not help" so the policy stops re-probing it, and starts any queued
+    /// work that now fits. Returns the jobs started with the freed capacity.
+    pub fn on_expand_failed(&mut self, job: JobId, now: f64) -> Vec<StartAction> {
+        self.tick(now);
+        // The reverted-to configuration is the `from` of the job's last
+        // recorded resize, which expand actuation always records.
+        let last_expand = self
+            .profiler
+            .profile(job)
+            .and_then(|p| p.last_resize());
+        let Some(Resize::Expanded { from, to }) = last_expand else {
+            return Vec::new();
+        };
+        let Some(rec) = self.jobs.get_mut(&job) else {
+            return Vec::new();
+        };
+        if !matches!(rec.state, JobState::Running { config } if config == to) {
+            return Vec::new();
+        }
+        let released: Vec<usize> = rec.slots.split_off(from.procs());
+        rec.state = JobState::Running { config: from };
+        self.pool.release(&released);
+        self.profiler.mark_expansion_failed(job, from, to);
+        self.push_event(SchedEvent {
+            time: now,
+            job,
+            kind: EventKind::ExpandFailed { from, to },
+        });
+        reshape_telemetry::incr("core.expand_failures", 1);
+        reshape_telemetry::record(reshape_telemetry::Event::Recovery {
+            time: now,
+            job: job.0,
+            action: "revert_failed_expansion".to_string(),
+            freed: released.len(),
+        });
         self.try_schedule(now)
     }
 
@@ -846,6 +914,71 @@ mod tests {
             core.job(a).unwrap().state,
             JobState::Failed { ref reason, .. } if reason == "segfault"
         ));
+    }
+
+    #[test]
+    fn failed_expansion_reverts_config_and_reclaims_slots() {
+        let mut core = SchedulerCore::new(16, QueuePolicy::Fcfs);
+        let (a, _) = core.submit(lu(8000, 1, 2), 0.0);
+        let (d, _) = core.resize_point(a, 100.0, 0.0, 10.0);
+        let to = match d {
+            Directive::Expand { to, .. } => to,
+            other => panic!("expected expansion, got {other:?}"),
+        };
+        assert_eq!(core.busy_procs(), to.procs());
+        let started = core.on_expand_failed(a, 11.0);
+        assert!(started.is_empty());
+        // Reverted to the pre-expansion configuration; surplus slots freed.
+        assert!(matches!(
+            core.job(a).unwrap().state,
+            JobState::Running { config } if config == ProcessorConfig::new(1, 2)
+        ));
+        assert_eq!(core.busy_procs(), 2);
+        assert!(matches!(
+            core.events().last().unwrap().kind,
+            EventKind::ExpandFailed { .. }
+        ));
+        // The attempt reads as "expansion did not help": no immediate
+        // re-probe of the same growth.
+        let (d2, _) = core.resize_point(a, 100.0, 0.0, 12.0);
+        assert!(!matches!(d2, Directive::Expand { .. }), "{d2:?}");
+    }
+
+    #[test]
+    fn failed_expansion_frees_capacity_for_queued_jobs() {
+        let mut core = SchedulerCore::new(6, QueuePolicy::Fcfs);
+        let (a, _) = core.submit(lu(8000, 1, 2), 0.0);
+        let (d, _) = core.resize_point(a, 100.0, 0.0, 10.0); // 1x2 -> 2x2
+        assert!(matches!(d, Directive::Expand { .. }));
+        // Queue a job needing 4: only 2 idle while `a` holds 4.
+        let (b, s) = core.submit(lu(8000, 2, 2), 11.0);
+        assert!(s.is_empty());
+        // The expansion fails; its 2 reclaimed slots make 4 idle -> b starts.
+        let started = core.on_expand_failed(a, 12.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, b);
+    }
+
+    #[test]
+    fn expand_failed_without_prior_expand_is_inert() {
+        let mut core = SchedulerCore::new(8, QueuePolicy::Fcfs);
+        let (a, _) = core.submit(lu(8000, 2, 2), 0.0);
+        assert!(core.on_expand_failed(a, 1.0).is_empty());
+        assert_eq!(core.busy_procs(), 4);
+        // Unknown jobs too.
+        assert!(core.on_expand_failed(JobId(999), 2.0).is_empty());
+    }
+
+    #[test]
+    fn chaos_leak_hook_keeps_slots_allocated() {
+        let mut core = SchedulerCore::new(4, QueuePolicy::Fcfs);
+        core.chaos_skip_release_on_failure(true);
+        let (a, _) = core.submit(lu(8000, 2, 2), 0.0);
+        core.on_failed(a, "crash".into(), 5.0);
+        // The planted bug: the job is terminal but its processors never
+        // came back.
+        assert_eq!(core.idle_procs(), 0);
+        assert_eq!(core.busy_procs(), 4);
     }
 
     #[test]

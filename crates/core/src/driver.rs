@@ -48,6 +48,11 @@ pub trait SchedulerLink: Send + Sync {
     /// timing history for it should reset (paper intro's multi-phase
     /// motivation). Default: ignored.
     fn phase_change(&self, _job: JobId, _now: f64) {}
+    /// An expand directive could not be actuated (the spawn was granted
+    /// fewer processes than needed); the job keeps running at its previous
+    /// configuration and the scheduler should reclaim the granted slots.
+    /// Default: ignored.
+    fn expand_failed(&self, _job: JobId, _to: ProcessorConfig, _now: f64) {}
 }
 
 /// A resizable application: closures shared by the original processes and
@@ -122,6 +127,15 @@ const DIR_NOCHANGE: u64 = 0;
 const DIR_EXPAND: u64 = 1;
 const DIR_SHRINK: u64 = 2;
 const DIR_TERMINATE: u64 = 3;
+
+/// Intercomm tag for the expansion commit handshake: after spawning, the
+/// parent root tells each child whether the expansion goes ahead
+/// ([`EXPAND_GO`]) or is aborted because the spawn was short-granted
+/// ([`EXPAND_ABORT`], children exit before merging). Below the reserved
+/// internal tag space.
+const TAG_EXPAND_COMMIT: u32 = 9_000_000;
+const EXPAND_GO: u64 = 1;
+const EXPAND_ABORT: u64 = 0;
 
 /// Per-process handle to the resizing library.
 pub struct ResizeContext {
@@ -234,12 +248,18 @@ impl ResizeContext {
     /// Advanced API: spawn the processes granted by an expand directive and
     /// merge them in (BLACS-context rebuild included). Redistribution is a
     /// separate step ([`ResizeContext::redistribute`]).
+    ///
+    /// Returns `false` when the spawn was granted fewer processes than the
+    /// expansion needs: the partial grant is aborted (spawned processes exit
+    /// before merging), the scheduler is told via
+    /// [`SchedulerLink::expand_failed`], and the application keeps running
+    /// on its previous configuration with its data layout untouched.
     pub fn expand_processors(
         &mut self,
         to: ProcessorConfig,
         new_slots: &[usize],
         mats: &mut Vec<DistMatrix<f64>>,
-    ) {
+    ) -> bool {
         let from = self.config;
         let delta = to.procs() - from.procs();
         let nodes: Option<Vec<NodeId>> = (self.comm.rank() == 0).then(|| {
@@ -251,9 +271,32 @@ impl ResizeContext {
         });
         let shared = Arc::clone(&self.shared);
         let t0 = self.comm.vtime();
-        let merged = self.comm.spawn_merge(delta, nodes, "reshape-expand", move |ctx| {
+        let inter = self.comm.spawn(delta, nodes, "reshape-expand", move |ctx| {
             spawned_process_main(ctx, Arc::clone(&shared));
         });
+        // Commit handshake: every rank learned the actual grant from the
+        // spawn broadcast; the root tells each spawned process whether to
+        // proceed into the merge or exit immediately.
+        let granted = inter.remote_size();
+        if granted < delta {
+            if self.comm.rank() == 0 {
+                for child in 0..granted {
+                    inter.send_remote(child, TAG_EXPAND_COMMIT, &[EXPAND_ABORT]);
+                }
+                reshape_telemetry::incr("driver.expand_aborts", 1);
+                self.shared
+                    .link
+                    .expand_failed(self.shared.job, to, self.comm.vtime());
+            }
+            self.last_redist = 0.0;
+            return false;
+        }
+        if self.comm.rank() == 0 {
+            for child in 0..granted {
+                inter.send_remote(child, TAG_EXPAND_COMMIT, &[EXPAND_GO]);
+            }
+        }
+        let merged = inter.merge();
         // Tell the newcomers where the computation stands: iteration count,
         // old and new configurations, and each array's descriptor.
         let mut hdr: Vec<u64> = vec![
@@ -281,6 +324,7 @@ impl ResizeContext {
         self.comm = merged;
         self.config = to;
         self.grid = GridContext::new(&self.comm, to.rows, to.cols);
+        true
     }
 
     /// Advanced API: redistribute to a previously used smaller
@@ -343,8 +387,13 @@ impl ResizeContext {
                 Resolution::Continue
             }
             Directive::Expand { to, new_slots } => {
-                self.expand_processors(to, &new_slots, mats);
-                Resolution::Resized
+                if self.expand_processors(to, &new_slots, mats) {
+                    Resolution::Resized
+                } else {
+                    // Spawn shortfall: the expansion was aborted and the
+                    // scheduler notified; keep iterating on the old grid.
+                    Resolution::Continue
+                }
             }
             Directive::Shrink { to } => self.shrink_processors(to, mats),
             // Cancelled: every process leaves; the scheduler already
@@ -404,9 +453,15 @@ fn receive_state(
         .collect()
 }
 
-/// Entry point of a dynamically spawned process: merge with the parents,
-/// learn the computation state, receive data, and join the iteration loop.
+/// Entry point of a dynamically spawned process: wait for the parent's
+/// commit verdict, then merge with the parents, learn the computation
+/// state, receive data, and join the iteration loop. On an aborted
+/// expansion (short spawn grant) the process exits before merging.
 fn spawned_process_main(ctx: SpawnCtx, shared: Arc<DriverShared>) {
+    let go: Vec<u64> = ctx.parent.recv_remote(0, TAG_EXPAND_COMMIT);
+    if go[0] != EXPAND_GO {
+        return;
+    }
     let merged = ctx.parent.merge();
     let hdr: Vec<u64> = merged.bcast(0, &[]);
     let iter = hdr[0] as usize;
@@ -498,6 +553,9 @@ mod tests {
         }
         fn finished(&self, job: JobId, now: f64) {
             self.0.lock().on_finished(job, now);
+        }
+        fn expand_failed(&self, job: JobId, _to: ProcessorConfig, now: f64) {
+            self.0.lock().on_expand_failed(job, now);
         }
     }
 
@@ -650,6 +708,115 @@ mod tests {
         let last = prof.history().last().unwrap();
         assert_eq!(last.config, ProcessorConfig::new(2, 2));
         assert_eq!(prof.last_expansion_improved(), Some(false));
+        drop(core);
+    }
+
+    #[test]
+    fn short_spawn_grant_aborts_expansion_and_reverts() {
+        let n = 16usize;
+        let uni = Universe::new(16, 1, NetModel::ideal());
+        let mut core = SchedulerCore::new(16, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "faulty",
+            TopologyPref::Grid { problem_size: n },
+            ProcessorConfig::new(1, 2),
+            6,
+        );
+        let (job, starts) = core.submit(spec, 0.0);
+        assert_eq!(starts.len(), 1);
+        let link = Arc::new(CoreLink(Mutex::new(core)));
+        // The first expansion's spawn is granted only one of the processes
+        // it asks for; the driver must abort and fall back.
+        uni.inject_spawn_cap(1);
+
+        let expected: f64 = (0..n * n).map(|x| x as f64).sum();
+        let app = {
+            let base = toy_app(n);
+            let init = base.init.clone();
+            AppDef {
+                init,
+                iterate: Arc::new(move |grid: &GridContext, mats: &mut Vec<DistMatrix<f64>>, it| {
+                    (base.iterate)(grid, mats, it);
+                    let sum = checksum(grid, &mats[0]);
+                    assert!(
+                        (sum - expected).abs() < 1e-6,
+                        "data corrupted at iteration {it}: {sum} != {expected}"
+                    );
+                }),
+                phase_starts: Vec::new(),
+            }
+        };
+        let shared = Arc::new(DriverShared {
+            job,
+            app,
+            iterations: 6,
+            link: link.clone(),
+            slots_per_node: 1,
+            fold_wall_time: false,
+        });
+        let cfg = ProcessorConfig::new(1, 2);
+        let shared2 = Arc::clone(&shared);
+        uni.launch(2, None, "faulty", move |comm| {
+            run_resizable(comm, cfg, Arc::clone(&shared2));
+        })
+        .join_ok();
+        uni.join_spawned();
+
+        let core = link.0.lock();
+        let rec = core.job(job).unwrap();
+        assert!(matches!(rec.state, crate::job::JobState::Finished { .. }));
+        // The failed attempt is on the trace and the pool is whole again.
+        assert!(
+            core.events()
+                .iter()
+                .any(|e| matches!(e.kind, crate::core::EventKind::ExpandFailed { .. })),
+            "no ExpandFailed event recorded"
+        );
+        assert_eq!(core.idle_procs(), 16, "granted slots were not reclaimed");
+        // The job held its pre-expansion configuration to the end.
+        let prof = core.profiler().profile(job).unwrap();
+        assert_eq!(prof.history().last().unwrap().config, cfg);
+        assert_eq!(prof.last_expansion_improved(), Some(false));
+        drop(core);
+    }
+
+    #[test]
+    fn zero_spawn_grant_is_survivable() {
+        // A spawn granted *no* processes at all: same fallback, no spawned
+        // threads to reap.
+        let n = 8usize;
+        let uni = Universe::new(8, 1, NetModel::ideal());
+        let mut core = SchedulerCore::new(8, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "none",
+            TopologyPref::Grid { problem_size: n },
+            ProcessorConfig::new(1, 2),
+            4,
+        );
+        let (job, _) = core.submit(spec, 0.0);
+        let link = Arc::new(CoreLink(Mutex::new(core)));
+        uni.inject_spawn_cap(0);
+        let shared = Arc::new(DriverShared {
+            job,
+            app: toy_app(n),
+            iterations: 4,
+            link: link.clone(),
+            slots_per_node: 1,
+            fold_wall_time: false,
+        });
+        let cfg = ProcessorConfig::new(1, 2);
+        let shared2 = Arc::clone(&shared);
+        uni.launch(2, None, "none", move |comm| {
+            run_resizable(comm, cfg, Arc::clone(&shared2));
+        })
+        .join_ok();
+        uni.join_spawned();
+        let core = link.0.lock();
+        assert!(matches!(
+            core.job(job).unwrap().state,
+            crate::job::JobState::Finished { .. }
+        ));
+        assert_eq!(core.idle_procs(), 8);
         drop(core);
     }
 

@@ -54,6 +54,10 @@ pub struct JobProfile {
     /// Measured redistribution seconds between configuration pairs.
     redist_costs: HashMap<(ProcessorConfig, ProcessorConfig), f64>,
     last_resize: Option<Resize>,
+    /// Set when the job's most recent expansion attempt could not be
+    /// actuated (spawn failure) and the job reverted to `from`. Cleared by
+    /// the next successful resize or a phase change.
+    failed_expansion: Option<(ProcessorConfig, ProcessorConfig)>,
 }
 
 impl JobProfile {
@@ -82,10 +86,21 @@ impl JobProfile {
             || matches!(self.last_resize, Some(Resize::Expanded { .. }))
     }
 
+    /// The expansion that most recently failed to actuate, as `(from, to)`,
+    /// if the job is currently under a failed-expansion verdict.
+    pub fn failed_expansion(&self) -> Option<(ProcessorConfig, ProcessorConfig)> {
+        self.failed_expansion
+    }
+
     /// Did the most recent expansion reduce the iteration time? `None` if
     /// the job never expanded or the expanded configuration has not been
     /// measured yet.
     pub fn last_expansion_improved(&self) -> Option<bool> {
+        // An expansion that could not even be actuated (spawn failure) is
+        // judged "did not help", so the §3.1 policy stops re-probing it.
+        if self.failed_expansion.is_some() {
+            return Some(false);
+        }
         // If the latest resize was an expansion, judge it directly.
         if let Some(Resize::Expanded { from, to }) = self.last_resize {
             if self.time_at(to).is_some() {
@@ -191,6 +206,25 @@ impl Profiler {
         };
         p.redist_costs.insert((from, to), redist_seconds);
         p.last_resize = Some(resize);
+        // A successfully actuated resize supersedes any failed-expansion
+        // verdict.
+        p.failed_expansion = None;
+    }
+
+    /// Record that `job`'s expansion `from -> to` failed to actuate and the
+    /// job reverted to `from`. Until the next successful resize (or a phase
+    /// change) the profile reports `last_expansion_improved() == Some(false)`
+    /// so the Remap Scheduler treats the attempt exactly like an expansion
+    /// that did not help.
+    pub fn mark_expansion_failed(
+        &mut self,
+        job: JobId,
+        from: ProcessorConfig,
+        to: ProcessorConfig,
+    ) {
+        let p = self.jobs.entry(job).or_default();
+        p.failed_expansion = Some((from, to));
+        p.last_resize = None;
     }
 
     pub fn profile(&self, job: JobId) -> Option<&JobProfile> {
@@ -216,6 +250,7 @@ impl Profiler {
             p.stats.clear();
             p.visited.clear();
             p.last_resize = None;
+            p.failed_expansion = None;
         }
     }
 }
@@ -347,6 +382,25 @@ mod tests {
         // The measured cost survives — it is layout physics, not phase
         // performance.
         assert_eq!(prof.redist_cost(cfg(2, 2), cfg(2, 3)), Some(4.0));
+    }
+
+    #[test]
+    fn failed_expansion_counts_as_not_improved() {
+        let mut p = Profiler::new();
+        let j = JobId(5);
+        p.record_iteration(j, cfg(2, 2), 50.0, 0.0);
+        p.mark_expansion_failed(j, cfg(2, 2), cfg(2, 4));
+        let prof = p.profile(j).unwrap();
+        assert_eq!(prof.failed_expansion(), Some((cfg(2, 2), cfg(2, 4))));
+        assert_eq!(prof.last_expansion_improved(), Some(false));
+        // A later successful resize clears the verdict.
+        p.record_resize(j, Resize::Expanded { from: cfg(2, 2), to: cfg(4, 4) }, 1.0);
+        assert_eq!(p.profile(j).unwrap().failed_expansion(), None);
+        // ...and a phase change does too.
+        p.mark_expansion_failed(j, cfg(2, 2), cfg(2, 4));
+        p.reset_timing(j);
+        assert_eq!(p.profile(j).unwrap().failed_expansion(), None);
+        assert_eq!(p.profile(j).unwrap().last_expansion_improved(), None);
     }
 
     #[test]

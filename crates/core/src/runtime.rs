@@ -63,6 +63,10 @@ enum Msg {
         reason: String,
         now: f64,
     },
+    ExpandFailed {
+        job: JobId,
+        now: f64,
+    },
     Shutdown,
 }
 
@@ -101,6 +105,10 @@ impl SchedulerLink for RuntimeLink {
 
     fn phase_change(&self, job: JobId, now: f64) {
         let _ = self.tx.send(Msg::PhaseChange { job, now });
+    }
+
+    fn expand_failed(&self, job: JobId, _to: ProcessorConfig, now: f64) {
+        let _ = self.tx.send(Msg::ExpandFailed { job, now });
     }
 }
 
@@ -226,6 +234,10 @@ impl SchedThreadCtx {
                 }
                 Msg::Failed { job, reason, now } => {
                     let starts = self.core.lock().on_failed(job, reason, now);
+                    self.actuate(starts);
+                }
+                Msg::ExpandFailed { job, now } => {
+                    let starts = self.core.lock().on_expand_failed(job, now);
                     self.actuate(starts);
                 }
                 Msg::Shutdown => break,
@@ -509,6 +521,60 @@ mod tests {
             "{state:?}"
         );
         // The monitor reclaims asynchronously; poll with a deadline.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if rt.core().lock().idle_procs() == 4 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "resources never reclaimed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn spawn_fault_recovers_through_runtime_channel() {
+        let uni = Universe::new(8, 1, NetModel::ideal());
+        // Every expansion attempt spawn is denied outright.
+        uni.inject_spawn_cap(0);
+        let rt = ReshapeRuntime::new(uni, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "short-grant",
+            TopologyPref::Grid { problem_size: 8 },
+            ProcessorConfig::new(1, 2),
+            5,
+        );
+        let job = rt.submit(spec, toy(8, 1.0));
+        let state = rt.wait_for(job, Duration::from_secs(30));
+        assert!(matches!(state, JobState::Finished { .. }), "{state:?}");
+        // The granted-then-reverted processors all made it back.
+        assert_eq!(rt.core().lock().idle_procs(), 8);
+        assert!(rt
+            .core()
+            .lock()
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, crate::core::EventKind::ExpandFailed { .. })));
+    }
+
+    #[test]
+    fn node_crash_fails_job_and_reclaims() {
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        // Node 1 dies at t=0.5; the static 2x2 job straddles it.
+        uni.inject_node_crash(NodeId(1), 0.5);
+        let rt = ReshapeRuntime::new(uni, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "crashy",
+            TopologyPref::Grid { problem_size: 8 },
+            ProcessorConfig::new(2, 2),
+            50,
+        )
+        .static_job();
+        let job = rt.submit(spec, toy(8, 1.0));
+        let state = rt.wait_for(job, Duration::from_secs(30));
+        assert!(
+            matches!(state, JobState::Failed { ref reason, .. } if reason.contains("crashed")),
+            "{state:?}"
+        );
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
             if rt.core().lock().idle_procs() == 4 {

@@ -169,6 +169,24 @@ impl Comm {
     pub fn advance(&self, dt: f64) {
         assert!(dt >= 0.0, "cannot advance virtual time backwards");
         self.ep.borrow_mut().now += dt;
+        self.check_crashed();
+    }
+
+    /// Panic if this rank's node has an injected crash that has fired by the
+    /// current virtual time. Called at every communication checkpoint so the
+    /// crash surfaces as a normal process failure.
+    fn check_crashed(&self) {
+        self.core
+            .fault
+            .check_crash(self.group.nodes[self.rank], self.ep.borrow().now);
+    }
+
+    /// Whether `rank`'s process is still live (has a mailbox). A rank whose
+    /// node crashed, or that already terminated, reports `false`. Used by
+    /// fault-aware protocols (e.g. the redistribution abort pre-flight).
+    pub fn rank_alive(&self, rank: usize) -> bool {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        self.core.router.is_live(self.group.members[rank])
     }
 
     /// The universe this communicator lives in (for spawning).
@@ -187,14 +205,21 @@ impl Comm {
 
     pub(crate) fn send_raw(&self, dst: usize, tag: u32, payload: Bytes) {
         assert!(dst < self.size(), "destination rank {dst} out of range");
+        self.check_crashed();
         self.stats.msgs.set(self.stats.msgs.get() + 1);
         self.stats.bytes.set(self.stats.bytes.get() + payload.len() as u64);
         reshape_telemetry::incr("mpisim.msgs_sent", 1);
         reshape_telemetry::incr("mpisim.bytes_sent", payload.len() as u64);
+        // Injected link degradation multiplies both serialization and wire
+        // latency for this (source node, destination node) pair.
+        let slow = self
+            .core
+            .fault
+            .link_factor(self.group.nodes[self.rank], self.group.nodes[dst]);
         let arrival = {
             let mut ep = self.ep.borrow_mut();
-            ep.now += self.core.net.send_cost(payload.len());
-            ep.now + self.core.net.latency
+            ep.now += self.core.net.send_cost(payload.len()) * slow;
+            ep.now + self.core.net.latency * slow
         };
         self.core.router.deliver(
             self.group.members[dst],
@@ -212,10 +237,14 @@ impl Comm {
         if let Some(s) = src {
             assert!(s < self.size(), "source rank {s} out of range");
         }
+        self.check_crashed();
         let env = self
             .ep
             .borrow_mut()
             .recv_match(self.group.id, src, tag, &self.core.net);
+        // Receiving advances the clock to the message arrival time, which may
+        // cross this node's injected crash deadline.
+        self.check_crashed();
         (env.src, env.tag, env.payload)
     }
 

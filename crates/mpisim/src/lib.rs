@@ -48,6 +48,7 @@ mod comm;
 mod collectives;
 mod datum;
 mod endpoint;
+mod fault;
 mod net;
 mod persistent;
 mod request;

@@ -73,22 +73,27 @@ impl Router {
     }
 
     pub fn deliver(&self, dst: ProcId, env: Envelope) {
+        if let Err(_env) = self.try_deliver(dst, env) {
+            panic!("send to unknown or terminated process {dst}");
+        }
+    }
+
+    /// Like [`Router::deliver`] but hands the envelope back instead of
+    /// panicking when the destination has no mailbox, so fault-aware callers
+    /// (e.g. redistribution abort paths) can decline gracefully.
+    pub fn try_deliver(&self, dst: ProcId, env: Envelope) -> Result<(), Envelope> {
         let tx = {
             let boxes = self.mailboxes.lock();
             boxes.get(&dst.0).cloned()
         };
         match tx {
-            Some(tx) => {
-                // The receiver may have terminated between the lookup and the
-                // send; a closed channel is equally a protocol error.
-                tx.send(env)
-                    .unwrap_or_else(|_| panic!("send to terminated process {dst}"));
-            }
-            None => panic!("send to unknown or terminated process {dst}"),
+            // The receiver may have terminated between the lookup and the
+            // send; a closed channel is equally a dead destination.
+            Some(tx) => tx.send(env).map_err(|e| e.0),
+            None => Err(env),
         }
     }
 
-    #[allow(dead_code)]
     pub fn is_live(&self, id: ProcId) -> bool {
         self.mailboxes.lock().contains_key(&id.0)
     }

@@ -148,14 +148,37 @@ impl Comm {
             // Virtual spawn cost: process startup is far from free on a real
             // cluster (fork/exec, connection setup).
             self.advance(core.net.spawn_overhead);
+            // An injected spawn cap grants fewer processes than requested,
+            // like MPI_Comm_spawn_multiple partially failing; callers see the
+            // shortfall via `remote_size()` and must cope.
+            let granted = core.fault.next_spawn_cap(n);
+            let nodes = nodes.map(|mut v| {
+                v.truncate(granted);
+                v
+            });
             reshape_telemetry::incr("mpisim.spawns", 1);
-            reshape_telemetry::incr("mpisim.spawned_procs", n as u64);
+            reshape_telemetry::incr("mpisim.spawned_procs", granted as u64);
+            if granted < n {
+                reshape_telemetry::incr("mpisim.spawn_shortfalls", 1);
+                reshape_telemetry::record(reshape_telemetry::Event::SpawnFault {
+                    time: self.vtime(),
+                    requested: n,
+                    granted,
+                });
+            }
             reshape_telemetry::observe("mpisim.spawn_overhead_seconds", core.net.spawn_overhead);
             let span = reshape_telemetry::span("mpisim.spawn_wall_seconds");
-            let (inter_id, child_group) =
-                spawn_children(&core, n, nodes, name, entry, Arc::clone(self.group()), self.vtime());
+            let (inter_id, child_group) = spawn_children(
+                &core,
+                granted,
+                nodes,
+                name,
+                entry,
+                Arc::clone(self.group()),
+                self.vtime(),
+            );
             span.stop();
-            let mut msg: Vec<u64> = vec![inter_id, n as u64];
+            let mut msg: Vec<u64> = vec![inter_id, granted as u64];
             msg.extend(child_group.members.iter().map(|p| p.0));
             msg.extend(child_group.nodes.iter().map(|nd| nd.0 as u64));
             to_bytes(&msg)

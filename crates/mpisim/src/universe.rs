@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 
 use crate::comm::{Comm, Group, NodeId};
 use crate::endpoint::Endpoint;
+use crate::fault::FaultState;
 use crate::net::NetModel;
 use crate::router::{ProcId, Router};
 
@@ -46,6 +47,8 @@ pub(crate) struct UniverseCore {
     /// Join handles for *spawned* (mid-run) processes; initial launch groups
     /// keep their own handles in their [`GroupHandle`].
     spawned_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Injected faults (node crashes, spawn caps, link slowdowns).
+    pub fault: FaultState,
 }
 
 impl UniverseCore {
@@ -134,6 +137,7 @@ impl Universe {
                 events_tx,
                 events_rx,
                 spawned_handles: Mutex::new(Vec::new()),
+                fault: FaultState::default(),
             }),
         }
     }
@@ -162,6 +166,27 @@ impl Universe {
     /// event exactly once per `recv` across clones — use one subscriber).
     pub fn events(&self) -> Receiver<ProcEvent> {
         self.core.events_rx.clone()
+    }
+
+    /// Inject a node crash: every process placed on `node` panics at its
+    /// first communication or clock advance at virtual time ≥ `at_vtime`.
+    /// The failures surface as [`ProcStatus::Failed`] events, exactly like
+    /// an application panic, so monitors exercise their real recovery path.
+    pub fn inject_node_crash(&self, node: NodeId, at_vtime: f64) {
+        self.core.fault.inject_node_crash(node, at_vtime);
+    }
+
+    /// Inject a grant cap for an upcoming [`Comm::spawn`]: the next spawn
+    /// call is granted at most `cap` processes (possibly zero). Caps queue
+    /// up and are consumed one per spawn call, in injection order.
+    pub fn inject_spawn_cap(&self, cap: usize) {
+        self.core.fault.inject_spawn_cap(cap);
+    }
+
+    /// Inject a directed link slowdown: messages from `src` to `dst` pay
+    /// `factor`× the modeled network time (factor > 1 slows the link).
+    pub fn inject_link_slowdown(&self, src: NodeId, dst: NodeId, factor: f64) {
+        self.core.fault.inject_link_slowdown(src, dst, factor);
     }
 
     /// Query a process's last known status.

@@ -29,6 +29,7 @@ pub mod checkpoint;
 pub mod cost;
 mod exec;
 mod exec1d;
+mod fault;
 mod general;
 mod general1d;
 mod general2d;
@@ -40,6 +41,10 @@ pub use checkpoint::{checkpoint_cost, checkpoint_redistribute, CheckpointParams}
 pub use cost::{evaluate_1d, evaluate_2d, evaluate_2d_contended, RedistCost, PACK_BANDWIDTH};
 pub use exec::redistribute_2d;
 pub use exec1d::redistribute_1d;
+pub use fault::{
+    try_checkpoint_redistribute, try_redistribute_1d, try_redistribute_2d,
+    try_redistribute_general_2d, RedistAbort,
+};
 pub use general::redistribute_general;
 pub use general1d::{
     evaluate_general_1d, plan_general_1d, redistribute_general_1d, GTransfer, GeneralPlan1d,

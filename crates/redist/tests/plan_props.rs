@@ -1,0 +1,99 @@
+//! Property tests for the redistribution planners: every element of the
+//! array is sent exactly once, to its true block-cyclic owner, and the
+//! plan's total volume equals the matrix volume. These are the structural
+//! guarantees the executors rely on — `unpack` trusts the plan to deliver
+//! each destination cell exactly once.
+
+use proptest::prelude::*;
+use reshape_blockcyclic::Descriptor;
+use reshape_redist::{plan_1d, plan_2d};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn plan1d_sends_every_block_exactly_once_with_exact_volume(
+        n in 1usize..400,
+        b in 1usize..9,
+        p in 1usize..9,
+        q in 1usize..9,
+    ) {
+        let plan = plan_1d(n, b, p, q);
+        let mut sent = vec![0usize; plan.nblocks()];
+        let mut volume = 0usize;
+        for step in &plan.steps {
+            for tr in step {
+                for &k in &tr.blocks {
+                    prop_assert!(k < plan.nblocks(), "block {} out of range", k);
+                    sent[k] += 1;
+                    // Block-cyclic ownership: block k lives on k mod p and
+                    // moves to k mod q.
+                    prop_assert_eq!(tr.src, k % p, "block {} sent from non-owner", k);
+                    prop_assert_eq!(tr.dst, k % q, "block {} sent to wrong owner", k);
+                    volume += plan.block_len(k);
+                }
+            }
+        }
+        for (k, &c) in sent.iter().enumerate() {
+            prop_assert_eq!(c, 1, "block {} sent {} times", k, c);
+        }
+        prop_assert_eq!(volume, n, "plan volume != array volume");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plan2d_covers_every_block_pair_exactly_once_with_exact_volume(
+        m in 1usize..40,
+        n in 1usize..40,
+        mb in 1usize..5,
+        nb in 1usize..5,
+        sr in 1usize..4,
+        sc in 1usize..4,
+        dr in 1usize..4,
+        dc in 1usize..4,
+    ) {
+        let src = Descriptor::new(m, n, mb, nb, sr, sc);
+        let dst = Descriptor::new(m, n, mb, nb, dr, dc);
+        let plan = plan_2d(src, dst);
+        let rblocks = m.div_ceil(mb);
+        let cblocks = n.div_ceil(nb);
+        let row_len = |rb: usize| (m - rb * mb).min(mb);
+        let col_len = |cb: usize| (n - cb * nb).min(nb);
+        let mut sent = vec![0usize; rblocks * cblocks];
+        let mut volume = 0usize;
+        for step in &plan.steps {
+            for tr in step {
+                let mut rows = 0usize;
+                for &rb in &tr.row_blocks {
+                    prop_assert!(rb < rblocks, "row block {} out of range", rb);
+                    prop_assert_eq!(rb % sr, tr.src.0, "row block {} from non-owner row", rb);
+                    prop_assert_eq!(rb % dr, tr.dst.0, "row block {} to wrong row", rb);
+                    rows += row_len(rb);
+                }
+                let mut cols = 0usize;
+                for &cb in &tr.col_blocks {
+                    prop_assert!(cb < cblocks, "col block {} out of range", cb);
+                    prop_assert_eq!(cb % sc, tr.src.1, "col block {} from non-owner col", cb);
+                    prop_assert_eq!(cb % dc, tr.dst.1, "col block {} to wrong col", cb);
+                    cols += col_len(cb);
+                }
+                for &rb in &tr.row_blocks {
+                    for &cb in &tr.col_blocks {
+                        sent[rb * cblocks + cb] += 1;
+                    }
+                }
+                volume += rows * cols;
+            }
+        }
+        for (i, &c) in sent.iter().enumerate() {
+            prop_assert_eq!(
+                c, 1,
+                "block pair ({}, {}) sent {} times", i / cblocks, i % cblocks, c
+            );
+        }
+        prop_assert_eq!(volume, m * n, "plan volume != matrix volume");
+    }
+}

@@ -69,6 +69,22 @@ pub enum Event {
         shrinks: usize,
         final_procs: usize,
     },
+    /// A dynamic spawn was granted fewer processes than requested (fault
+    /// injection, or a real launcher shortfall).
+    SpawnFault {
+        time: f64,
+        requested: usize,
+        granted: usize,
+    },
+    /// A recovery action taken by the scheduler after a failure: `action` is
+    /// `"reclaim_failed_job"` or `"revert_failed_expansion"`, `freed` the
+    /// number of processors returned to the pool.
+    Recovery {
+        time: f64,
+        job: u64,
+        action: String,
+        freed: usize,
+    },
     /// Free-form annotation.
     Note { time: f64, text: String },
 }
@@ -80,6 +96,8 @@ impl Event {
             Event::ResizeDecision { .. } => "resize_decision",
             Event::Redistribution { .. } => "redistribution",
             Event::JobTurnaround { .. } => "job_turnaround",
+            Event::SpawnFault { .. } => "spawn_fault",
+            Event::Recovery { .. } => "recovery",
             Event::Note { .. } => "note",
         }
     }
@@ -214,6 +232,17 @@ mod tests {
                 shrinks: 1,
                 final_procs: 8,
             },
+            Event::SpawnFault {
+                time: 42.0,
+                requested: 4,
+                granted: 1,
+            },
+            Event::Recovery {
+                time: 43.0,
+                job: 3,
+                action: "revert_failed_expansion".into(),
+                freed: 4,
+            },
             Event::Note {
                 time: 99.0,
                 text: "done".into(),
@@ -236,6 +265,8 @@ mod tests {
         assert_eq!(events[0].kind(), "resize_decision");
         assert_eq!(events[1].kind(), "redistribution");
         assert_eq!(events[2].kind(), "job_turnaround");
-        assert_eq!(events[3].kind(), "note");
+        assert_eq!(events[3].kind(), "spawn_fault");
+        assert_eq!(events[4].kind(), "recovery");
+        assert_eq!(events[5].kind(), "note");
     }
 }

@@ -1,0 +1,232 @@
+//! The deterministic harness: drives a [`SchedulerCore`] through a seeded
+//! [`Scenario`], injecting the scheduled faults, and runs the invariant
+//! oracle after **every** scheduler transition plus the trace oracle at the
+//! end. Any violation is reported with the scenario seed so the run can be
+//! reproduced exactly.
+
+use std::collections::BTreeMap;
+
+use reshape_core::{Directive, EventKind, JobId, JobState, SchedulerCore, StartAction};
+
+use crate::oracle;
+use crate::scenario::{generate, Fault, Scenario};
+
+/// What a run did — used by the harness tests to prove the generated
+/// schedules actually exercise the interesting paths.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    pub transitions: usize,
+    pub starts: usize,
+    pub expansions: usize,
+    pub shrinks: usize,
+    pub expand_failures: usize,
+    pub job_failures: usize,
+    pub cancellations: usize,
+}
+
+/// Per-running-job bookkeeping of the simulated application side.
+struct Live {
+    plan: usize,
+    next_checkin: f64,
+    checkins: usize,
+    /// `ExpandFailure` fault not yet fired.
+    expand_fault_armed: bool,
+}
+
+/// Upper bound on scheduler transitions per run; generated workloads use a
+/// few hundred, so hitting this means a livelock.
+const MAX_TRANSITIONS: usize = 100_000;
+
+/// Expand `seed` and drive it. See [`run_scenario`].
+pub fn run_seed(seed: u64) -> Result<RunStats, String> {
+    run_scenario(&generate(seed))
+}
+
+/// Drive `scenario` to completion. Returns the first invariant violation
+/// (prefixed with the seed) or the run's statistics.
+pub fn run_scenario(sc: &Scenario) -> Result<RunStats, String> {
+    run_scenario_on(sc, SchedulerCore::new(sc.total_procs, sc.policy))
+}
+
+/// [`run_scenario`] on a caller-prepared core — the planted-bug tests use
+/// this to hand in a core with a chaos hook enabled and prove the oracle
+/// notices.
+pub fn run_scenario_on(sc: &Scenario, mut core: SchedulerCore) -> Result<RunStats, String> {
+    let fail = |msg: String| format!("seed {}: {}", sc.seed, msg);
+    let mut live: BTreeMap<JobId, Live> = BTreeMap::new();
+    let mut ids: Vec<Option<JobId>> = vec![None; sc.jobs.len()];
+    let mut next_submission = 0usize;
+    let mut transitions = 0usize;
+
+    loop {
+        // Earliest pending event: the next submission or the earliest
+        // check-in; ties go to the submission, then to the lowest JobId
+        // (BTreeMap iteration order), keeping replays bit-identical.
+        let sub_at = (next_submission < sc.jobs.len()).then(|| sc.jobs[next_submission].arrival);
+        let next_checkin = live
+            .iter()
+            .min_by(|a, b| {
+                a.1.next_checkin
+                    .partial_cmp(&b.1.next_checkin)
+                    .expect("finite times")
+            })
+            .map(|(id, l)| (*id, l.next_checkin));
+        let (now, event) = match (sub_at, next_checkin) {
+            (None, None) => break,
+            (Some(t), None) => (t, None),
+            (None, Some((id, t))) => (t, Some(id)),
+            (Some(ts), Some((id, tc))) => {
+                if ts <= tc {
+                    (ts, None)
+                } else {
+                    (tc, Some(id))
+                }
+            }
+        };
+
+        transitions += 1;
+        if transitions > MAX_TRANSITIONS {
+            return Err(fail(format!(
+                "no progress after {MAX_TRANSITIONS} transitions — livelock"
+            )));
+        }
+
+        match event {
+            None => {
+                let plan = &sc.jobs[next_submission];
+                let (id, starts) = core.submit(plan.spec.clone(), now);
+                ids[next_submission] = Some(id);
+                next_submission += 1;
+                register(&mut live, &starts, sc, &ids, now);
+            }
+            Some(id) => checkin(&mut core, sc, &ids, &mut live, id, now)?,
+        }
+        oracle::check_invariants(&core).map_err(fail)?;
+    }
+
+    let need: BTreeMap<JobId, usize> = ids
+        .iter()
+        .zip(&sc.jobs)
+        .filter_map(|(id, p)| id.map(|id| (id, p.spec.initial.procs())))
+        .collect();
+    oracle::check_trace(&core, core.events(), &need, sc.policy).map_err(fail)?;
+    Ok(stats(transitions, core.events()))
+}
+
+/// Process one application check-in, firing any due fault.
+fn checkin(
+    core: &mut SchedulerCore,
+    sc: &Scenario,
+    ids: &[Option<JobId>],
+    live: &mut BTreeMap<JobId, Live>,
+    id: JobId,
+    now: f64,
+) -> Result<(), String> {
+    let (plan_idx, checkins, armed) = {
+        let l = live.get_mut(&id).expect("checkin for live job");
+        l.checkins += 1;
+        (l.plan, l.checkins, l.expand_fault_armed)
+    };
+    let plan = &sc.jobs[plan_idx];
+
+    // A job cancelled at an earlier check-in comes back one more time to
+    // pick up its Terminate directive, like a real driver would.
+    let config = match core.job(id).map(|r| r.state.clone()) {
+        Some(JobState::Running { config }) => config,
+        _ => {
+            let (d, starts) = core.resize_point(id, 0.0, 0.0, now);
+            register(live, &starts, sc, ids, now);
+            if d != Directive::Terminate {
+                return Err(format!("{id}: expected Terminate after cancel, got {d:?}"));
+            }
+            live.remove(&id);
+            return Ok(());
+        }
+    };
+
+    match plan.fault {
+        Some(Fault::FailAtCheckin(k)) if k == checkins => {
+            let starts = core.on_failed(id, "injected node failure".into(), now);
+            register(live, &starts, sc, ids, now);
+            live.remove(&id);
+            return Ok(());
+        }
+        Some(Fault::CancelAtCheckin(k)) if k == checkins => {
+            let starts = core.cancel(id, now);
+            register(live, &starts, sc, ids, now);
+            // One more check-in to receive Terminate.
+            live.get_mut(&id).expect("still live").next_checkin = now + 0.01;
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let iter_time = plan.work / config.procs() as f64;
+    let (directive, starts) = core.resize_point(id, iter_time, 0.0, now);
+    register(live, &starts, sc, ids, now);
+    if let Directive::Expand { .. } = directive {
+        if armed && matches!(plan.fault, Some(Fault::ExpandFailure)) {
+            let starts = core.on_expand_failed(id, now);
+            register(live, &starts, sc, ids, now);
+            live.get_mut(&id).expect("still live").expand_fault_armed = false;
+        }
+    }
+
+    if checkins >= plan.spec.iterations {
+        let starts = core.on_finished(id, now);
+        register(live, &starts, sc, ids, now);
+        live.remove(&id);
+    } else {
+        let procs = match core.job(id).map(|r| r.state.clone()) {
+            Some(JobState::Running { config }) => config.procs(),
+            _ => config.procs(),
+        };
+        live.get_mut(&id).expect("still live").next_checkin = now + plan.work / procs as f64;
+    }
+    Ok(())
+}
+
+/// Record scheduler-started jobs as live applications.
+fn register(
+    live: &mut BTreeMap<JobId, Live>,
+    starts: &[StartAction],
+    sc: &Scenario,
+    ids: &[Option<JobId>],
+    now: f64,
+) {
+    for s in starts {
+        let plan = ids
+            .iter()
+            .position(|i| *i == Some(s.job))
+            .expect("started job was submitted");
+        let work = sc.jobs[plan].work;
+        live.insert(
+            s.job,
+            Live {
+                plan,
+                next_checkin: now + work / s.config.procs() as f64,
+                checkins: 0,
+                expand_fault_armed: true,
+            },
+        );
+    }
+}
+
+fn stats(transitions: usize, events: &[reshape_core::SchedEvent]) -> RunStats {
+    let mut st = RunStats {
+        transitions,
+        ..Default::default()
+    };
+    for e in events {
+        match e.kind {
+            EventKind::Started { .. } => st.starts += 1,
+            EventKind::Expanded { .. } => st.expansions += 1,
+            EventKind::Shrunk { .. } => st.shrinks += 1,
+            EventKind::ExpandFailed { .. } => st.expand_failures += 1,
+            EventKind::Failed { .. } => st.job_failures += 1,
+            EventKind::Cancelled => st.cancellations += 1,
+            _ => {}
+        }
+    }
+    st
+}

@@ -1,0 +1,37 @@
+//! # reshape-testkit — deterministic verification harness
+//!
+//! Everything the fault-injection work needs to be *checked*, not just
+//! exercised:
+//!
+//! * [`rng::SplitMix64`] — one-u64-seed generator; every artifact of a run
+//!   derives from the seed, so failures reproduce from the printed seed.
+//! * [`scenario`] — seeded workload + fault-schedule generation across the
+//!   paper's application classes (grid / 1-D / master–worker, resizable
+//!   and static) with fail/cancel/expansion-failure faults.
+//! * [`oracle`] — the scheduler invariant oracle: no processor leaked or
+//!   double-allocated, pool accounting exact, FCFS/backfill admission
+//!   order respected, every job terminal and the cluster drained.
+//! * [`harness`] — drives a [`reshape_core::SchedulerCore`] through a
+//!   scenario, fires the faults, and runs the oracle after every
+//!   transition.
+//! * [`differential`] — runs the independent redistribution paths (planned
+//!   / naive / general / checkpoint, 2-D and 1-D) on identical inputs and
+//!   demands bitwise-equal results; under a dead rank, all fault-checked
+//!   variants must abort without moving data.
+//!
+//! To reproduce a CI failure locally:
+//!
+//! ```text
+//! TESTKIT_SEED=<printed seed> cargo test -p reshape-testkit seed_from_env
+//! ```
+
+pub mod differential;
+pub mod harness;
+pub mod oracle;
+pub mod rng;
+pub mod scenario;
+
+pub use harness::{run_scenario, run_scenario_on, run_seed, RunStats};
+pub use oracle::{check_invariants, check_trace};
+pub use rng::SplitMix64;
+pub use scenario::{generate, Fault, JobPlan, Scenario};

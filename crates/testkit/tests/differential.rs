@@ -1,0 +1,35 @@
+//! Differential sweep: every redistribution path must agree bitwise on
+//! seeded random layouts, and every fault-checked variant must abort
+//! cleanly when a rank is dead.
+
+use reshape_testkit::differential::{
+    dead_rank_aborts_2d, differential_1d, differential_2d, gen_case_2d,
+};
+use reshape_testkit::SplitMix64;
+
+#[test]
+fn seeded_2d_cases_agree_across_all_paths() {
+    let mut rng = SplitMix64::new(0xD1FF);
+    for i in 0..12 {
+        let case = gen_case_2d(&mut rng);
+        differential_2d(&case).unwrap_or_else(|e| panic!("case {i}: {e}"));
+    }
+}
+
+#[test]
+fn seeded_1d_cases_agree_across_both_paths() {
+    let mut rng = SplitMix64::new(0x1D1D);
+    for i in 0..12 {
+        let n = rng.usize_range(1, 120);
+        let b = rng.usize_range(1, 6);
+        let p = rng.usize_range(1, 5);
+        let q = rng.usize_range(1, 5);
+        differential_1d(n, b, p, q)
+            .unwrap_or_else(|e| panic!("case {i} (n={n} b={b} {p}->{q}): {e}"));
+    }
+}
+
+#[test]
+fn dead_rank_aborts_every_checked_path() {
+    dead_rank_aborts_2d().unwrap();
+}

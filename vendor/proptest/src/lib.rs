@@ -1,0 +1,201 @@
+//! Offline stand-in for `proptest`: deterministic seeded property testing
+//! with the API subset this workspace uses — the `proptest!` macro, range
+//! and tuple strategies, `prop_map`, `prop_oneof!`, `collection::vec`,
+//! `prop_assert!`/`prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * **no shrinking** — on failure the exact failing inputs, case number,
+//!   and seed are printed instead;
+//! * values are drawn uniformly from their strategy (no bias toward edge
+//!   cases);
+//! * the base seed is fixed (deterministic runs); set `PROPTEST_SEED` to
+//!   explore a different universe or reproduce a printed failure.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// SplitMix64: tiny, fast, and excellent dispersion for test-case seeding.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Derive the RNG for one test case from the run seed and case index.
+    pub fn for_case(seed: u64, case: u32) -> Self {
+        let mut rng = TestRng::new(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1)));
+        rng.next_u64(); // decorrelate nearby seeds
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`. `hi > lo` required.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // test-case generation.
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(hi > lo, "empty range {lo}..{hi}");
+        let span = (hi as i128 - lo as i128) as u128;
+        let off = ((self.next_u64() as u128 * span) >> 64) as i128;
+        (lo as i128 + off) as i64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The seed for this process: `PROPTEST_SEED` env var if set, else a fixed
+/// constant (fully deterministic CI).
+pub fn run_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0xC0FF_EE11_D00D_F00D)
+}
+
+/// The `proptest! { ... }` macro: runs each property `cases` times with
+/// deterministically seeded inputs, printing the failing inputs and seed on
+/// panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::run_seed();
+                for case in 0..cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(seed, case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __desc = {
+                        let mut parts: Vec<String> = Vec::new();
+                        $(parts.push(format!(concat!(stringify!($arg), " = {:?}"), $arg));)*
+                        parts.join(", ")
+                    };
+                    let __result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || { $body }
+                    ));
+                    if let Err(panic) = __result {
+                        eprintln!(
+                            "proptest: property {} failed at case {}/{} with inputs: {}\n\
+                             proptest: reproduce with PROPTEST_SEED={}",
+                            stringify!($name), case, cfg.cases, __desc, seed
+                        );
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::union_box($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..17, b in -5i64..5, f in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0usize..3).prop_map(|n| n * 100),
+            (5usize..8).prop_map(|n| n),
+        ]) {
+            prop_assert!(x == 0 || x == 100 || x == 200 || (5..8).contains(&x));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let mut a = crate::TestRng::for_case(42, 7);
+        let mut b = crate::TestRng::for_case(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

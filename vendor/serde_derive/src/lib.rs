@@ -1,0 +1,585 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` generating impls of the vendored `serde` shim's
+//! value-tree traits. Written directly against `proc_macro` token trees (no
+//! syn/quote in the offline environment); generated code is assembled as
+//! source text and re-parsed.
+//!
+//! Supported input shapes — exactly what the workspace uses:
+//! * structs with named fields;
+//! * one-field tuple structs (newtypes);
+//! * enums of unit, newtype, and struct variants.
+//!
+//! Supported attributes:
+//! * field `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(rename = "...")]` (combinable, e.g. `default, rename = "x"`);
+//! * container `#[serde(tag = "...", rename_all = "snake_case")]`
+//!   (internally tagged enums);
+//! * `Option<T>` fields are optional without an attribute, as in serde.
+//!
+//! Anything outside this subset fails loudly at expansion time rather than
+//! silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    tag: Option<String>,
+    rename_all_snake: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    ident: String,
+    /// Wire name after `rename`.
+    key: String,
+    is_option: bool,
+    default: DefaultAttr,
+}
+
+enum DefaultAttr {
+    No,
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    ident: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct SerdeArgs {
+    default: DefaultAttr,
+    rename: Option<String>,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let container = parse_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde shim derive: tuple struct `{name}` has {n} fields; only \
+                         newtypes (1 field) are supported"
+                    );
+                }
+                Kind::NewtypeStruct
+            }
+            other => panic!("serde shim derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+    Item {
+        name,
+        tag: container.tag,
+        rename_all_snake: container.rename_all_snake,
+        kind,
+    }
+}
+
+/// Consume leading attributes, returning merged serde arguments.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeArgs {
+    let mut args = SerdeArgs {
+        default: DefaultAttr::No,
+        rename: None,
+        tag: None,
+        rename_all_snake: false,
+    };
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let TokenTree::Group(g) = &tokens[*pos] else {
+            panic!("serde shim derive: malformed attribute");
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let Some(TokenTree::Ident(attr_name)) = inner.first() else {
+            continue;
+        };
+        if attr_name.to_string() != "serde" {
+            continue; // doc comments, #[default], other derives' attrs
+        }
+        let Some(TokenTree::Group(list)) = inner.get(1) else {
+            continue;
+        };
+        parse_serde_args(list.stream(), &mut args);
+    }
+    args
+}
+
+/// Parse `default`, `default = "path"`, `rename = "x"`, `tag = "type"`,
+/// `rename_all = "snake_case"` from inside `#[serde(...)]`.
+fn parse_serde_args(stream: TokenStream, args: &mut SerdeArgs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(id) = &tokens[i] else {
+            panic!("serde shim derive: unsupported serde attribute syntax: {:?}", tokens[i]);
+        };
+        let key = id.to_string();
+        i += 1;
+        let value = if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let TokenTree::Literal(lit) = &tokens[i] else {
+                panic!("serde shim derive: expected string literal after `{key} =`");
+            };
+            i += 1;
+            Some(unquote(&lit.to_string()))
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("default", None) => args.default = DefaultAttr::Std,
+            ("default", Some(path)) => args.default = DefaultAttr::Path(path),
+            ("rename", Some(name)) => args.rename = Some(name),
+            ("tag", Some(tag)) => args.tag = Some(tag),
+            ("rename_all", Some(style)) => {
+                if style != "snake_case" {
+                    panic!("serde shim derive: only rename_all = \"snake_case\" is supported");
+                }
+                args.rename_all_snake = true;
+            }
+            (other, _) => panic!("serde shim derive: unsupported serde attribute `{other}`"),
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let ident = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde shim derive: expected `:` after field `{ident}`, found {other:?}"),
+        }
+        // Collect the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        let mut first_ty_token: Option<String> = None;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            if first_ty_token.is_none() {
+                first_ty_token = Some(tokens[pos].to_string());
+            }
+            pos += 1;
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        let is_option = first_ty_token.as_deref() == Some("Option");
+        let key = attrs.rename.clone().unwrap_or_else(|| ident.clone());
+        fields.push(Field {
+            ident,
+            key,
+            is_option,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut any = false;
+    let mut commas = 0usize;
+    for t in stream {
+        any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let _attrs = parse_attrs(&tokens, &mut pos); // doc / #[default]; no serde attrs on variants here
+        let ident = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde shim derive: tuple variant `{ident}` has {n} fields; only \
+                         newtype variants are supported"
+                    );
+                }
+                pos += 1;
+                VariantFields::Newtype
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { ident, fields });
+    }
+    variants
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// serde's RenameRule::SnakeCase: lowercase with `_` before each interior
+/// uppercase run start.
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((\"{key}\".to_string(), \
+                     ::serde::Serialize::to_value(&self.{ident})));\n",
+                    key = f.key,
+                    ident = f.ident
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Kind::NewtypeStruct => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.ident;
+                let wire = if item.rename_all_snake {
+                    snake_case(vname)
+                } else {
+                    vname.clone()
+                };
+                let arm = match (&v.fields, &item.tag) {
+                    (VariantFields::Unit, None) => format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{wire}\".to_string()),\n"
+                    ),
+                    (VariantFields::Unit, Some(tag)) => format!(
+                        "{name}::{vname} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                         ::serde::Value::Str(\"{wire}\".to_string()))]),\n"
+                    ),
+                    (VariantFields::Newtype, None) => format!(
+                        "{name}::{vname}(__v0) => ::serde::Value::Object(vec![\
+                         (\"{wire}\".to_string(), ::serde::Serialize::to_value(__v0))]),\n"
+                    ),
+                    (VariantFields::Newtype, Some(_)) => panic!(
+                        "serde shim derive: newtype variant `{vname}` in internally tagged enum \
+                         is not supported"
+                    ),
+                    (VariantFields::Named(fields), tag) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut inner = String::new();
+                        inner.push_str(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{tag}\".to_string(), \
+                                 ::serde::Value::Str(\"{wire}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{key}\".to_string(), \
+                                 ::serde::Serialize::to_value({ident})));\n",
+                                key = f.key,
+                                ident = f.ident
+                            ));
+                        }
+                        let payload = "::serde::Value::Object(__fields)".to_string();
+                        let result = if tag.is_some() {
+                            payload
+                        } else {
+                            format!(
+                                "::serde::Value::Object(vec![(\"{wire}\".to_string(), {payload})])"
+                            )
+                        };
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}{result}\n}}\n",
+                            binds = binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// The expression filling one field of a struct (or struct variant) from
+/// object `__obj`, honoring Option-ness and default attributes.
+fn field_from_obj(owner: &str, f: &Field) -> String {
+    let missing = match (&f.default, f.is_option) {
+        (DefaultAttr::Std, _) => "::std::default::Default::default()".to_string(),
+        (DefaultAttr::Path(p), _) => format!("{p}()"),
+        (DefaultAttr::No, true) => "::std::option::Option::None".to_string(),
+        (DefaultAttr::No, false) => format!(
+            "return ::std::result::Result::Err(::serde::Error::msg(\
+             \"missing field `{key}` in {owner}\"))",
+            key = f.key
+        ),
+    };
+    format!(
+        "match ::serde::__get(__obj, \"{key}\") {{\n\
+         Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         None => {missing},\n}}",
+        key = f.key
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(format!(\"expected object for {name}, got {{__v:?}}\")))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{ident}: {expr},\n",
+                    ident = f.ident,
+                    expr = field_from_obj(name, f)
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::NewtypeStruct => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Kind::Enum(variants) => match &item.tag {
+            Some(tag) => gen_de_tagged_enum(item, variants, tag),
+            None => gen_de_untagged_enum(name, variants),
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_de_tagged_enum(item: &Item, variants: &[Variant], tag: &str) -> String {
+    let name = &item.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.ident;
+        let wire = if item.rename_all_snake {
+            snake_case(vname)
+        } else {
+            vname.clone()
+        };
+        match &v.fields {
+            VariantFields::Unit => {
+                arms.push_str(&format!(
+                    "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{ident}: {expr},\n",
+                        ident = f.ident,
+                        expr = field_from_obj(&format!("{name}::{vname}"), f)
+                    ));
+                }
+                arms.push_str(&format!(
+                    "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}),\n"
+                ));
+            }
+            VariantFields::Newtype => panic!(
+                "serde shim derive: newtype variant `{vname}` in internally tagged enum \
+                 is not supported"
+            ),
+        }
+    }
+    format!(
+        "let __obj = __v.as_object().ok_or_else(|| \
+         ::serde::Error::msg(format!(\"expected object for {name}, got {{__v:?}}\")))?;\n\
+         let __tag = ::serde::__get(__obj, \"{tag}\").and_then(::serde::Value::as_str)\
+         .ok_or_else(|| ::serde::Error::msg(\"missing `{tag}` tag for {name}\"))?;\n\
+         match __tag {{\n{arms}\
+         other => ::std::result::Result::Err(::serde::Error::msg(format!(\
+         \"unknown {name} variant `{{other}}`\"))),\n}}"
+    )
+}
+
+fn gen_de_untagged_enum(name: &str, variants: &[Variant]) -> String {
+    let mut str_arms = String::new();
+    let mut obj_arms = String::new();
+    for v in variants {
+        let vname = &v.ident;
+        match &v.fields {
+            VariantFields::Unit => {
+                str_arms.push_str(&format!(
+                    "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantFields::Newtype => {
+                obj_arms.push_str(&format!(
+                    "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),\n"
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!(
+                        "{ident}: {expr},\n",
+                        ident = f.ident,
+                        expr = field_from_obj(&format!("{name}::{vname}"), f)
+                    ));
+                }
+                obj_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                     let __obj = __inner.as_object().ok_or_else(|| ::serde::Error::msg(\
+                     \"expected object payload for {name}::{vname}\"))?;\n\
+                     return ::std::result::Result::Ok({name}::{vname} {{\n{inits}}});\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "if let ::serde::Value::Str(__s) = __v {{\n\
+         match __s.as_str() {{\n{str_arms}\
+         _ => {{}}\n}}\n}}\n\
+         if let ::serde::Value::Object(__o) = __v {{\n\
+         if __o.len() == 1 {{\n\
+         let (__k, __inner) = &__o[0];\n\
+         match __k.as_str() {{\n{obj_arms}\
+         _ => {{}}\n}}\n}}\n}}\n\
+         ::std::result::Result::Err(::serde::Error::msg(format!(\
+         \"no {name} variant matches {{__v:?}}\")))"
+    )
+}

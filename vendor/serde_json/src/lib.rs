@@ -1,0 +1,88 @@
+//! Offline stand-in for `serde_json`, layered on the vendored `serde` shim:
+//! the JSON grammar itself lives in `serde::json`; this crate provides the
+//! familiar entry points (`to_string`, `from_str`, `to_writer_pretty`,
+//! [`Value`], `json!`).
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{json, Deserialize, Serialize};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(json::to_string_compact(&value.to_value()))
+}
+
+/// Serialize to pretty (2-space indented) JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(json::to_string_pretty(&value.to_value()))
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    T::from_value(&json::parse(s)?)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serialize as pretty JSON into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    let text = json::to_string_pretty(&value.to_value());
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::msg(format!("write error: {e}")))
+}
+
+/// Serialize as compact JSON into a writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let text = json::to_string_compact(&value.to_value());
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::msg(format!("write error: {e}")))
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Supports the forms the
+/// workspace uses: object literals with string keys, array literals, `null`,
+/// and arbitrary serializable expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$val) ),* ])
+    };
+    ($val:expr) => { $crate::to_value(&$val) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({"type": "metrics", "n": 3u64, "nested": json!([1u8, 2u8])});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"type":"metrics","n":3,"nested":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn from_str_into_value() {
+        let v: Value = from_str(r#"{"a": 1}"#).unwrap();
+        assert!(v.get("a").is_some());
+        assert!(v.get("b").is_none());
+    }
+}
