@@ -9,15 +9,16 @@
 //! synchronous makes every scheduling experiment deterministic and lets the
 //! same policy code drive both real threads and simulated clusters.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
 use crate::job::{JobId, JobSpec, JobState};
 use crate::policy::{decide_with, RemapDecision, RemapPolicy, SystemSnapshot};
 use crate::pool::ResourcePool;
-use crate::profiler::{Profiler, Resize};
+use crate::profiler::{JobProfile, Profiler, Resize};
 use crate::topology::ProcessorConfig;
+use crate::wal::{Wal, WalError, WalRecord};
 
 /// Queueing discipline for initial allocations (paper §3.1: "two basic
 /// resource allocation policies, First Come First Served (FCFS) and simple
@@ -56,7 +57,7 @@ pub enum Directive {
 }
 
 /// Scheduler bookkeeping for one job.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobRecord {
     pub spec: JobSpec,
     pub state: JobState,
@@ -99,7 +100,7 @@ pub struct ReservationId(pub u64);
 /// squat on reserved capacity when the window opens are shrunk through the
 /// normal shrink-for-queue rule — the reservation deficit is presented to
 /// the Remap Scheduler as queued demand.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Reservation {
     pub id: ReservationId,
     pub start: f64,
@@ -116,6 +117,31 @@ impl Reservation {
 /// Default retention cap for the scheduling trace (see
 /// [`SchedulerCore::with_event_cap`]).
 pub const DEFAULT_EVENT_CAP: usize = 65_536;
+
+/// Everything a [`SchedulerCore`] knows, deep-copied into order-normalized
+/// containers so equality is well-defined. Produced by
+/// [`SchedulerCore::snapshot`]; the crash-restart testkit asserts the
+/// recovered core's snapshot equals the pre-crash one field for field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoreSnapshot {
+    pub total_procs: usize,
+    /// Free slot ids, ascending — pool accounting.
+    pub free_slots: Vec<usize>,
+    /// Queue order, head first.
+    pub queue: Vec<JobId>,
+    pub jobs: BTreeMap<JobId, JobRecord>,
+    /// Profiler history per job.
+    pub profiles: BTreeMap<JobId, JobProfile>,
+    pub next_id: u64,
+    pub reservations: Vec<Reservation>,
+    pub next_reservation: u64,
+    pub bindings: BTreeMap<JobId, ReservationId>,
+    pub pending_cancel: BTreeSet<JobId>,
+    pub busy_proc_seconds: f64,
+    pub last_tick: f64,
+    pub events: Vec<SchedEvent>,
+    pub events_dropped: u64,
+}
 
 /// The combined scheduler state machine.
 pub struct SchedulerCore {
@@ -145,6 +171,10 @@ pub struct SchedulerCore {
     /// failed job's processors — a planted pool leak the invariant oracle
     /// must catch. Never enabled outside tests.
     chaos_leak_on_failure: bool,
+    /// Write-ahead log: when attached, every public transition is appended
+    /// (and, for file-backed WALs, flushed) before it is applied. See
+    /// [`crate::wal`].
+    wal: Option<Wal>,
 }
 
 impl SchedulerCore {
@@ -167,6 +197,7 @@ impl SchedulerCore {
             busy_proc_seconds: 0.0,
             last_tick: 0.0,
             chaos_leak_on_failure: false,
+            wal: None,
         }
     }
 
@@ -203,6 +234,7 @@ impl SchedulerCore {
             let drop = (self.events_cap / 2).max(1);
             self.events.drain(..drop);
             self.events_dropped += drop as u64;
+            reshape_telemetry::incr("core.sched_events_dropped", drop as u64);
         }
         self.events.push(ev);
         reshape_telemetry::incr("core.sched_events", 1);
@@ -228,6 +260,200 @@ impl SchedulerCore {
     /// Speed factor of a processor slot (1.0 on homogeneous clusters).
     pub fn slot_speed(&self, slot: usize) -> f64 {
         self.pool.speed(slot)
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: write-ahead log and crash recovery
+    // ------------------------------------------------------------------
+
+    /// Attach a fresh write-ahead log. Must be called before any job is
+    /// submitted; writes the genesis [`WalRecord::Open`] capturing the
+    /// core's configuration so [`SchedulerCore::recover`] can rebuild it.
+    pub fn with_wal(mut self, mut wal: Wal) -> Self {
+        assert!(self.jobs.is_empty(), "attach the WAL before submitting jobs");
+        assert!(
+            wal.is_empty(),
+            "WAL already holds records; recover from it instead of re-attaching"
+        );
+        let speeds = self.pool.speeds();
+        let slot_speeds = if speeds.iter().all(|&s| s == 1.0) {
+            None
+        } else {
+            Some(speeds.to_vec())
+        };
+        wal.append(WalRecord::Open {
+            total_procs: self.pool.total(),
+            policy: self.policy,
+            remap_policy: self.remap_policy,
+            events_cap: self.events_cap,
+            alloc_order: self.pool.order(),
+            slot_speeds,
+        });
+        self.wal = Some(wal);
+        self
+    }
+
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Detach and return the WAL (e.g. to hand the stream to a crash
+    /// drill). Subsequent transitions are no longer logged.
+    pub fn take_wal(&mut self) -> Option<Wal> {
+        self.wal.take()
+    }
+
+    /// Rebuild a scheduler from its write-ahead log by replaying every
+    /// logged transition against a fresh core built from the genesis
+    /// record. Because the state machine is deterministic, the recovered
+    /// core is *exactly* equal to the one that wrote the log — pool
+    /// accounting, queue order, job records, profiler history, the event
+    /// trace and the utilization integral all match
+    /// ([`SchedulerCore::snapshot`] equality). The WAL stays attached, so
+    /// post-recovery transitions continue appending to the same stream.
+    pub fn recover(wal: Wal) -> Result<SchedulerCore, WalError> {
+        let mut records = wal.records().iter();
+        let Some(WalRecord::Open {
+            total_procs,
+            policy,
+            remap_policy,
+            events_cap,
+            alloc_order,
+            slot_speeds,
+        }) = records.next().cloned()
+        else {
+            return Err(WalError::BadGenesis(
+                "first WAL record must be `open`".into(),
+            ));
+        };
+        let mut core = match slot_speeds {
+            Some(speeds) => {
+                if speeds.len() != total_procs {
+                    return Err(WalError::BadGenesis(format!(
+                        "slot_speeds length {} != total_procs {total_procs}",
+                        speeds.len()
+                    )));
+                }
+                SchedulerCore::new(total_procs, policy).with_slot_speeds(speeds)
+            }
+            None => SchedulerCore::new(total_procs, policy),
+        };
+        core = core
+            .with_remap_policy(remap_policy)
+            .with_event_cap(events_cap)
+            .with_alloc_order(alloc_order);
+        for rec in records {
+            if matches!(rec, WalRecord::Open { .. }) {
+                return Err(WalError::BadGenesis(
+                    "duplicate `open` record mid-stream".into(),
+                ));
+            }
+            core.apply(rec.clone());
+        }
+        reshape_telemetry::incr("core.wal_recoveries", 1);
+        core.wal = Some(wal);
+        Ok(core)
+    }
+
+    /// Replay one logged transition. Only called with `self.wal == None`,
+    /// so nothing is re-logged.
+    fn apply(&mut self, rec: WalRecord) {
+        match rec {
+            WalRecord::Open { .. } => unreachable!("genesis handled by recover"),
+            WalRecord::Submit { spec, now } => {
+                self.submit_inner(spec, None, now);
+            }
+            WalRecord::SubmitReserved {
+                spec,
+                reservation,
+                now,
+            } => {
+                self.submit_inner(spec, Some(reservation), now);
+            }
+            WalRecord::TrySchedule { now } => {
+                self.schedule_now(now);
+            }
+            WalRecord::ResizePoint {
+                job,
+                iter_time,
+                redist_time,
+                now,
+            } => {
+                self.resize_point(job, iter_time, redist_time, now);
+            }
+            WalRecord::PhaseChange { job, now } => self.phase_change(job, now),
+            WalRecord::NoteRedist {
+                job,
+                from,
+                to,
+                seconds,
+            } => self.note_redist_cost(job, from, to, seconds),
+            WalRecord::Finished { job, now } => {
+                self.on_finished(job, now);
+            }
+            WalRecord::Failed { job, reason, now } => {
+                self.on_failed(job, reason, now);
+            }
+            WalRecord::ExpandFailed { job, now } => {
+                self.on_expand_failed(job, now);
+            }
+            WalRecord::Cancel { job, now } => {
+                self.cancel(job, now);
+            }
+            WalRecord::Reserve { start, end, procs } => {
+                self.reserve(start, end, procs);
+            }
+            WalRecord::CancelReservation { id } => self.cancel_reservation(id),
+            WalRecord::Tick { now } => self.tick(now),
+        }
+    }
+
+    /// Append to the WAL if one is attached (no-op otherwise — replay runs
+    /// with the WAL detached precisely so it does not re-log itself).
+    fn log(&mut self, rec: WalRecord) {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(rec);
+        }
+    }
+
+    /// Timestamps logged to the WAL must survive a JSON round trip;
+    /// serde_json cannot represent non-finite floats (the threaded
+    /// runtime's monitor stamps failures with NaN when no virtual clock is
+    /// available). `tick` clamps non-finite times to `last_tick`, so doing
+    /// the same before logging keeps the live run and its replay on the
+    /// identical input sequence.
+    fn sane_now(&self, now: f64) -> f64 {
+        if now.is_finite() {
+            now
+        } else {
+            self.last_tick
+        }
+    }
+
+    /// A deep, order-normalized copy of every piece of scheduler state, for
+    /// recovery-equality checks. Two cores with equal snapshots are
+    /// behaviorally identical.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            total_procs: self.pool.total(),
+            free_slots: self.pool.free_slots(),
+            queue: self.queue.iter().copied().collect(),
+            jobs: self.jobs.iter().map(|(k, v)| (*k, v.clone())).collect(),
+            profiles: self
+                .profiler
+                .profiles()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            next_id: self.next_id,
+            reservations: self.reservations.clone(),
+            next_reservation: self.next_reservation,
+            bindings: self.bindings.iter().map(|(k, v)| (*k, *v)).collect(),
+            pending_cancel: self.pending_cancel.iter().copied().collect(),
+            busy_proc_seconds: self.busy_proc_seconds,
+            last_tick: self.last_tick,
+            events: self.events.clone(),
+            events_dropped: self.events_dropped,
+        }
     }
 
     /// The slowest slot speed among a job's current allocation — the pace a
@@ -257,6 +483,7 @@ impl SchedulerCore {
             procs <= self.pool.total(),
             "cannot reserve more processors than the cluster has"
         );
+        self.log(WalRecord::Reserve { start, end, procs });
         let id = ReservationId(self.next_reservation);
         self.next_reservation += 1;
         self.reservations.push(Reservation {
@@ -270,6 +497,7 @@ impl SchedulerCore {
 
     /// Cancel a reservation (no effect on jobs already started against it).
     pub fn cancel_reservation(&mut self, id: ReservationId) {
+        self.log(WalRecord::CancelReservation { id });
         self.reservations.retain(|r| r.id != id);
     }
 
@@ -318,6 +546,13 @@ impl SchedulerCore {
     /// higher-priority jobs are inserted ahead of lower-priority ones
     /// (stable among equals).
     pub fn submit(&mut self, spec: JobSpec, now: f64) -> (JobId, Vec<StartAction>) {
+        let now = self.sane_now(now);
+        if self.wal.is_some() {
+            self.log(WalRecord::Submit {
+                spec: spec.clone(),
+                now,
+            });
+        }
         self.submit_inner(spec, None, now)
     }
 
@@ -333,6 +568,14 @@ impl SchedulerCore {
             self.reservations.iter().any(|r| r.id == reservation),
             "unknown reservation {reservation:?}"
         );
+        let now = self.sane_now(now);
+        if self.wal.is_some() {
+            self.log(WalRecord::SubmitReserved {
+                spec: spec.clone(),
+                reservation,
+                now,
+            });
+        }
         self.submit_inner(spec, Some(reservation), now)
     }
 
@@ -371,11 +614,20 @@ impl SchedulerCore {
             job: id,
             kind: EventKind::Submitted,
         });
-        (id, self.try_schedule(now))
+        (id, self.schedule_now(now))
     }
 
     /// Run the queue policy against the free pool.
     pub fn try_schedule(&mut self, now: f64) -> Vec<StartAction> {
+        let now = self.sane_now(now);
+        self.log(WalRecord::TrySchedule { now });
+        self.schedule_now(now)
+    }
+
+    /// [`SchedulerCore::try_schedule`] without WAL logging — every
+    /// transition that frees capacity ends by calling this, and those inner
+    /// scheduling passes replay implicitly with the enclosing record.
+    fn schedule_now(&mut self, now: f64) -> Vec<StartAction> {
         self.tick(now);
         let mut actions = Vec::new();
         let mut i = 0;
@@ -420,6 +672,13 @@ impl SchedulerCore {
         redist_time: f64,
         now: f64,
     ) -> (Directive, Vec<StartAction>) {
+        let now = self.sane_now(now);
+        self.log(WalRecord::ResizePoint {
+            job,
+            iter_time,
+            redist_time,
+            now,
+        });
         self.tick(now);
         if self.pending_cancel.remove(&job) {
             return (Directive::Terminate, Vec::new());
@@ -430,7 +689,11 @@ impl SchedulerCore {
         };
         let current = match rec.state {
             JobState::Running { config } => config,
-            _ => return (Directive::NoChange, Vec::new()),
+            // Zombie fencing: a process group whose job already left the
+            // system (failed by the watchdog or monitor, finished, or
+            // cancelled) holds no slots, so any late resize point tells it
+            // to exit rather than letting it iterate forever unaccounted.
+            _ => return (Directive::Terminate, Vec::new()),
         };
         self.profiler
             .record_iteration(job, current, iter_time, redist_time);
@@ -527,7 +790,7 @@ impl SchedulerCore {
                     job,
                     kind: EventKind::Shrunk { from: current, to },
                 });
-                let started = self.try_schedule(now);
+                let started = self.schedule_now(now);
                 (Directive::Shrink { to }, started)
             }
             RemapDecision::NoChange => (Directive::NoChange, Vec::new()),
@@ -544,6 +807,8 @@ impl SchedulerCore {
     /// configuration. Redistribution-cost records are kept (they are a
     /// property of the data layout, not the phase).
     pub fn phase_change(&mut self, job: JobId, now: f64) {
+        let now = self.sane_now(now);
+        self.log(WalRecord::PhaseChange { job, now });
         self.tick(now);
         if matches!(
             self.jobs.get(&job).map(|r| &r.state),
@@ -563,6 +828,12 @@ impl SchedulerCore {
         to: ProcessorConfig,
         seconds: f64,
     ) {
+        self.log(WalRecord::NoteRedist {
+            job,
+            from,
+            to,
+            seconds,
+        });
         let kind = if to.procs() >= from.procs() {
             Resize::Expanded { from, to }
         } else {
@@ -573,6 +844,8 @@ impl SchedulerCore {
 
     /// A job finished; reclaim its processors and start queued work.
     pub fn on_finished(&mut self, job: JobId, now: f64) -> Vec<StartAction> {
+        let now = self.sane_now(now);
+        self.log(WalRecord::Finished { job, now });
         self.tick(now);
         if let Some(rec) = self.jobs.get_mut(&job) {
             if !rec.state.is_active() {
@@ -589,11 +862,19 @@ impl SchedulerCore {
                 kind: EventKind::Finished,
             });
         }
-        self.try_schedule(now)
+        self.schedule_now(now)
     }
 
     /// A job failed (System Monitor "job error" path); reclaim resources.
     pub fn on_failed(&mut self, job: JobId, reason: String, now: f64) -> Vec<StartAction> {
+        let now = self.sane_now(now);
+        if self.wal.is_some() {
+            self.log(WalRecord::Failed {
+                job,
+                reason: reason.clone(),
+                now,
+            });
+        }
         self.tick(now);
         if let Some(rec) = self.jobs.get_mut(&job) {
             if !rec.state.is_active() {
@@ -622,7 +903,7 @@ impl SchedulerCore {
                 freed: slots.len(),
             });
         }
-        self.try_schedule(now)
+        self.schedule_now(now)
     }
 
     /// An expansion directive could not be actuated: the spawn was granted
@@ -632,6 +913,8 @@ impl SchedulerCore {
     /// not help" so the policy stops re-probing it, and starts any queued
     /// work that now fits. Returns the jobs started with the freed capacity.
     pub fn on_expand_failed(&mut self, job: JobId, now: f64) -> Vec<StartAction> {
+        let now = self.sane_now(now);
+        self.log(WalRecord::ExpandFailed { job, now });
         self.tick(now);
         // The reverted-to configuration is the `from` of the job's last
         // recorded resize, which expand actuation always records.
@@ -664,7 +947,7 @@ impl SchedulerCore {
             action: "revert_failed_expansion".to_string(),
             freed: released.len(),
         });
-        self.try_schedule(now)
+        self.schedule_now(now)
     }
 
     /// Cancel a job. Queued jobs leave the queue immediately; running jobs
@@ -672,6 +955,8 @@ impl SchedulerCore {
     /// at their next resize point, matching how every other ReSHAPE
     /// intervention happens. Returns any jobs started with freed capacity.
     pub fn cancel(&mut self, job: JobId, now: f64) -> Vec<StartAction> {
+        let now = self.sane_now(now);
+        self.log(WalRecord::Cancel { job, now });
         self.tick(now);
         let Some(rec) = self.jobs.get_mut(&job) else {
             return Vec::new();
@@ -687,7 +972,7 @@ impl SchedulerCore {
                     kind: EventKind::Cancelled,
                 });
                 // Removing a queued job may unblock an FCFS head.
-                self.try_schedule(now)
+                self.schedule_now(now)
             }
             JobState::Running { .. } => {
                 // Reclaim resources now; the application finds out at its
@@ -702,7 +987,7 @@ impl SchedulerCore {
                     job,
                     kind: EventKind::Cancelled,
                 });
-                self.try_schedule(now)
+                self.schedule_now(now)
             }
             _ => Vec::new(),
         }
@@ -757,7 +1042,15 @@ impl SchedulerCore {
         std::mem::take(&mut self.events)
     }
 
-    /// Events evicted because the trace reached its retention cap.
+    /// Events evicted because the trace reached its retention cap. Audit
+    /// consumers should check this before treating [`SchedulerCore::events`]
+    /// as complete; every eviction also bumps the
+    /// `core.sched_events_dropped` telemetry counter.
+    pub fn dropped_events(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Alias of [`SchedulerCore::dropped_events`] (original name).
     pub fn events_dropped(&self) -> u64 {
         self.events_dropped
     }
@@ -770,6 +1063,10 @@ impl SchedulerCore {
     /// wall-clock submission stamps with per-rank virtual times, so treat
     /// real-mode utilization as indicative only.
     pub fn utilization(&mut self, now: f64) -> f64 {
+        let now = self.sane_now(now);
+        // A query, but it advances the busy-time integral — exact-state
+        // recovery needs the same advance on replay.
+        self.log(WalRecord::Tick { now });
         self.tick(now);
         if now <= 0.0 {
             return 0.0;
@@ -1133,9 +1430,41 @@ mod tests {
         // A's next resize point gets the Terminate directive.
         let (d, _) = core.resize_point(a, 50.0, 0.0, 6.0);
         assert_eq!(d, Directive::Terminate);
-        // Subsequent check-ins are inert.
-        let (d, _) = core.resize_point(a, 50.0, 0.0, 7.0);
-        assert_eq!(d, Directive::NoChange);
+        // Repeated check-ins (a duplicated control message, or a zombie
+        // that ignored the first verdict) are told to terminate again —
+        // Terminate is idempotent and never reallocates.
+        let (d, starts) = core.resize_point(a, 50.0, 0.0, 7.0);
+        assert_eq!(d, Directive::Terminate);
+        assert!(starts.is_empty());
+    }
+
+    #[test]
+    fn cancel_racing_inflight_expansion_reclaims_old_and_new_slots() {
+        let mut core = SchedulerCore::new(16, QueuePolicy::Fcfs);
+        let (a, _) = core.submit(lu(8000, 1, 2), 0.0);
+        // The Remap Scheduler grants an expansion; the driver is now "in
+        // flight" between receiving Expand and committing the spawn.
+        let (d, _) = core.resize_point(a, 100.0, 0.0, 10.0);
+        let new_slots = match d {
+            Directive::Expand { new_slots, .. } => new_slots,
+            other => panic!("expected expansion, got {other:?}"),
+        };
+        assert!(!new_slots.is_empty());
+        // Cancel lands mid-flight: the job record already owns both the
+        // original and the freshly granted slots, and all of them must
+        // come back.
+        core.cancel(a, 11.0);
+        assert_eq!(core.idle_procs(), 16, "cancel leaked in-flight expansion slots");
+        // The driver's expansion attempt resolves after the cancel — both
+        // outcomes must be inert against the cancelled record.
+        let starts = core.on_expand_failed(a, 12.0);
+        assert!(starts.is_empty());
+        assert_eq!(core.idle_procs(), 16, "late expand-failure double-released");
+        // And the (possibly expanded) process group is fenced off at its
+        // next resize point.
+        let (d, _) = core.resize_point(a, 50.0, 0.0, 13.0);
+        assert_eq!(d, Directive::Terminate);
+        assert_eq!(core.idle_procs(), 16);
     }
 
     #[test]

@@ -98,6 +98,74 @@ impl AppDef {
     }
 }
 
+/// How the driver handles transient spawn shortfalls during an expansion:
+/// `MPI_Comm_spawn_multiple` returning fewer processes than requested is
+/// often a transient condition (a node agent restarting, a race with
+/// another job's teardown), so the driver retries the spawn with
+/// exponential backoff in virtual time before giving up and reporting the
+/// size unprofitable via [`SchedulerLink::expand_failed`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total spawn attempts per expand directive (1 = no retry).
+    pub max_attempts: usize,
+    /// Virtual-seconds backoff before the second attempt.
+    pub base_backoff: f64,
+    /// Multiplier applied to the backoff for each further attempt.
+    pub backoff_factor: f64,
+    /// Ceiling on a single backoff (virtual seconds).
+    pub max_backoff: f64,
+    /// ± fraction of deterministic jitter applied to each backoff, seeded
+    /// by `(job, attempt)` so contending expansions de-synchronize while
+    /// every rank of one job computes the identical delay.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: 0.5,
+            backoff_factor: 2.0,
+            max_backoff: 8.0,
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Single-attempt policy: a short grant immediately aborts the
+    /// expansion (the pre-retry behavior).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff (virtual seconds) charged after failed attempt `attempt`
+    /// (1-based). Pure function of the policy, job and attempt, so every
+    /// rank agrees on the delay without communicating.
+    pub fn backoff_for(&self, job: JobId, attempt: usize) -> f64 {
+        let raw = (self.base_backoff * self.backoff_factor.powi(attempt as i32 - 1))
+            .min(self.max_backoff)
+            .max(0.0);
+        if self.jitter_frac <= 0.0 {
+            return raw;
+        }
+        // SplitMix64 over (job, attempt) for deterministic jitter.
+        let mut z = job
+            .0
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        raw * (1.0 + self.jitter_frac * (2.0 * u - 1.0))
+    }
+}
+
 /// Immutable driver parameters shared across resizes and spawned processes.
 pub struct DriverShared {
     pub job: JobId,
@@ -110,6 +178,8 @@ pub struct DriverShared {
     /// clock. Off for deterministic tests (apps then model compute with
     /// `Comm::advance`), on for real measurement runs.
     pub fold_wall_time: bool,
+    /// Spawn-shortfall retry behavior for expansions.
+    pub retry: RetryPolicy,
 }
 
 /// What [`ResizeContext::resize`] tells the caller to do next.
@@ -131,11 +201,59 @@ const DIR_TERMINATE: u64 = 3;
 /// Intercomm tag for the expansion commit handshake: after spawning, the
 /// parent root tells each child whether the expansion goes ahead
 /// ([`EXPAND_GO`]) or is aborted because the spawn was short-granted
-/// ([`EXPAND_ABORT`], children exit before merging). Below the reserved
-/// internal tag space.
+/// ([`EXPAND_ABORT`], children exit before merging). Both tags sit in the
+/// simulator's control-plane range `[TAG_CTRL_BASE, 2^24)`, so injected
+/// message faults (loss/duplication/reordering) apply to them — the
+/// ack/retransmit handshake below is what masks those faults.
 const TAG_EXPAND_COMMIT: u32 = 9_000_000;
+/// Child → parent-root acknowledgment of a received commit verdict.
+const TAG_EXPAND_ACK: u32 = 9_000_001;
 const EXPAND_GO: u64 = 1;
 const EXPAND_ABORT: u64 = 0;
+
+/// Reliably deliver the commit verdict to every spawned child over the
+/// (possibly lossy) control plane: send, poll for per-child acks, and
+/// retransmit to children that have not acknowledged. Runs on the parent
+/// root only.
+///
+/// Exactly-once commit falls out of the structure: each child receives one
+/// verdict (duplicates sit unmatched in its mailbox and die with it) and
+/// acts on it once; the parent's retransmissions are idempotent re-sends of
+/// the same verdict. If every ack is lost the parent eventually proceeds —
+/// for a GO the merge collective synchronizes with the children anyway, and
+/// a child that never saw its verdict would surface as a deadlock timeout
+/// in the simulator rather than a silently divergent state.
+fn send_verdict_reliable(inter: &reshape_mpisim::InterComm, n_children: usize, verdict: u64) {
+    if n_children == 0 {
+        return;
+    }
+    const MAX_ROUNDS: usize = 64;
+    const POLLS_PER_ROUND: usize = 20;
+    let mut acked = vec![false; n_children];
+    for round in 0..MAX_ROUNDS {
+        for (child, done) in acked.iter().enumerate() {
+            if !done {
+                inter.send_remote(child, TAG_EXPAND_COMMIT, &[verdict]);
+            }
+        }
+        if round > 0 {
+            reshape_telemetry::incr("driver.commit_retransmits", 1);
+        }
+        for _ in 0..POLLS_PER_ROUND {
+            for (child, done) in acked.iter_mut().enumerate() {
+                if !*done && inter.iprobe_remote(child, TAG_EXPAND_ACK) {
+                    let _: Vec<u64> = inter.recv_remote(child, TAG_EXPAND_ACK);
+                    *done = true;
+                }
+            }
+            if acked.iter().all(|&a| a) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    reshape_telemetry::incr("driver.commit_ack_timeouts", 1);
+}
 
 /// Per-process handle to the resizing library.
 pub struct ResizeContext {
@@ -250,9 +368,11 @@ impl ResizeContext {
     /// separate step ([`ResizeContext::redistribute`]).
     ///
     /// Returns `false` when the spawn was granted fewer processes than the
-    /// expansion needs: the partial grant is aborted (spawned processes exit
-    /// before merging), the scheduler is told via
-    /// [`SchedulerLink::expand_failed`], and the application keeps running
+    /// expansion needs, every retry allowed by the shared [`RetryPolicy`]
+    /// included: each partial grant is aborted (spawned processes exit
+    /// before merging) and retried after an exponential virtual-time
+    /// backoff; once the budget is exhausted the scheduler is told via
+    /// [`SchedulerLink::expand_failed`] and the application keeps running
     /// on its previous configuration with its data layout untouched.
     pub fn expand_processors(
         &mut self,
@@ -262,39 +382,55 @@ impl ResizeContext {
     ) -> bool {
         let from = self.config;
         let delta = to.procs() - from.procs();
-        let nodes: Option<Vec<NodeId>> = (self.comm.rank() == 0).then(|| {
-            assert_eq!(new_slots.len(), delta, "slot grant does not match growth");
-            new_slots
-                .iter()
-                .map(|&s| NodeId((s / self.shared.slots_per_node) as u32))
-                .collect()
-        });
-        let shared = Arc::clone(&self.shared);
-        let t0 = self.comm.vtime();
-        let inter = self.comm.spawn(delta, nodes, "reshape-expand", move |ctx| {
-            spawned_process_main(ctx, Arc::clone(&shared));
-        });
-        // Commit handshake: every rank learned the actual grant from the
-        // spawn broadcast; the root tells each spawned process whether to
-        // proceed into the merge or exit immediately.
-        let granted = inter.remote_size();
-        if granted < delta {
+        let policy = self.shared.retry;
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempt = 1;
+        let (inter, t0) = loop {
+            let nodes: Option<Vec<NodeId>> = (self.comm.rank() == 0).then(|| {
+                assert_eq!(new_slots.len(), delta, "slot grant does not match growth");
+                new_slots
+                    .iter()
+                    .map(|&s| NodeId((s / self.shared.slots_per_node) as u32))
+                    .collect()
+            });
+            let shared = Arc::clone(&self.shared);
+            let t0 = self.comm.vtime();
+            let inter = self.comm.spawn(delta, nodes, "reshape-expand", move |ctx| {
+                spawned_process_main(ctx, Arc::clone(&shared));
+            });
+            // Commit handshake: every rank learned the actual grant from
+            // the spawn broadcast; the root tells each spawned process
+            // whether to proceed into the merge or exit immediately.
+            let granted = inter.remote_size();
+            if granted == delta {
+                break (inter, t0);
+            }
             if self.comm.rank() == 0 {
-                for child in 0..granted {
-                    inter.send_remote(child, TAG_EXPAND_COMMIT, &[EXPAND_ABORT]);
-                }
+                send_verdict_reliable(&inter, granted, EXPAND_ABORT);
                 reshape_telemetry::incr("driver.expand_aborts", 1);
-                self.shared
-                    .link
-                    .expand_failed(self.shared.job, to, self.comm.vtime());
             }
-            self.last_redist = 0.0;
-            return false;
-        }
+            if attempt >= max_attempts {
+                if self.comm.rank() == 0 {
+                    self.shared
+                        .link
+                        .expand_failed(self.shared.job, to, self.comm.vtime());
+                }
+                self.last_redist = 0.0;
+                return false;
+            }
+            // Transient shortfall: back off in virtual time and try again.
+            // Every rank computes the same deterministic delay, so the
+            // group stays in lockstep for the next collective spawn.
+            let backoff = policy.backoff_for(self.shared.job, attempt);
+            self.comm.advance(backoff);
+            if self.comm.rank() == 0 {
+                reshape_telemetry::incr("driver.expand_retries", 1);
+                reshape_telemetry::observe("driver.expand_backoff_seconds", backoff);
+            }
+            attempt += 1;
+        };
         if self.comm.rank() == 0 {
-            for child in 0..granted {
-                inter.send_remote(child, TAG_EXPAND_COMMIT, &[EXPAND_GO]);
-            }
+            send_verdict_reliable(&inter, delta, EXPAND_GO);
         }
         let merged = inter.merge();
         // Tell the newcomers where the computation stands: iteration count,
@@ -459,6 +595,14 @@ fn receive_state(
 /// expansion (short spawn grant) the process exits before merging.
 fn spawned_process_main(ctx: SpawnCtx, shared: Arc<DriverShared>) {
     let go: Vec<u64> = ctx.parent.recv_remote(0, TAG_EXPAND_COMMIT);
+    // Acknowledge the verdict a few times: the ack travels over the same
+    // faultable control plane, and the parent stops retransmitting the
+    // verdict once any one copy arrives. Retransmitted verdicts that arrive
+    // after this point sit unmatched in the mailbox, so the child still
+    // acts on the verdict exactly once.
+    for _ in 0..3 {
+        ctx.parent.send_remote(0, TAG_EXPAND_ACK, &[go[0]]);
+    }
     if go[0] != EXPAND_GO {
         return;
     }
@@ -623,6 +767,7 @@ mod tests {
             link: link.clone(),
             slots_per_node: 1,
             fold_wall_time: false,
+            retry: RetryPolicy::default(),
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -684,6 +829,7 @@ mod tests {
             link: link.clone(),
             slots_per_node: 1,
             fold_wall_time: false,
+            retry: RetryPolicy::default(),
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -753,6 +899,7 @@ mod tests {
             link: link.clone(),
             slots_per_node: 1,
             fold_wall_time: false,
+            retry: RetryPolicy::none(),
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -803,6 +950,7 @@ mod tests {
             link: link.clone(),
             slots_per_node: 1,
             fold_wall_time: false,
+            retry: RetryPolicy::none(),
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -844,6 +992,7 @@ mod tests {
             link: link.clone(),
             slots_per_node: 1,
             fold_wall_time: false,
+            retry: RetryPolicy::default(),
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -876,6 +1025,169 @@ mod tests {
             b_rec.started_at.is_some() || shrank,
             "B never started and A never shrank"
         );
+        drop(core);
+    }
+
+    /// Build the standard checksummed test app + shared driver state.
+    fn checksummed_shared(
+        n: usize,
+        job: JobId,
+        iterations: usize,
+        link: Arc<CoreLink>,
+        retry: RetryPolicy,
+    ) -> Arc<DriverShared> {
+        let expected: f64 = (0..n * n).map(|x| x as f64).sum();
+        let base = toy_app(n);
+        let init = base.init.clone();
+        let app = AppDef {
+            init,
+            iterate: Arc::new(move |grid: &GridContext, mats: &mut Vec<DistMatrix<f64>>, it| {
+                (base.iterate)(grid, mats, it);
+                let sum = checksum(grid, &mats[0]);
+                assert!(
+                    (sum - expected).abs() < 1e-6,
+                    "data corrupted at iteration {it}: {sum} != {expected}"
+                );
+            }),
+            phase_starts: Vec::new(),
+        };
+        Arc::new(DriverShared {
+            job,
+            app,
+            iterations,
+            link,
+            slots_per_node: 1,
+            fold_wall_time: false,
+            retry,
+        })
+    }
+
+    #[test]
+    fn transient_short_grant_retries_and_expands() {
+        // Only the FIRST spawn attempt is denied; the default retry policy
+        // backs off (in virtual time) and the second attempt succeeds, so
+        // the job still expands instead of writing the size off.
+        let n = 16usize;
+        let uni = Universe::new(16, 1, NetModel::ideal());
+        let mut core = SchedulerCore::new(16, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "transient",
+            TopologyPref::Grid { problem_size: n },
+            ProcessorConfig::new(1, 2),
+            6,
+        );
+        let (job, starts) = core.submit(spec, 0.0);
+        assert_eq!(starts.len(), 1);
+        let link = Arc::new(CoreLink(Mutex::new(core)));
+        uni.inject_spawn_cap(0);
+
+        let shared = checksummed_shared(n, job, 6, link.clone(), RetryPolicy::default());
+        let cfg = ProcessorConfig::new(1, 2);
+        let shared2 = Arc::clone(&shared);
+        uni.launch(2, None, "transient", move |comm| {
+            run_resizable(comm, cfg, Arc::clone(&shared2));
+        })
+        .join_ok();
+        uni.join_spawned();
+
+        let core = link.0.lock();
+        let rec = core.job(job).unwrap();
+        assert!(matches!(rec.state, crate::job::JobState::Finished { .. }));
+        let prof = core.profiler().profile(job).unwrap();
+        assert!(
+            prof.ever_expanded(),
+            "retry never rescued the expansion: visited {:?}",
+            prof.visited()
+        );
+        assert_eq!(core.idle_procs(), 16);
+        drop(core);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_reverts_and_pool_stays_whole() {
+        // All three attempts of the default policy are denied: the driver
+        // gives up, reports the failed expansion, and every granted slot
+        // makes it back to the pool.
+        let n = 16usize;
+        let uni = Universe::new(16, 1, NetModel::ideal());
+        let mut core = SchedulerCore::new(16, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "stubborn",
+            TopologyPref::Grid { problem_size: n },
+            ProcessorConfig::new(1, 2),
+            6,
+        );
+        let (job, starts) = core.submit(spec, 0.0);
+        assert_eq!(starts.len(), 1);
+        let link = Arc::new(CoreLink(Mutex::new(core)));
+        for _ in 0..3 {
+            uni.inject_spawn_cap(0);
+        }
+
+        let shared = checksummed_shared(n, job, 6, link.clone(), RetryPolicy::default());
+        let cfg = ProcessorConfig::new(1, 2);
+        let shared2 = Arc::clone(&shared);
+        uni.launch(2, None, "stubborn", move |comm| {
+            run_resizable(comm, cfg, Arc::clone(&shared2));
+        })
+        .join_ok();
+        uni.join_spawned();
+
+        let core = link.0.lock();
+        let rec = core.job(job).unwrap();
+        assert!(matches!(rec.state, crate::job::JobState::Finished { .. }));
+        assert!(
+            core.events()
+                .iter()
+                .any(|e| matches!(e.kind, crate::core::EventKind::ExpandFailed { .. })),
+            "no ExpandFailed event after exhausting the retry budget"
+        );
+        assert_eq!(core.idle_procs(), 16, "granted slots were not reclaimed");
+        drop(core);
+    }
+
+    #[test]
+    fn expansion_commits_exactly_once_under_message_faults() {
+        // Control-plane chaos under the expansion commit handshake: verdict
+        // and ack frames are dropped, duplicated and reordered, yet every
+        // spawned process acts on the verdict exactly once and the
+        // checksummed data survives the redistribution.
+        let n = 16usize;
+        let uni = Universe::new(16, 1, NetModel::ideal());
+        uni.inject_msg_loss(0.25, 0xDEAD);
+        uni.inject_msg_dup(0.2, 0xBEEF);
+        uni.inject_msg_reorder(0.2, 0xF00D);
+        let mut core = SchedulerCore::new(16, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "chaotic",
+            TopologyPref::Grid { problem_size: n },
+            ProcessorConfig::new(1, 2),
+            6,
+        );
+        let (job, starts) = core.submit(spec, 0.0);
+        assert_eq!(starts.len(), 1);
+        let link = Arc::new(CoreLink(Mutex::new(core)));
+
+        let shared = checksummed_shared(n, job, 6, link.clone(), RetryPolicy::default());
+        let cfg = ProcessorConfig::new(1, 2);
+        let shared2 = Arc::clone(&shared);
+        uni.launch(2, None, "chaotic", move |comm| {
+            run_resizable(comm, cfg, Arc::clone(&shared2));
+        })
+        .join_ok();
+        uni.join_spawned();
+        uni.clear_faults();
+
+        let core = link.0.lock();
+        let rec = core.job(job).unwrap();
+        assert!(matches!(rec.state, crate::job::JobState::Finished { .. }));
+        let prof = core.profiler().profile(job).unwrap();
+        assert!(
+            prof.ever_expanded(),
+            "expansion never committed under message faults: visited {:?}",
+            prof.visited()
+        );
+        assert_eq!(core.idle_procs(), 16, "pool accounting diverged");
         drop(core);
     }
 }

@@ -16,7 +16,7 @@ impl std::fmt::Display for JobId {
 
 /// Everything submitted with a job (the command line + configuration file of
 /// the paper's submission process).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
     /// Human-readable name ("LU", "Jacobi", ...).
     pub name: String,

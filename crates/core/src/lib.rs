@@ -21,6 +21,7 @@
 //! discrete-event simulator in `reshape-clustersim`.
 
 mod core;
+pub mod ctrl;
 pub mod driver;
 mod job;
 mod policy;
@@ -28,11 +29,13 @@ mod pool;
 mod profiler;
 pub mod runtime;
 mod topology;
+pub mod wal;
 
 pub use crate::core::{
-    Directive, EventKind, JobRecord, QueuePolicy, Reservation, ReservationId, SchedEvent,
-    SchedulerCore, StartAction,
+    CoreSnapshot, Directive, EventKind, JobRecord, QueuePolicy, Reservation, ReservationId,
+    SchedEvent, SchedulerCore, StartAction,
 };
+pub use wal::{Wal, WalError, WalRecord};
 pub use job::{JobId, JobSpec, JobState};
 pub use policy::{decide, decide_with, RemapDecision, RemapPolicy, SystemSnapshot};
 pub use pool::{AllocOrder, ResourcePool};

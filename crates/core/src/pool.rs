@@ -12,8 +12,10 @@
 
 use std::collections::BTreeSet;
 
+use serde::{Deserialize, Serialize};
+
 /// How `allocate` picks among free slots.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AllocOrder {
     /// Lowest-numbered free slots first (packs adjacent nodes).
     LowestId,
@@ -23,7 +25,7 @@ pub enum AllocOrder {
 
 /// A pool of processor slots, identified `0..total`. Slot `s` lives on
 /// cluster node `s / slots_per_node` (the paper's nodes host 2 CPUs each).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResourcePool {
     total: usize,
     free: BTreeSet<usize>,
@@ -80,6 +82,21 @@ impl ResourcePool {
     /// Speed factor of a slot.
     pub fn speed(&self, slot: usize) -> f64 {
         self.speeds[slot]
+    }
+
+    /// All per-slot speed factors (1.0 everywhere on homogeneous pools).
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// The pool's allocation order.
+    pub fn order(&self) -> AllocOrder {
+        self.order
+    }
+
+    /// The currently free slot ids, ascending.
+    pub fn free_slots(&self) -> Vec<usize> {
+        self.free.iter().copied().collect()
     }
 
     /// Allocate `n` slots according to the pool's order. Returns `None`

@@ -44,7 +44,7 @@ pub struct ShrinkPoint {
 }
 
 /// Per-job performance bookkeeping.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct JobProfile {
     history: Vec<PerfRecord>,
     /// Aggregated (sum, count) iteration time per configuration.
@@ -165,7 +165,7 @@ impl JobProfile {
 }
 
 /// The profiler proper: one [`JobProfile`] per job.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Profiler {
     jobs: HashMap<JobId, JobProfile>,
 }
@@ -229,6 +229,11 @@ impl Profiler {
 
     pub fn profile(&self, job: JobId) -> Option<&JobProfile> {
         self.jobs.get(&job)
+    }
+
+    /// Every tracked job with its profile (iteration order unspecified).
+    pub fn profiles(&self) -> impl Iterator<Item = (&JobId, &JobProfile)> {
+        self.jobs.iter()
     }
 
     /// Profile accessor that creates an empty profile on first touch.

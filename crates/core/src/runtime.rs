@@ -10,11 +10,17 @@
 //!   simulated cluster;
 //! * the **System Monitor thread** subscribes to process lifecycle events
 //!   from the [`Universe`] and reclaims the resources of failed jobs;
+//! * the optional **watchdog thread** supervises per-job heartbeats (one
+//!   per resize point) and declares jobs that miss their deadline hung,
+//!   killing them through the scheduler and optionally requeueing them;
 //! * applications talk to the scheduler through a [`SchedulerLink`]
-//!   implemented over channels, exactly like the paper's socket protocol
-//!   between the resize library and the scheduler.
+//!   implemented over channels — and, like the paper's socket protocol
+//!   between the resize library and the scheduler, the channel is wrapped
+//!   in the sequenced ack/retransmit protocol of [`crate::ctrl`], so
+//!   control messages survive a lossy wire exactly once and in order.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,10 +30,12 @@ use parking_lot::Mutex;
 use reshape_mpisim::{NodeId, ProcId, ProcStatus, Universe};
 
 use crate::core::{Directive, QueuePolicy, SchedEvent, SchedulerCore, StartAction};
-use crate::driver::{run_resizable, AppDef, DriverShared, SchedulerLink};
+use crate::ctrl::{reliable_channel, ReliableConfig, ReliableSender};
+use crate::driver::{run_resizable, AppDef, DriverShared, RetryPolicy, SchedulerLink};
 use crate::job::{JobId, JobSpec, JobState};
 use crate::topology::ProcessorConfig;
 
+#[derive(Clone)]
 enum Msg {
     Submit {
         spec: JobSpec,
@@ -67,18 +75,24 @@ enum Msg {
         job: JobId,
         now: f64,
     },
+    /// Watchdog verdict: `job` missed its heartbeat deadline. Revalidated
+    /// on the scheduler thread before acting.
+    Hung {
+        job: JobId,
+    },
     Shutdown,
 }
 
 /// Channel-backed [`SchedulerLink`] handed to application processes.
 struct RuntimeLink {
-    tx: Sender<Msg>,
+    tx: ReliableSender<Msg>,
 }
 
 impl SchedulerLink for RuntimeLink {
     fn resize_point(&self, job: JobId, iter_time: f64, redist_time: f64, now: f64) -> Directive {
         let (reply, rx) = unbounded();
-        self.tx
+        let sent = self
+            .tx
             .send(Msg::ResizePoint {
                 job,
                 iter_time,
@@ -86,7 +100,8 @@ impl SchedulerLink for RuntimeLink {
                 now,
                 reply,
             })
-            .expect("scheduler thread alive");
+            .is_ok();
+        assert!(sent, "scheduler thread alive");
         rx.recv().expect("scheduler replies to resize points")
     }
 
@@ -112,11 +127,106 @@ impl SchedulerLink for RuntimeLink {
     }
 }
 
+/// Hung-job watchdog tuning. A job "heartbeats" every time its resize
+/// point reaches the scheduler; the watchdog thread declares it hung when
+/// no heartbeat arrives within `grace + multiplier × (observed mean
+/// inter-heartbeat gap)` of wall time, kills it through the scheduler
+/// (reclaiming its processors like any failure), and optionally requeues
+/// it as a fresh submission whose initial allocation is capped at the
+/// job's last-known-good configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WatchdogConfig {
+    /// How often the watchdog scans for missed heartbeats.
+    pub check_interval: Duration,
+    /// Fixed slack added to every deadline (covers startup and resize
+    /// pauses before the first heartbeats establish a rhythm).
+    pub grace: Duration,
+    /// Deadline multiplier over the observed mean heartbeat gap.
+    pub multiplier: f64,
+    /// Resubmit a killed job automatically.
+    pub requeue: bool,
+    /// How many times one job may be requeued (chained across respawns).
+    pub max_requeues: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            check_interval: Duration::from_millis(25),
+            grace: Duration::from_secs(1),
+            multiplier: 4.0,
+            requeue: false,
+            max_requeues: 1,
+        }
+    }
+}
+
+/// Full configuration for [`ReshapeRuntime::with_runtime_options`].
+#[derive(Clone)]
+pub struct RuntimeOptions {
+    pub policy: QueuePolicy,
+    /// Fold real wall-clock compute time of each iteration into the
+    /// virtual clock (for measurement runs).
+    pub fold_wall_time: bool,
+    /// Spawn-shortfall retry behavior handed to every job's driver.
+    pub retry: RetryPolicy,
+    /// Hung-job supervision; `None` disables the watchdog thread.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Reliability/chaos settings for the scheduler↔driver control
+    /// channel. The default is a perfect wire (the protocol still runs).
+    pub ctrl: ReliableConfig,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            policy: QueuePolicy::Fcfs,
+            fold_wall_time: false,
+            retry: RetryPolicy::default(),
+            watchdog: None,
+            ctrl: ReliableConfig::default(),
+        }
+    }
+}
+
+/// Timeout from [`ReshapeRuntime::wait_quiescent`] /
+/// [`ReshapeRuntime::wait_for`]: the awaited condition did not hold in
+/// time. Carries what was being waited on so callers can build a useful
+/// panic or retry message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaitTimeout {
+    /// Description of the unmet condition ("jobs still active", "job3
+    /// still active").
+    pub what: String,
+    pub timeout: Duration,
+}
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} after {:?}", self.what, self.timeout)
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
+
+/// Wall-clock heartbeat record for one running job.
+struct Heartbeat {
+    last: Instant,
+    /// EWMA of the inter-heartbeat gap in seconds (0 until the second
+    /// beat).
+    mean_gap: f64,
+    beats: u64,
+}
+
+fn heartbeat_deadline(wd: &WatchdogConfig, hb: &Heartbeat) -> f64 {
+    wd.grace.as_secs_f64() + wd.multiplier * hb.mean_gap
+}
+
 /// The live ReSHAPE service: submit resizable jobs against a simulated
 /// cluster and let the framework schedule, monitor, resize and reclaim them.
 pub struct ReshapeRuntime {
     universe: Arc<Universe>,
-    tx: Sender<Msg>,
+    tx: ReliableSender<Msg>,
     core: Arc<Mutex<SchedulerCore>>,
     /// First (rank-0) process of each job, which the System Monitor watches
     /// — "only the monitor running on the first node of its processor set
@@ -124,6 +234,8 @@ pub struct ReshapeRuntime {
     watch: Arc<Mutex<HashMap<ProcId, JobId>>>,
     sched_thread: Option<std::thread::JoinHandle<()>>,
     monitor_thread: Option<std::thread::JoinHandle<()>>,
+    watchdog_thread: Option<std::thread::JoinHandle<()>>,
+    watchdog_stop: Arc<AtomicBool>,
     fold_wall_time: bool,
 }
 
@@ -132,9 +244,15 @@ struct SchedThreadCtx {
     core: Arc<Mutex<SchedulerCore>>,
     apps: HashMap<JobId, (AppDef, usize)>, // app + iterations
     watch: Arc<Mutex<HashMap<ProcId, JobId>>>,
-    link_tx: Sender<Msg>,
+    link_tx: ReliableSender<Msg>,
     slots_per_node: usize,
     fold_wall_time: bool,
+    retry: RetryPolicy,
+    watchdog: Option<WatchdogConfig>,
+    hearts: Arc<Mutex<HashMap<JobId, Heartbeat>>>,
+    /// Remaining requeue budget per job id (original jobs start at
+    /// `max_requeues`; each respawn inherits one less).
+    requeue_budget: HashMap<JobId, usize>,
 }
 
 impl SchedThreadCtx {
@@ -159,6 +277,7 @@ impl SchedThreadCtx {
                 }),
                 slots_per_node: self.slots_per_node,
                 fold_wall_time: self.fold_wall_time,
+                retry: self.retry,
             });
             let config = s.config;
             let name = {
@@ -176,10 +295,41 @@ impl SchedThreadCtx {
                 },
             );
             self.watch.lock().insert(handle.members()[0], s.job);
+            if self.watchdog.is_some() {
+                // Heartbeat clock starts at launch; the first resize point
+                // seeds the mean gap with the first-iteration latency.
+                self.hearts.lock().insert(
+                    s.job,
+                    Heartbeat {
+                        last: Instant::now(),
+                        mean_gap: 0.0,
+                        beats: 0,
+                    },
+                );
+            }
             // Handles are joined through the universe's status tracking; the
             // GroupHandle itself can be dropped (threads keep running).
             drop(handle);
         }
+    }
+
+    /// Record a heartbeat for `job` (its resize point reached the
+    /// scheduler) and fold the observed gap into the per-job EWMA.
+    fn beat(&self, job: JobId) {
+        if self.watchdog.is_none() {
+            return;
+        }
+        let mut hearts = self.hearts.lock();
+        let Some(hb) = hearts.get_mut(&job) else { return };
+        let now = Instant::now();
+        let gap = now.duration_since(hb.last).as_secs_f64();
+        hb.mean_gap = if hb.beats == 0 {
+            gap
+        } else {
+            0.7 * hb.mean_gap + 0.3 * gap
+        };
+        hb.last = now;
+        hb.beats += 1;
     }
 
     fn run(mut self, rx: Receiver<Msg>) {
@@ -205,6 +355,7 @@ impl SchedThreadCtx {
                     now,
                     reply,
                 } => {
+                    self.beat(job);
                     let (directive, starts) = self
                         .core
                         .lock()
@@ -221,6 +372,7 @@ impl SchedThreadCtx {
                     self.core.lock().note_redist_cost(job, from, to, seconds);
                 }
                 Msg::Finished { job, now } => {
+                    self.hearts.lock().remove(&job);
                     let starts = self.core.lock().on_finished(job, now);
                     self.actuate(starts);
                 }
@@ -229,10 +381,12 @@ impl SchedThreadCtx {
                 }
                 Msg::Cancel { job } => {
                     let now = self.wall_now();
+                    self.hearts.lock().remove(&job);
                     let starts = self.core.lock().cancel(job, now);
                     self.actuate(starts);
                 }
                 Msg::Failed { job, reason, now } => {
+                    self.hearts.lock().remove(&job);
                     let starts = self.core.lock().on_failed(job, reason, now);
                     self.actuate(starts);
                 }
@@ -240,9 +394,82 @@ impl SchedThreadCtx {
                     let starts = self.core.lock().on_expand_failed(job, now);
                     self.actuate(starts);
                 }
+                Msg::Hung { job } => self.on_hung(job),
                 Msg::Shutdown => break,
             }
         }
+    }
+
+    /// Act on a watchdog hang verdict. Revalidated here on the scheduler
+    /// thread — a heartbeat (or completion) may have raced the verdict
+    /// through the channel, in which case the alarm is dropped as false.
+    fn on_hung(&mut self, job: JobId) {
+        let Some(wd) = self.watchdog else { return };
+        let still_stale = {
+            let hearts = self.hearts.lock();
+            match hearts.get(&job) {
+                Some(hb) => hb.last.elapsed().as_secs_f64() > heartbeat_deadline(&wd, hb),
+                None => false,
+            }
+        };
+        let still_running = matches!(
+            self.core.lock().job(job).map(|r| r.state.clone()),
+            Some(JobState::Running { .. })
+        );
+        if !still_stale || !still_running {
+            reshape_telemetry::incr("runtime.watchdog_false_alarms", 1);
+            return;
+        }
+        reshape_telemetry::incr("runtime.watchdog_kills", 1);
+        // Capture what the requeue needs before the failure path clears it.
+        let (last_good, spec) = {
+            let core = self.core.lock();
+            let last_good = core
+                .profiler()
+                .profile(job)
+                .and_then(|p| p.history().last().map(|r| r.config));
+            let spec = core.job(job).map(|r| r.spec.clone());
+            (last_good, spec)
+        };
+        self.hearts.lock().remove(&job);
+        // Kill through the same path as any monitored failure: the job's
+        // processors return to the pool and queued work may start. The hung
+        // processes themselves get Directive::Terminate if they ever reach
+        // another resize point (zombie fencing in SchedulerCore).
+        let starts = self.core.lock().on_failed(
+            job,
+            "hung: missed watchdog heartbeat deadline".into(),
+            f64::NAN,
+        );
+        self.actuate(starts);
+        if !wd.requeue {
+            return;
+        }
+        let budget = self
+            .requeue_budget
+            .get(&job)
+            .copied()
+            .unwrap_or(wd.max_requeues);
+        if budget == 0 {
+            return;
+        }
+        let (Some(mut spec), Some((app, iters))) = (spec, self.apps.get(&job).cloned()) else {
+            return;
+        };
+        // Cap the respawn's initial allocation at the last configuration
+        // the profiler saw the job make progress on — a job that hung
+        // after expanding should not come back at the size that hung it.
+        if let Some(cfg) = last_good {
+            if cfg.procs() < spec.initial.procs() {
+                spec.initial = cfg;
+            }
+        }
+        let now = self.wall_now();
+        let (new_id, starts) = self.core.lock().submit(spec, now);
+        self.apps.insert(new_id, (app, iters));
+        self.requeue_budget.insert(new_id, budget - 1);
+        reshape_telemetry::incr("runtime.watchdog_requeues", 1);
+        self.actuate(starts);
     }
 
     /// Wall-clock submission timestamps; virtual times come from the apps.
@@ -264,11 +491,31 @@ impl ReshapeRuntime {
     /// `fold_wall_time` makes the driver add real compute time of each
     /// iteration to the virtual clock (for measurement runs).
     pub fn with_options(universe: Universe, policy: QueuePolicy, fold_wall_time: bool) -> Self {
+        Self::with_runtime_options(
+            universe,
+            RuntimeOptions {
+                policy,
+                fold_wall_time,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Full-control constructor: retry policy, watchdog supervision and
+    /// control-channel reliability settings on top of
+    /// [`ReshapeRuntime::with_options`].
+    pub fn with_runtime_options(universe: Universe, opts: RuntimeOptions) -> Self {
         let universe = Arc::new(universe);
         let total = universe.total_slots();
-        let core = Arc::new(Mutex::new(SchedulerCore::new(total, policy)));
+        let core = Arc::new(Mutex::new(SchedulerCore::new(total, opts.policy)));
         let watch: Arc<Mutex<HashMap<ProcId, JobId>>> = Arc::new(Mutex::new(HashMap::new()));
-        let (tx, rx) = unbounded();
+        let hearts: Arc<Mutex<HashMap<JobId, Heartbeat>>> = Arc::new(Mutex::new(HashMap::new()));
+        let fold_wall_time = opts.fold_wall_time;
+        // The control channel between applications/monitor and the
+        // scheduler thread runs the sequenced ack/retransmit protocol; with
+        // chaos configured, frames are lost/duplicated/reordered underneath
+        // it and must still arrive exactly once, in order.
+        let (tx, rx) = reliable_channel::<Msg>(opts.ctrl);
 
         let ctx = SchedThreadCtx {
             universe: Arc::clone(&universe),
@@ -278,11 +525,53 @@ impl ReshapeRuntime {
             link_tx: tx.clone(),
             slots_per_node: universe.slots_per_node(),
             fold_wall_time,
+            retry: opts.retry,
+            watchdog: opts.watchdog,
+            hearts: Arc::clone(&hearts),
+            requeue_budget: HashMap::new(),
         };
         let sched_thread = std::thread::Builder::new()
             .name("reshape-scheduler".into())
             .spawn(move || ctx.run(rx))
             .expect("spawn scheduler thread");
+
+        // Watchdog: scan heartbeats on a wall-clock cadence; verdicts are
+        // revalidated by the scheduler thread before any kill, so a beat
+        // racing the verdict is a dropped alarm, never a false kill.
+        let watchdog_stop = Arc::new(AtomicBool::new(false));
+        let watchdog_thread = opts.watchdog.map(|wd| {
+            let stop = Arc::clone(&watchdog_stop);
+            let wd_hearts = Arc::clone(&hearts);
+            let wd_core = Arc::clone(&core);
+            let wd_tx = tx.clone();
+            std::thread::Builder::new()
+                .name("reshape-watchdog".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(wd.check_interval);
+                        let stale: Vec<JobId> = {
+                            let hearts = wd_hearts.lock();
+                            hearts
+                                .iter()
+                                .filter(|(_, hb)| {
+                                    hb.last.elapsed().as_secs_f64() > heartbeat_deadline(&wd, hb)
+                                })
+                                .map(|(&j, _)| j)
+                                .collect()
+                        };
+                        for job in stale {
+                            let running = matches!(
+                                wd_core.lock().job(job).map(|r| r.state.clone()),
+                                Some(JobState::Running { .. })
+                            );
+                            if running {
+                                let _ = wd_tx.send(Msg::Hung { job });
+                            }
+                        }
+                    }
+                })
+                .expect("spawn watchdog thread")
+        });
 
         // System Monitor: react to process failures. The per-job
         // application monitor of the paper reports through the job's first
@@ -334,6 +623,8 @@ impl ReshapeRuntime {
             watch,
             sched_thread: Some(sched_thread),
             monitor_thread: Some(monitor_thread),
+            watchdog_thread,
+            watchdog_stop,
             fold_wall_time,
         }
     }
@@ -342,9 +633,8 @@ impl ReshapeRuntime {
     /// job may queue).
     pub fn submit(&self, spec: JobSpec, app: AppDef) -> JobId {
         let (reply, rx) = unbounded();
-        self.tx
-            .send(Msg::Submit { spec, app, reply })
-            .expect("scheduler thread alive");
+        let sent = self.tx.send(Msg::Submit { spec, app, reply }).is_ok();
+        assert!(sent, "scheduler thread alive");
         rx.recv().expect("submission acknowledged")
     }
 
@@ -377,39 +667,47 @@ impl ReshapeRuntime {
     }
 
     /// Block until every submitted job has left the system (finished or
-    /// failed), or panic after `timeout`.
-    pub fn wait_quiescent(&self, timeout: Duration) {
+    /// failed); [`WaitTimeout`] after `timeout` so callers choose whether
+    /// that is fatal (tests `.unwrap()`, services retry or report).
+    pub fn wait_quiescent(&self, timeout: Duration) -> Result<(), WaitTimeout> {
         let deadline = Instant::now() + timeout;
         loop {
             {
                 let core = self.core.lock();
                 let all_done = core.jobs().all(|(_, r)| !r.state.is_active());
                 if all_done {
-                    return;
+                    return Ok(());
                 }
             }
-            assert!(
-                Instant::now() < deadline,
-                "jobs still active after {timeout:?}"
-            );
+            if Instant::now() >= deadline {
+                return Err(WaitTimeout {
+                    what: "jobs still active".into(),
+                    timeout,
+                });
+            }
             std::thread::sleep(Duration::from_millis(2));
         }
     }
 
     /// Wait for one specific job to leave the system and return its final
-    /// state.
-    pub fn wait_for(&self, job: JobId, timeout: Duration) -> JobState {
+    /// state, or [`WaitTimeout`] if it is still active after `timeout`.
+    pub fn wait_for(&self, job: JobId, timeout: Duration) -> Result<JobState, WaitTimeout> {
         let deadline = Instant::now() + timeout;
         loop {
             {
                 let core = self.core.lock();
                 if let Some(r) = core.job(job) {
                     if !r.state.is_active() {
-                        return r.state.clone();
+                        return Ok(r.state.clone());
                     }
                 }
             }
-            assert!(Instant::now() < deadline, "{job} still active after {timeout:?}");
+            if Instant::now() >= deadline {
+                return Err(WaitTimeout {
+                    what: format!("{job} still active"),
+                    timeout,
+                });
+            }
             std::thread::sleep(Duration::from_millis(2));
         }
     }
@@ -417,6 +715,11 @@ impl ReshapeRuntime {
 
 impl Drop for ReshapeRuntime {
     fn drop(&mut self) {
+        // Watchdog first, so no hang verdict fires into a dying scheduler.
+        self.watchdog_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.watchdog_thread.take() {
+            let _ = h.join();
+        }
         let _ = self.tx.send(Msg::Shutdown);
         if let Some(h) = self.sched_thread.take() {
             let _ = h.join();
@@ -462,7 +765,7 @@ mod tests {
             5,
         );
         let job = rt.submit(spec, toy(8, 1.0));
-        let state = rt.wait_for(job, Duration::from_secs(30));
+        let state = rt.wait_for(job, Duration::from_secs(30)).unwrap();
         assert!(matches!(state, JobState::Finished { .. }), "{state:?}");
         // All processors returned to the pool.
         assert_eq!(rt.core().lock().idle_procs(), 8);
@@ -482,14 +785,14 @@ mod tests {
         let a = rt.submit(mk("A"), toy(8, 1.0));
         let b = rt.submit(mk("B"), toy(8, 1.0));
         assert!(matches!(
-            rt.wait_for(a, Duration::from_secs(30)),
+            rt.wait_for(a, Duration::from_secs(30)).unwrap(),
             JobState::Finished { .. }
         ));
         assert!(matches!(
-            rt.wait_for(b, Duration::from_secs(30)),
+            rt.wait_for(b, Duration::from_secs(30)).unwrap(),
             JobState::Finished { .. }
         ));
-        rt.wait_quiescent(Duration::from_secs(5));
+        rt.wait_quiescent(Duration::from_secs(5)).unwrap();
     }
 
     #[test]
@@ -515,7 +818,7 @@ mod tests {
             },
         );
         let job = rt.submit(spec, app);
-        let state = rt.wait_for(job, Duration::from_secs(30));
+        let state = rt.wait_for(job, Duration::from_secs(30)).unwrap();
         assert!(
             matches!(state, JobState::Failed { ref reason, .. } if reason.contains("injected")),
             "{state:?}"
@@ -534,7 +837,10 @@ mod tests {
     #[test]
     fn spawn_fault_recovers_through_runtime_channel() {
         let uni = Universe::new(8, 1, NetModel::ideal());
-        // Every expansion attempt spawn is denied outright.
+        // Every expansion attempt spawn is denied outright (the default
+        // retry policy makes up to three attempts).
+        uni.inject_spawn_cap(0);
+        uni.inject_spawn_cap(0);
         uni.inject_spawn_cap(0);
         let rt = ReshapeRuntime::new(uni, QueuePolicy::Fcfs);
         let spec = JobSpec::new(
@@ -544,7 +850,7 @@ mod tests {
             5,
         );
         let job = rt.submit(spec, toy(8, 1.0));
-        let state = rt.wait_for(job, Duration::from_secs(30));
+        let state = rt.wait_for(job, Duration::from_secs(30)).unwrap();
         assert!(matches!(state, JobState::Finished { .. }), "{state:?}");
         // The granted-then-reverted processors all made it back.
         assert_eq!(rt.core().lock().idle_procs(), 8);
@@ -554,6 +860,198 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.kind, crate::core::EventKind::ExpandFailed { .. })));
+    }
+
+    /// A tight watchdog for tests: millisecond cadence, sub-second grace.
+    fn test_watchdog() -> WatchdogConfig {
+        WatchdogConfig {
+            check_interval: Duration::from_millis(10),
+            grace: Duration::from_millis(250),
+            multiplier: 4.0,
+            requeue: false,
+            max_requeues: 0,
+        }
+    }
+
+    #[test]
+    fn watchdog_kills_hung_job_and_reclaims_processors() {
+        static RELEASE: AtomicBool = AtomicBool::new(false);
+        let rt = ReshapeRuntime::with_runtime_options(
+            Universe::new(4, 1, NetModel::ideal()),
+            RuntimeOptions {
+                watchdog: Some(test_watchdog()),
+                ..Default::default()
+            },
+        );
+        let spec = JobSpec::new(
+            "hanger",
+            TopologyPref::Grid { problem_size: 8 },
+            ProcessorConfig::new(1, 2),
+            50,
+        );
+        let app = AppDef::new(
+            |grid| {
+                let desc = Descriptor::square(8, 2, grid.nprow(), grid.npcol());
+                vec![DistMatrix::from_fn(desc, grid.myrow(), grid.mycol(), |_, _| 0.0)]
+            },
+            |grid, _m, it| {
+                if it == 2 {
+                    // Simulated deadlock: every rank stops making progress
+                    // (but can be released so the test tears down cleanly).
+                    while !RELEASE.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                grid.comm().advance(0.1);
+            },
+        );
+        let job = rt.submit(spec, app);
+        let state = rt.wait_for(job, Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(state, JobState::Failed { ref reason, .. } if reason.contains("hung")),
+            "{state:?}"
+        );
+        // The kill reclaims the job's processors even though its (zombie)
+        // processes are still parked.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rt.core().lock().idle_procs() != 4 {
+            assert!(Instant::now() < deadline, "hung job never reclaimed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Release the zombies: their next resize point returns Terminate
+        // (zombie fencing) and they exit without touching the pool.
+        RELEASE.store(true, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rt.core().lock().idle_procs(), 4);
+    }
+
+    #[test]
+    fn watchdog_never_kills_healthy_jobs() {
+        let rt = ReshapeRuntime::with_runtime_options(
+            Universe::new(8, 1, NetModel::ideal()),
+            RuntimeOptions {
+                watchdog: Some(test_watchdog()),
+                ..Default::default()
+            },
+        );
+        let mk = |name: &str| {
+            JobSpec::new(
+                name,
+                TopologyPref::Grid { problem_size: 8 },
+                ProcessorConfig::new(1, 2),
+                8,
+            )
+        };
+        let a = rt.submit(mk("A"), toy(8, 1.0));
+        let b = rt.submit(mk("B"), toy(8, 1.0));
+        for j in [a, b] {
+            let state = rt.wait_for(j, Duration::from_secs(30)).unwrap();
+            assert!(
+                matches!(state, JobState::Finished { .. }),
+                "watchdog falsely killed {j}: {state:?}"
+            );
+        }
+        assert_eq!(rt.core().lock().idle_procs(), 8);
+    }
+
+    #[test]
+    fn watchdog_requeues_hung_job_once() {
+        static HANG_ONCE: AtomicBool = AtomicBool::new(true);
+        static RELEASE: AtomicBool = AtomicBool::new(false);
+        let rt = ReshapeRuntime::with_runtime_options(
+            Universe::new(4, 1, NetModel::ideal()),
+            RuntimeOptions {
+                watchdog: Some(WatchdogConfig {
+                    requeue: true,
+                    max_requeues: 1,
+                    ..test_watchdog()
+                }),
+                ..Default::default()
+            },
+        );
+        let spec = JobSpec::new(
+            "flaky",
+            TopologyPref::Grid { problem_size: 8 },
+            ProcessorConfig::new(1, 2),
+            5,
+        );
+        let app = AppDef::new(
+            |grid| {
+                let desc = Descriptor::square(8, 2, grid.nprow(), grid.npcol());
+                vec![DistMatrix::from_fn(desc, grid.myrow(), grid.mycol(), |_, _| 0.0)]
+            },
+            |grid, _m, it| {
+                // One rank stalling stalls the whole job (the peer blocks in
+                // the next collective); only the first incarnation hangs.
+                if it == 1 && grid.comm().rank() == 0 && HANG_ONCE.swap(false, Ordering::Relaxed) {
+                    while !RELEASE.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+                grid.comm().advance(0.1);
+            },
+        );
+        let first = rt.submit(spec, app);
+        let state = rt.wait_for(first, Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(state, JobState::Failed { ref reason, .. } if reason.contains("hung")),
+            "{state:?}"
+        );
+        // The respawned incarnation (a fresh job id) runs clean.
+        rt.wait_quiescent(Duration::from_secs(30)).unwrap();
+        let finished = {
+            let core = rt.core().lock();
+            core.jobs()
+                .filter(|(id, r)| {
+                    **id != first && matches!(r.state, JobState::Finished { .. })
+                })
+                .count()
+        };
+        assert_eq!(finished, 1, "hung job was not requeued to completion");
+        RELEASE.store(true, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rt.core().lock().idle_procs(), 4);
+    }
+
+    #[test]
+    fn jobs_complete_exactly_once_over_chaotic_control_channel() {
+        use crate::ctrl::ChaosConfig;
+        // Heavy loss/duplication/reordering underneath the scheduler's
+        // control channel: the ack/retransmit protocol must deliver every
+        // resize point, completion and submission exactly once, in order.
+        let rt = ReshapeRuntime::with_runtime_options(
+            Universe::new(8, 1, NetModel::ideal()),
+            RuntimeOptions {
+                ctrl: ReliableConfig::with_chaos(ChaosConfig::heavy(0xC0FFEE)),
+                ..Default::default()
+            },
+        );
+        let mk = |name: &str| {
+            JobSpec::new(
+                name,
+                TopologyPref::Grid { problem_size: 8 },
+                ProcessorConfig::new(1, 2),
+                6,
+            )
+        };
+        let a = rt.submit(mk("A"), toy(8, 1.0));
+        let b = rt.submit(mk("B"), toy(8, 1.0));
+        for j in [a, b] {
+            let state = rt.wait_for(j, Duration::from_secs(60)).unwrap();
+            assert!(matches!(state, JobState::Finished { .. }), "{state:?}");
+        }
+        // Exactly one Finished transition per job (no duplicate delivery
+        // double-finishing), and the pool is whole.
+        let core = rt.core().lock();
+        for j in [a, b] {
+            let n = core
+                .events()
+                .iter()
+                .filter(|e| e.job == j && e.kind == crate::core::EventKind::Finished)
+                .count();
+            assert_eq!(n, 1, "{j} finished {n} times");
+        }
+        assert_eq!(core.idle_procs(), 8);
     }
 
     #[test]
@@ -570,7 +1068,7 @@ mod tests {
         )
         .static_job();
         let job = rt.submit(spec, toy(8, 1.0));
-        let state = rt.wait_for(job, Duration::from_secs(30));
+        let state = rt.wait_for(job, Duration::from_secs(30)).unwrap();
         assert!(
             matches!(state, JobState::Failed { ref reason, .. } if reason.contains("crashed")),
             "{state:?}"

@@ -1,0 +1,494 @@
+//! Write-ahead log for [`SchedulerCore`](crate::SchedulerCore).
+//!
+//! The scheduler state machine is synchronous and deterministic: its entire
+//! state is a pure function of the configuration it was built with and the
+//! sequence of public transitions applied to it. Durability therefore takes
+//! the classic command-logging form — every transition (`submit`,
+//! `try_schedule`, `resize_point`, `on_finished`, `on_failed`,
+//! `on_expand_failed`, `cancel`, reservations, clock ticks) is appended to a
+//! checksummed record stream *before* it is applied, and
+//! [`SchedulerCore::recover`](crate::SchedulerCore::recover) replays the
+//! stream into a fresh core after a crash. Replay reproduces the pre-crash
+//! state exactly (pool accounting, queue order, job records, profiler
+//! history, the event trace, even the utilization integral).
+//!
+//! The on-disk format follows the telemetry journal: one JSON object per
+//! line, `#[serde(tag = "type", rename_all = "snake_case")]`-tagged, here
+//! prefixed with a CRC-32 of the JSON payload:
+//!
+//! ```text
+//! 8c736521 {"type":"submit","spec":{...},"now":0.0}
+//! ```
+//!
+//! A torn final line (the crash landed mid-append) is tolerated and dropped
+//! on load; a checksum mismatch or garbage anywhere earlier is reported as
+//! corruption — a WAL with a damaged interior cannot be trusted for replay.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::core::{QueuePolicy, ReservationId};
+use crate::job::{JobId, JobSpec};
+use crate::policy::RemapPolicy;
+use crate::pool::AllocOrder;
+use crate::topology::ProcessorConfig;
+
+/// One logged scheduler transition. The first record of every WAL is
+/// [`WalRecord::Open`] (the core's configuration at attach time); every
+/// subsequent record is a public [`SchedulerCore`](crate::SchedulerCore)
+/// call with its arguments.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum WalRecord {
+    /// Genesis: everything needed to rebuild an empty core identical to the
+    /// one the WAL was attached to.
+    Open {
+        total_procs: usize,
+        policy: QueuePolicy,
+        remap_policy: RemapPolicy,
+        events_cap: usize,
+        alloc_order: AllocOrder,
+        /// Per-slot speed factors; `None` for homogeneous pools.
+        #[serde(default)]
+        slot_speeds: Option<Vec<f64>>,
+    },
+    Submit {
+        spec: JobSpec,
+        now: f64,
+    },
+    SubmitReserved {
+        spec: JobSpec,
+        reservation: ReservationId,
+        now: f64,
+    },
+    TrySchedule {
+        now: f64,
+    },
+    ResizePoint {
+        job: JobId,
+        iter_time: f64,
+        redist_time: f64,
+        now: f64,
+    },
+    PhaseChange {
+        job: JobId,
+        now: f64,
+    },
+    NoteRedist {
+        job: JobId,
+        from: ProcessorConfig,
+        to: ProcessorConfig,
+        seconds: f64,
+    },
+    Finished {
+        job: JobId,
+        now: f64,
+    },
+    Failed {
+        job: JobId,
+        reason: String,
+        now: f64,
+    },
+    ExpandFailed {
+        job: JobId,
+        now: f64,
+    },
+    Cancel {
+        job: JobId,
+        now: f64,
+    },
+    Reserve {
+        start: f64,
+        end: f64,
+        procs: usize,
+    },
+    CancelReservation {
+        id: ReservationId,
+    },
+    /// A clock advance from a utilization query — it moves the busy-time
+    /// integral, so exact-state recovery must replay it too.
+    Tick {
+        now: f64,
+    },
+}
+
+/// Why a WAL could not be loaded or replayed.
+#[derive(Debug)]
+pub enum WalError {
+    Io(std::io::Error),
+    /// A non-final line failed its checksum or did not parse. `line` is
+    /// 1-based.
+    Corrupt { line: usize, reason: String },
+    /// The stream does not start with a usable [`WalRecord::Open`].
+    BadGenesis(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::Corrupt { line, reason } => {
+                write!(f, "WAL corrupt at line {line}: {reason}")
+            }
+            WalError::BadGenesis(why) => write!(f, "WAL genesis record invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+// CRC-32 (IEEE 802.3 polynomial), table built at compile time — the WAL
+// must not pull in a checksum crate for one function.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 of `data` (IEEE polynomial, as used by zip/png).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn encode_line(rec: &WalRecord) -> String {
+    let json = serde_json::to_string(rec).expect("WAL records always serialize");
+    format!("{:08x} {json}\n", crc32(json.as_bytes()))
+}
+
+fn decode_line(line: &str) -> Result<WalRecord, String> {
+    let (crc_hex, json) = line
+        .split_once(' ')
+        .ok_or_else(|| "missing checksum field".to_string())?;
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|_| "bad checksum field".to_string())?;
+    let got = crc32(json.as_bytes());
+    if want != got {
+        return Err(format!("checksum mismatch (stored {want:08x}, computed {got:08x})"));
+    }
+    serde_json::from_str(json).map_err(|e| format!("unparseable record: {e}"))
+}
+
+/// An append-only, checksummed record stream. Purely in-memory by default;
+/// [`Wal::create`]/[`Wal::load`] back it with a file that is flushed on
+/// every append (write-ahead: the record is durable before the transition's
+/// effects are observable).
+pub struct Wal {
+    records: Vec<WalRecord>,
+    file: Option<BufWriter<File>>,
+    path: Option<PathBuf>,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("records", &self.records.len())
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// A WAL held only in memory (tests, simulators, crash-restart drills).
+    pub fn in_memory() -> Self {
+        Wal {
+            records: Vec::new(),
+            file: None,
+            path: None,
+        }
+    }
+
+    /// Create (truncate) a file-backed WAL at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(Wal {
+            records: Vec::new(),
+            file: Some(BufWriter::new(file)),
+            path: Some(path),
+        })
+    }
+
+    /// Load an existing file-backed WAL for recovery and continued
+    /// appending. A torn final line is truncated away; interior corruption
+    /// is an error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        let (records, clean_len) = parse_stream(&text)?;
+        // Drop any torn tail from the file so future appends start clean.
+        if clean_len < text.len() {
+            file.set_len(clean_len as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            records,
+            file: Some(BufWriter::new(file)),
+            path: Some(path),
+        })
+    }
+
+    /// Parse an encoded stream (see [`Wal::encode`]) into an in-memory WAL.
+    pub fn decode(text: &str) -> Result<Self, WalError> {
+        let (records, _) = parse_stream(text)?;
+        Ok(Wal {
+            records,
+            file: None,
+            path: None,
+        })
+    }
+
+    /// The full stream in wire format (what a file-backed WAL would
+    /// contain).
+    pub fn encode(&self) -> String {
+        self.records.iter().map(encode_line).collect()
+    }
+
+    /// Append one record; file-backed WALs write and flush before
+    /// returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backing file cannot be written — a WAL that silently
+    /// loses records is worse than no WAL.
+    pub fn append(&mut self, rec: WalRecord) {
+        if let Some(f) = self.file.as_mut() {
+            f.write_all(encode_line(&rec).as_bytes())
+                .and_then(|_| f.flush())
+                .expect("WAL append failed");
+        }
+        self.records.push(rec);
+    }
+
+    pub fn records(&self) -> &[WalRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+/// Parse `text` into records; returns the records and the byte length of
+/// the clean (fully parsed, newline-terminated) prefix.
+fn parse_stream(text: &str) -> Result<(Vec<WalRecord>, usize), WalError> {
+    let mut records = Vec::new();
+    let mut clean_len = 0usize;
+    let mut offset = 0usize;
+    for (idx, line) in text.split_inclusive('\n').enumerate() {
+        let terminated = line.ends_with('\n');
+        let body = line.trim_end_matches(['\n', '\r']);
+        offset += line.len();
+        if body.is_empty() {
+            clean_len = offset;
+            continue;
+        }
+        match decode_line(body) {
+            Ok(rec) => {
+                records.push(rec);
+                clean_len = offset;
+            }
+            // Torn tail: the crash interrupted the final append. Drop it.
+            Err(_) if !terminated => break,
+            Err(reason) => {
+                return Err(WalError::Corrupt {
+                    line: idx + 1,
+                    reason,
+                });
+            }
+        }
+    }
+    Ok((records, clean_len))
+}
+
+/// A summary of WAL contents by record type, for diagnostics and tests.
+pub fn record_histogram(records: &[WalRecord]) -> BTreeMap<&'static str, usize> {
+    let mut h = BTreeMap::new();
+    for r in records {
+        let k = match r {
+            WalRecord::Open { .. } => "open",
+            WalRecord::Submit { .. } => "submit",
+            WalRecord::SubmitReserved { .. } => "submit_reserved",
+            WalRecord::TrySchedule { .. } => "try_schedule",
+            WalRecord::ResizePoint { .. } => "resize_point",
+            WalRecord::PhaseChange { .. } => "phase_change",
+            WalRecord::NoteRedist { .. } => "note_redist",
+            WalRecord::Finished { .. } => "finished",
+            WalRecord::Failed { .. } => "failed",
+            WalRecord::ExpandFailed { .. } => "expand_failed",
+            WalRecord::Cancel { .. } => "cancel",
+            WalRecord::Reserve { .. } => "reserve",
+            WalRecord::CancelReservation { .. } => "cancel_reservation",
+            WalRecord::Tick { .. } => "tick",
+        };
+        *h.entry(k).or_insert(0) += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Open {
+                total_procs: 8,
+                policy: QueuePolicy::Fcfs,
+                remap_policy: RemapPolicy::default(),
+                events_cap: 1024,
+                alloc_order: AllocOrder::LowestId,
+                slot_speeds: None,
+            },
+            WalRecord::TrySchedule { now: 1.5 },
+            WalRecord::Failed {
+                job: JobId(3),
+                reason: "node 2 crashed".into(),
+                now: 9.25,
+            },
+            WalRecord::Reserve {
+                start: 10.0,
+                end: 20.0,
+                procs: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let mut wal = Wal::in_memory();
+        for r in sample() {
+            wal.append(r);
+        }
+        let text = wal.encode();
+        let back = Wal::decode(&text).expect("clean stream decodes");
+        assert_eq!(back.records(), wal.records());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let mut wal = Wal::in_memory();
+        for r in sample() {
+            wal.append(r);
+        }
+        let text = wal.encode();
+        // Chop the final record mid-line, as a crash during append would.
+        let cut = text.len() - 10;
+        let torn = &text[..cut];
+        let back = Wal::decode(torn).expect("torn tail tolerated");
+        assert_eq!(back.len(), wal.len() - 1);
+        assert_eq!(back.records(), &wal.records()[..wal.len() - 1]);
+    }
+
+    #[test]
+    fn interior_corruption_is_rejected() {
+        let mut wal = Wal::in_memory();
+        for r in sample() {
+            wal.append(r);
+        }
+        let mut text = wal.encode();
+        // Flip a byte inside the second line's JSON.
+        let second_line_start = text.find('\n').unwrap() + 1;
+        let pos = second_line_start + 12;
+        unsafe { text.as_bytes_mut()[pos] ^= 0x01 };
+        let err = Wal::decode(&text).expect_err("corruption must be detected");
+        assert!(matches!(err, WalError::Corrupt { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn file_backed_wal_survives_reload() {
+        let dir = std::env::temp_dir().join(format!("reshape-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sched.wal");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            for r in sample() {
+                wal.append(r);
+            }
+        }
+        // Simulate a torn append: write half a line at the end.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"deadbeef {\"type\":\"try_sch").unwrap();
+        }
+        let mut wal = Wal::load(&path).unwrap();
+        assert_eq!(wal.len(), sample().len());
+        // Appending after a torn-tail load produces a clean stream.
+        wal.append(WalRecord::Tick { now: 42.0 });
+        drop(wal);
+        let again = Wal::load(&path).unwrap();
+        assert_eq!(again.len(), sample().len() + 1);
+        assert_eq!(
+            again.records().last(),
+            Some(&WalRecord::Tick { now: 42.0 })
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        // serde_json uses Ryu/Grisu shortest-representation printing, which
+        // round-trips every finite f64 exactly — the recovery-equality
+        // guarantee leans on this.
+        let values = [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            123.456e-78,
+        ];
+        for v in values {
+            let mut wal = Wal::in_memory();
+            wal.append(WalRecord::Tick { now: v });
+            let back = Wal::decode(&wal.encode()).unwrap();
+            match back.records()[0] {
+                WalRecord::Tick { now } => assert_eq!(now.to_bits(), v.to_bits()),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_types() {
+        let h = record_histogram(&sample());
+        assert_eq!(h.get("open"), Some(&1));
+        assert_eq!(h.get("try_schedule"), Some(&1));
+        assert_eq!(h.get("failed"), Some(&1));
+        assert_eq!(h.get("reserve"), Some(&1));
+    }
+}

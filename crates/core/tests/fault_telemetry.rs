@@ -41,6 +41,10 @@ fn injected_faults_leave_a_complete_telemetry_trail() {
     // revert-expansion recovery along the way.
     {
         let uni = Universe::new(8, 1, NetModel::ideal());
+        // Deny every attempt the default retry policy will make, so the
+        // expansion is ultimately reverted (not rescued by a retry).
+        uni.inject_spawn_cap(0);
+        uni.inject_spawn_cap(0);
         uni.inject_spawn_cap(0);
         let rt = ReshapeRuntime::new(uni, QueuePolicy::Fcfs);
         let spec = JobSpec::new(
@@ -50,8 +54,11 @@ fn injected_faults_leave_a_complete_telemetry_trail() {
             5,
         );
         let job = rt.submit(spec, toy(8, 1.0));
-        let state = rt.wait_for(job, Duration::from_secs(30));
+        let state = rt.wait_for(job, Duration::from_secs(30)).unwrap();
         assert!(matches!(state, JobState::Finished { .. }), "{state:?}");
+        // Scenario teardown: drop any unconsumed injected faults so they
+        // cannot leak into runtime shutdown (or a later scenario).
+        rt.universe().clear_faults();
     }
 
     // Scenario 2 — a node crash kills a static job mid-run: the monitor
@@ -69,7 +76,7 @@ fn injected_faults_leave_a_complete_telemetry_trail() {
         )
         .static_job();
         let job = rt.submit(spec, toy(8, 1.0));
-        let state = rt.wait_for(job, Duration::from_secs(30));
+        let state = rt.wait_for(job, Duration::from_secs(30)).unwrap();
         assert!(matches!(state, JobState::Failed { .. }), "{state:?}");
         // Reclamation happens on the scheduler thread shortly after.
         let deadline = Instant::now() + Duration::from_secs(10);
@@ -77,6 +84,7 @@ fn injected_faults_leave_a_complete_telemetry_trail() {
             assert!(Instant::now() < deadline, "crashed job never reclaimed");
             std::thread::sleep(Duration::from_millis(5));
         }
+        rt.universe().clear_faults();
     }
 
     // The journal saw both fault kinds and both recovery actions.

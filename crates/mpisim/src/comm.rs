@@ -39,6 +39,15 @@ impl Group {
 // traffic can never be confused with protocol traffic on the same
 // communicator.
 pub(crate) const TAG_INTERNAL: u32 = 1 << 24;
+
+/// Start of the *control-plane* tag range `[TAG_CTRL_BASE, 2^24)`. Message
+/// faults injected with [`crate::Universe::inject_msg_loss`] (and friends)
+/// apply only to tags in this range: control messages like ReSHAPE's
+/// expansion commit/abort have retransmit protocols layered on top, whereas
+/// data-plane traffic (user tags, the redistribution range at `8_000_000 +
+/// step`) and the library's internal collectives assume a reliable
+/// transport and would deadlock under loss.
+pub const TAG_CTRL_BASE: u32 = 9_000_000;
 pub(crate) const TAG_BARRIER: u32 = TAG_INTERNAL;
 pub(crate) const TAG_BCAST: u32 = TAG_INTERNAL + 1;
 pub(crate) const TAG_REDUCE: u32 = TAG_INTERNAL + 2;
@@ -221,7 +230,8 @@ impl Comm {
             ep.now += self.core.net.send_cost(payload.len()) * slow;
             ep.now + self.core.net.latency * slow
         };
-        self.core.router.deliver(
+        self.core.fault.deliver_faulty(
+            &self.core.router,
             self.group.members[dst],
             Envelope {
                 comm: self.group.id,

@@ -56,7 +56,8 @@ impl InterComm {
             ep.now += core.net.send_cost(payload.len());
             ep.now + core.net.latency
         };
-        core.router.deliver(
+        core.fault.deliver_faulty(
+            &core.router,
             self.remote.members[dst],
             Envelope {
                 comm: self.id,
@@ -66,6 +67,17 @@ impl InterComm {
                 payload,
             },
         );
+    }
+
+    /// Non-blocking probe for a pending message from remote rank `src` with
+    /// tag `tag`. Unlike [`InterComm::recv_remote`] this never blocks, so
+    /// control protocols (e.g. an ack/retransmit handshake over a lossy
+    /// wire) can poll without committing to a receive.
+    pub fn iprobe_remote(&self, src: usize, tag: u32) -> bool {
+        self.local
+            .ep
+            .borrow_mut()
+            .iprobe(self.id, Some(src), Some(tag))
     }
 
     /// Receive from a rank of the remote group.

@@ -1,0 +1,123 @@
+//! Crash-restart drills over the scheduler's write-ahead log.
+//!
+//! One drill per seed:
+//!
+//! 1. run the seeded scenario uninterrupted on a plain core — the
+//!    **baseline** final state;
+//! 2. rerun it on a WAL-attached core and "crash" the scheduler at a
+//!    seeded transition index (the applications keep running — the
+//!    [`crate::harness::Driver`]'s live bookkeeping survives the crash,
+//!    like the paper's decoupled resize library);
+//! 3. serialize the WAL to its on-disk text format and parse it back —
+//!    the recovery input is exactly what a restarted scheduler would read;
+//! 4. [`SchedulerCore::recover`] and assert the recovered snapshot equals
+//!    the crashed core's, field for field;
+//! 5. splice the recovered core into the still-running scenario, drive it
+//!    to completion under the invariant + trace oracles, and assert the
+//!    final snapshot (minus the still-attached WAL) equals the baseline's.
+//!
+//! On failure with `TESTKIT_WAL_DIR` set, the WAL stream is dumped to
+//! `$TESTKIT_WAL_DIR/seed-<seed>.wal` for offline replay.
+
+use reshape_core::wal::Wal;
+use reshape_core::SchedulerCore;
+
+use crate::harness::{Driver, RunStats};
+use crate::rng::SplitMix64;
+use crate::scenario::generate;
+
+/// What one crash-restart drill did.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashReport {
+    /// Transition index the scheduler was killed at.
+    pub crash_at: usize,
+    /// WAL records the recovery replayed.
+    pub wal_records: usize,
+    /// Statistics of the post-recovery run (equal to the baseline's).
+    pub stats: RunStats,
+}
+
+/// Run the crash-restart drill for `seed`. See the module docs for the
+/// protocol. The error string carries the seed and, when `TESTKIT_WAL_DIR`
+/// is set, the path of the dumped WAL.
+pub fn run_crash_restart(seed: u64) -> Result<CrashReport, String> {
+    let sc = generate(seed);
+    let fail = |msg: String| format!("seed {seed} (crash-restart): {msg}");
+
+    // Baseline: the same scenario, never interrupted.
+    let (baseline_stats, baseline_core) =
+        Driver::new(&sc, SchedulerCore::new(sc.total_procs, sc.policy))
+            .finish()
+            .map_err(|e| fail(format!("baseline run failed: {e}")))?;
+    let baseline = baseline_core.snapshot();
+
+    // Crash index: anywhere in the run, from "immediately after the first
+    // transition" to "one before the end" (seeded, so reproducible).
+    let total = baseline_stats.transitions;
+    let crash_at = if total <= 1 {
+        1
+    } else {
+        SplitMix64::new(seed ^ 0xC4A5_4357).usize_range(1, total - 1)
+    };
+
+    // Run to the crash point with the WAL attached.
+    let mut driver = Driver::new(
+        &sc,
+        SchedulerCore::new(sc.total_procs, sc.policy).with_wal(Wal::in_memory()),
+    );
+    while driver.transitions() < crash_at {
+        match driver.step() {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => return Err(fail(format!("pre-crash run failed: {e}"))),
+        }
+    }
+
+    // The "crash": all in-memory scheduler state is gone; only the WAL
+    // text survives. Encode → decode round-trips the durable form.
+    let wal = driver
+        .core_mut()
+        .take_wal()
+        .expect("WAL was attached before the run");
+    let text = wal.encode();
+    let dump = |why: &str| -> String {
+        let mut msg = fail(why.to_string());
+        if let Ok(dir) = std::env::var("TESTKIT_WAL_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("seed-{seed}.wal"));
+            let _ = std::fs::create_dir_all(&dir);
+            match std::fs::write(&path, &text) {
+                Ok(()) => msg.push_str(&format!(" [WAL dumped to {}]", path.display())),
+                Err(e) => msg.push_str(&format!(" [WAL dump failed: {e}]")),
+            }
+        }
+        msg
+    };
+    let decoded = Wal::decode(&text).map_err(|e| dump(&format!("WAL reparse failed: {e:?}")))?;
+    let wal_records = decoded.len();
+    let recovered =
+        SchedulerCore::recover(decoded).map_err(|e| dump(&format!("recovery failed: {e:?}")))?;
+
+    // Exact state equality with the core that wrote the log.
+    if recovered.snapshot() != driver.core().snapshot() {
+        return Err(dump("recovered snapshot differs from the crashed core's"));
+    }
+
+    // Splice the recovered scheduler into the still-running scenario and
+    // finish under the oracles.
+    driver.swap_core(recovered);
+    let (stats, final_core) = driver
+        .finish()
+        .map_err(|e| dump(&format!("post-recovery run failed: {e}")))?;
+
+    // The interrupted-and-recovered run must land on the baseline's exact
+    // final state: recovery is invisible to scheduling outcomes.
+    if final_core.snapshot() != baseline {
+        return Err(dump("final state after recovery diverged from the uninterrupted run"));
+    }
+
+    Ok(CrashReport {
+        crash_at,
+        wal_records,
+        stats,
+    })
+}

@@ -3,6 +3,12 @@
 //! oracle after **every** scheduler transition plus the trace oracle at the
 //! end. Any violation is reported with the scenario seed so the run can be
 //! reproduced exactly.
+//!
+//! The harness is exposed at two granularities: [`run_scenario`] drives a
+//! run to completion, while [`Driver`] executes one transition per
+//! [`Driver::step`] call so crash-restart drills can stop mid-run, recover
+//! a core from its write-ahead log, splice it in with
+//! [`Driver::swap_core`], and continue under the same oracles.
 
 use std::collections::BTreeMap;
 
@@ -22,7 +28,18 @@ pub struct RunStats {
     pub expand_failures: usize,
     pub job_failures: usize,
     pub cancellations: usize,
+    /// Hangs injected by [`Fault::HangAtCheckin`].
+    pub hangs_injected: usize,
+    /// Hung jobs killed by the harness's virtual-time watchdog model. A
+    /// clean run has `watchdog_kills == hangs_injected`: every hang is
+    /// detected, and no healthy job is ever killed.
+    pub watchdog_kills: usize,
 }
+
+/// Virtual seconds a hung job sits silent before the modeled watchdog
+/// kills it (the deadline a real deployment derives from the profiled
+/// iteration time; a constant is fine for the virtual-time harness).
+const WATCHDOG_DEADLINE: f64 = 500.0;
 
 /// Per-running-job bookkeeping of the simulated application side.
 struct Live {
@@ -31,6 +48,9 @@ struct Live {
     checkins: usize,
     /// `ExpandFailure` fault not yet fired.
     expand_fault_armed: bool,
+    /// Job stopped checking in ([`Fault::HangAtCheckin`] fired); its next
+    /// "event" is the watchdog deadline, not a check-in.
+    hung: bool,
 }
 
 /// Upper bound on scheduler transitions per run; generated workloads use a
@@ -51,19 +71,74 @@ pub fn run_scenario(sc: &Scenario) -> Result<RunStats, String> {
 /// [`run_scenario`] on a caller-prepared core — the planted-bug tests use
 /// this to hand in a core with a chaos hook enabled and prove the oracle
 /// notices.
-pub fn run_scenario_on(sc: &Scenario, mut core: SchedulerCore) -> Result<RunStats, String> {
-    let fail = |msg: String| format!("seed {}: {}", sc.seed, msg);
-    let mut live: BTreeMap<JobId, Live> = BTreeMap::new();
-    let mut ids: Vec<Option<JobId>> = vec![None; sc.jobs.len()];
-    let mut next_submission = 0usize;
-    let mut transitions = 0usize;
+pub fn run_scenario_on(sc: &Scenario, core: SchedulerCore) -> Result<RunStats, String> {
+    Driver::new(sc, core).finish().map(|(stats, _)| stats)
+}
 
-    loop {
+/// Step-able scenario executor. Each [`Driver::step`] performs exactly one
+/// scheduler transition (a submission, a check-in, or a watchdog kill) and
+/// runs the invariant oracle; [`Driver::finish`] runs the remainder plus
+/// the end-of-run trace oracle.
+pub struct Driver<'a> {
+    sc: &'a Scenario,
+    core: SchedulerCore,
+    live: BTreeMap<JobId, Live>,
+    ids: Vec<Option<JobId>>,
+    next_submission: usize,
+    transitions: usize,
+    hangs_injected: usize,
+    watchdog_kills: usize,
+}
+
+impl<'a> Driver<'a> {
+    pub fn new(sc: &'a Scenario, core: SchedulerCore) -> Self {
+        Driver {
+            sc,
+            core,
+            live: BTreeMap::new(),
+            ids: Vec::new(),
+            next_submission: 0,
+            transitions: 0,
+            hangs_injected: 0,
+            watchdog_kills: 0,
+        }
+    }
+
+    /// Transitions executed so far.
+    pub fn transitions(&self) -> usize {
+        self.transitions
+    }
+
+    pub fn core(&self) -> &SchedulerCore {
+        &self.core
+    }
+
+    pub fn core_mut(&mut self) -> &mut SchedulerCore {
+        &mut self.core
+    }
+
+    /// Replace the scheduler mid-run (crash-restart drills splice in a core
+    /// recovered from the crashed one's WAL) and return the old core. The
+    /// application side (`live` bookkeeping) is untouched: the simulated
+    /// jobs kept running while the scheduler was down, exactly like the
+    /// paper's decoupled resize library.
+    pub fn swap_core(&mut self, core: SchedulerCore) -> SchedulerCore {
+        std::mem::replace(&mut self.core, core)
+    }
+
+    /// Execute one transition. `Ok(true)` means progress was made,
+    /// `Ok(false)` means the scenario is exhausted.
+    pub fn step(&mut self) -> Result<bool, String> {
+        if self.ids.len() != self.sc.jobs.len() {
+            self.ids.resize(self.sc.jobs.len(), None);
+        }
         // Earliest pending event: the next submission or the earliest
         // check-in; ties go to the submission, then to the lowest JobId
         // (BTreeMap iteration order), keeping replays bit-identical.
-        let sub_at = (next_submission < sc.jobs.len()).then(|| sc.jobs[next_submission].arrival);
-        let next_checkin = live
+        let sub_at =
+            (self.next_submission < self.sc.jobs.len()).then(|| self.sc.jobs[self.next_submission].arrival);
+        let next_checkin = self
+            .live
             .iter()
             .min_by(|a, b| {
                 a.1.next_checkin
@@ -72,7 +147,7 @@ pub fn run_scenario_on(sc: &Scenario, mut core: SchedulerCore) -> Result<RunStat
             })
             .map(|(id, l)| (*id, l.next_checkin));
         let (now, event) = match (sub_at, next_checkin) {
-            (None, None) => break,
+            (None, None) => return Ok(false),
             (Some(t), None) => (t, None),
             (None, Some((id, t))) => (t, Some(id)),
             (Some(ts), Some((id, tc))) => {
@@ -84,106 +159,140 @@ pub fn run_scenario_on(sc: &Scenario, mut core: SchedulerCore) -> Result<RunStat
             }
         };
 
-        transitions += 1;
-        if transitions > MAX_TRANSITIONS {
-            return Err(fail(format!(
+        self.transitions += 1;
+        if self.transitions > MAX_TRANSITIONS {
+            return Err(self.fail(format!(
                 "no progress after {MAX_TRANSITIONS} transitions — livelock"
             )));
         }
 
         match event {
             None => {
-                let plan = &sc.jobs[next_submission];
-                let (id, starts) = core.submit(plan.spec.clone(), now);
-                ids[next_submission] = Some(id);
-                next_submission += 1;
-                register(&mut live, &starts, sc, &ids, now);
+                let plan = &self.sc.jobs[self.next_submission];
+                let (id, starts) = self.core.submit(plan.spec.clone(), now);
+                self.ids[self.next_submission] = Some(id);
+                self.next_submission += 1;
+                register(&mut self.live, &starts, self.sc, &self.ids, now);
             }
-            Some(id) => checkin(&mut core, sc, &ids, &mut live, id, now)?,
+            Some(id) => self.checkin(id, now)?,
         }
-        oracle::check_invariants(&core).map_err(fail)?;
+        oracle::check_invariants(&self.core).map_err(|e| self.fail(e))?;
+        Ok(true)
     }
 
-    let need: BTreeMap<JobId, usize> = ids
-        .iter()
-        .zip(&sc.jobs)
-        .filter_map(|(id, p)| id.map(|id| (id, p.spec.initial.procs())))
-        .collect();
-    oracle::check_trace(&core, core.events(), &need, sc.policy).map_err(fail)?;
-    Ok(stats(transitions, core.events()))
-}
+    /// Run the remaining transitions and the end-of-run trace oracle.
+    /// Returns the statistics and the final core (crash drills compare its
+    /// snapshot against an uninterrupted run's).
+    pub fn finish(mut self) -> Result<(RunStats, SchedulerCore), String> {
+        while self.step()? {}
+        let need: BTreeMap<JobId, usize> = self
+            .ids
+            .iter()
+            .zip(&self.sc.jobs)
+            .filter_map(|(id, p)| id.map(|id| (id, p.spec.initial.procs())))
+            .collect();
+        oracle::check_trace(&self.core, self.core.events(), &need, self.sc.policy)
+            .map_err(|e| self.fail(e))?;
+        let mut st = stats(self.transitions, self.core.events());
+        st.hangs_injected = self.hangs_injected;
+        st.watchdog_kills = self.watchdog_kills;
+        Ok((st, self.core))
+    }
 
-/// Process one application check-in, firing any due fault.
-fn checkin(
-    core: &mut SchedulerCore,
-    sc: &Scenario,
-    ids: &[Option<JobId>],
-    live: &mut BTreeMap<JobId, Live>,
-    id: JobId,
-    now: f64,
-) -> Result<(), String> {
-    let (plan_idx, checkins, armed) = {
-        let l = live.get_mut(&id).expect("checkin for live job");
-        l.checkins += 1;
-        (l.plan, l.checkins, l.expand_fault_armed)
-    };
-    let plan = &sc.jobs[plan_idx];
+    fn fail(&self, msg: String) -> String {
+        format!("seed {}: {}", self.sc.seed, msg)
+    }
 
-    // A job cancelled at an earlier check-in comes back one more time to
-    // pick up its Terminate directive, like a real driver would.
-    let config = match core.job(id).map(|r| r.state.clone()) {
-        Some(JobState::Running { config }) => config,
-        _ => {
-            let (d, starts) = core.resize_point(id, 0.0, 0.0, now);
-            register(live, &starts, sc, ids, now);
-            if d != Directive::Terminate {
-                return Err(format!("{id}: expected Terminate after cancel, got {d:?}"));
+    /// Process one application check-in (or watchdog deadline), firing any
+    /// due fault.
+    fn checkin(&mut self, id: JobId, now: f64) -> Result<(), String> {
+        let (plan_idx, checkins, armed, hung) = {
+            let l = self.live.get_mut(&id).expect("checkin for live job");
+            if !l.hung {
+                l.checkins += 1;
             }
-            live.remove(&id);
-            return Ok(());
-        }
-    };
-
-    match plan.fault {
-        Some(Fault::FailAtCheckin(k)) if k == checkins => {
-            let starts = core.on_failed(id, "injected node failure".into(), now);
-            register(live, &starts, sc, ids, now);
-            live.remove(&id);
-            return Ok(());
-        }
-        Some(Fault::CancelAtCheckin(k)) if k == checkins => {
-            let starts = core.cancel(id, now);
-            register(live, &starts, sc, ids, now);
-            // One more check-in to receive Terminate.
-            live.get_mut(&id).expect("still live").next_checkin = now + 0.01;
-            return Ok(());
-        }
-        _ => {}
-    }
-
-    let iter_time = plan.work / config.procs() as f64;
-    let (directive, starts) = core.resize_point(id, iter_time, 0.0, now);
-    register(live, &starts, sc, ids, now);
-    if let Directive::Expand { .. } = directive {
-        if armed && matches!(plan.fault, Some(Fault::ExpandFailure)) {
-            let starts = core.on_expand_failed(id, now);
-            register(live, &starts, sc, ids, now);
-            live.get_mut(&id).expect("still live").expand_fault_armed = false;
-        }
-    }
-
-    if checkins >= plan.spec.iterations {
-        let starts = core.on_finished(id, now);
-        register(live, &starts, sc, ids, now);
-        live.remove(&id);
-    } else {
-        let procs = match core.job(id).map(|r| r.state.clone()) {
-            Some(JobState::Running { config }) => config.procs(),
-            _ => config.procs(),
+            (l.plan, l.checkins, l.expand_fault_armed, l.hung)
         };
-        live.get_mut(&id).expect("still live").next_checkin = now + plan.work / procs as f64;
+        let plan = &self.sc.jobs[plan_idx];
+
+        // The watchdog deadline for a hung job: the modeled supervisor
+        // declares it dead, the scheduler reclaims like any failure.
+        if hung {
+            let starts = self
+                .core
+                .on_failed(id, "hung: missed watchdog heartbeat deadline".into(), now);
+            register(&mut self.live, &starts, self.sc, &self.ids, now);
+            self.live.remove(&id);
+            self.watchdog_kills += 1;
+            return Ok(());
+        }
+
+        // A job cancelled at an earlier check-in comes back one more time to
+        // pick up its Terminate directive, like a real driver would.
+        let config = match self.core.job(id).map(|r| r.state.clone()) {
+            Some(JobState::Running { config }) => config,
+            _ => {
+                let (d, starts) = self.core.resize_point(id, 0.0, 0.0, now);
+                register(&mut self.live, &starts, self.sc, &self.ids, now);
+                if d != Directive::Terminate {
+                    return Err(format!("{id}: expected Terminate after cancel, got {d:?}"));
+                }
+                self.live.remove(&id);
+                return Ok(());
+            }
+        };
+
+        match plan.fault {
+            Some(Fault::FailAtCheckin(k)) if k == checkins => {
+                let starts = self.core.on_failed(id, "injected node failure".into(), now);
+                register(&mut self.live, &starts, self.sc, &self.ids, now);
+                self.live.remove(&id);
+                return Ok(());
+            }
+            Some(Fault::CancelAtCheckin(k)) if k == checkins => {
+                let starts = self.core.cancel(id, now);
+                register(&mut self.live, &starts, self.sc, &self.ids, now);
+                // One more check-in to receive Terminate.
+                self.live.get_mut(&id).expect("still live").next_checkin = now + 0.01;
+                return Ok(());
+            }
+            Some(Fault::HangAtCheckin(k)) if k == checkins => {
+                // The job goes silent: no resize point, no completion. Its
+                // next event is the watchdog deadline.
+                let l = self.live.get_mut(&id).expect("still live");
+                l.hung = true;
+                l.next_checkin = now + WATCHDOG_DEADLINE;
+                self.hangs_injected += 1;
+                return Ok(());
+            }
+            _ => {}
+        }
+
+        let iter_time = plan.work / config.procs() as f64;
+        let (directive, starts) = self.core.resize_point(id, iter_time, 0.0, now);
+        register(&mut self.live, &starts, self.sc, &self.ids, now);
+        if let Directive::Expand { .. } = directive {
+            if armed && matches!(plan.fault, Some(Fault::ExpandFailure)) {
+                let starts = self.core.on_expand_failed(id, now);
+                register(&mut self.live, &starts, self.sc, &self.ids, now);
+                self.live.get_mut(&id).expect("still live").expand_fault_armed = false;
+            }
+        }
+
+        if checkins >= plan.spec.iterations {
+            let starts = self.core.on_finished(id, now);
+            register(&mut self.live, &starts, self.sc, &self.ids, now);
+            self.live.remove(&id);
+        } else {
+            let procs = match self.core.job(id).map(|r| r.state.clone()) {
+                Some(JobState::Running { config }) => config.procs(),
+                _ => config.procs(),
+            };
+            self.live.get_mut(&id).expect("still live").next_checkin =
+                now + plan.work / procs as f64;
+        }
+        Ok(())
     }
-    Ok(())
 }
 
 /// Record scheduler-started jobs as live applications.
@@ -207,6 +316,7 @@ fn register(
                 next_checkin: now + work / s.config.procs() as f64,
                 checkins: 0,
                 expand_fault_armed: true,
+                hung: false,
             },
         );
     }

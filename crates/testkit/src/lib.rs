@@ -13,7 +13,12 @@
 //!   order respected, every job terminal and the cluster drained.
 //! * [`harness`] — drives a [`reshape_core::SchedulerCore`] through a
 //!   scenario, fires the faults, and runs the oracle after every
-//!   transition.
+//!   transition; the step-able [`harness::Driver`] lets drills stop and
+//!   splice in a different core mid-run.
+//! * [`crashrestart`] — kills the scheduler at a seeded transition,
+//!   recovers a fresh core from the write-ahead log's durable text form,
+//!   asserts exact snapshot equality, and finishes the run on the
+//!   recovered core demanding the uninterrupted run's final state.
 //! * [`differential`] — runs the independent redistribution paths (planned
 //!   / naive / general / checkpoint, 2-D and 1-D) on identical inputs and
 //!   demands bitwise-equal results; under a dead rank, all fault-checked
@@ -25,13 +30,15 @@
 //! TESTKIT_SEED=<printed seed> cargo test -p reshape-testkit seed_from_env
 //! ```
 
+pub mod crashrestart;
 pub mod differential;
 pub mod harness;
 pub mod oracle;
 pub mod rng;
 pub mod scenario;
 
-pub use harness::{run_scenario, run_scenario_on, run_seed, RunStats};
+pub use crashrestart::{run_crash_restart, CrashReport};
+pub use harness::{run_scenario, run_scenario_on, run_seed, Driver, RunStats};
 pub use oracle::{check_invariants, check_trace};
 pub use rng::SplitMix64;
 pub use scenario::{generate, Fault, JobPlan, Scenario};

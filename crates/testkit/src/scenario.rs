@@ -21,6 +21,10 @@ pub enum Fault {
     /// The next expansion the Remap Scheduler grants is not actuated
     /// (spawn returned too few processes); the job reverts.
     ExpandFailure,
+    /// The job goes silent at its `n`-th check-in (livelock/deadlock): it
+    /// stops reaching resize points without its processes dying. The
+    /// harness's watchdog model must declare it hung and reclaim.
+    HangAtCheckin(usize),
 }
 
 /// One job of the workload.
@@ -142,9 +146,10 @@ fn gen_fault(rng: &mut SplitMix64, spec: &JobSpec, iterations: usize) -> Option<
     if !rng.chance(1, 4) {
         return None;
     }
-    Some(match rng.range(0, 2) {
+    Some(match rng.range(0, 3) {
         0 => Fault::FailAtCheckin(rng.usize_range(1, iterations)),
         1 => Fault::CancelAtCheckin(rng.usize_range(1, iterations)),
+        2 => Fault::HangAtCheckin(rng.usize_range(1, iterations)),
         _ if spec.resizable => Fault::ExpandFailure,
         // Static jobs never expand; give them a failure instead so the
         // fault still fires.
@@ -189,17 +194,18 @@ mod tests {
 
     #[test]
     fn fault_mix_is_exercised() {
-        let (mut fails, mut cancels, mut expands) = (0, 0, 0);
+        let (mut fails, mut cancels, mut expands, mut hangs) = (0, 0, 0, 0);
         for seed in 0..300 {
             for j in generate(seed).jobs {
                 match j.fault {
                     Some(Fault::FailAtCheckin(_)) => fails += 1,
                     Some(Fault::CancelAtCheckin(_)) => cancels += 1,
                     Some(Fault::ExpandFailure) => expands += 1,
+                    Some(Fault::HangAtCheckin(_)) => hangs += 1,
                     None => {}
                 }
             }
         }
-        assert!(fails > 0 && cancels > 0 && expands > 0);
+        assert!(fails > 0 && cancels > 0 && expands > 0 && hangs > 0);
     }
 }

@@ -57,7 +57,7 @@ fn main() {
         16,
     );
     let job = runtime.submit(spec, app);
-    let state = runtime.wait_for(job, Duration::from_secs(120));
+    let state = runtime.wait_for(job, Duration::from_secs(120)).unwrap();
     println!("final state: {state:?}");
 
     let core = runtime.core().lock();

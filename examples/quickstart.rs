@@ -33,7 +33,7 @@ fn main() {
 
     println!("submitting {} ...", spec.name);
     let job = runtime.submit(spec, app);
-    let state = runtime.wait_for(job, Duration::from_secs(60));
+    let state = runtime.wait_for(job, Duration::from_secs(60)).unwrap();
     println!("final state: {state:?}");
 
     // Inspect what the Performance Profiler recorded.

@@ -35,7 +35,7 @@ fn main() {
     );
     let app = reshape::apps::jacobi_app(n, 4, 5, 1.0e5);
     let job = runtime.submit(spec, app);
-    let state = runtime.wait_for(job, Duration::from_secs(120));
+    let state = runtime.wait_for(job, Duration::from_secs(120)).unwrap();
     println!("job finished: {state:?}");
 
     let core = runtime.core().lock();

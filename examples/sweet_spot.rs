@@ -52,7 +52,7 @@ fn main() {
         12,
     );
     let job = runtime.submit(spec, app);
-    runtime.wait_for(job, Duration::from_secs(60));
+    runtime.wait_for(job, Duration::from_secs(60)).unwrap();
 
     let core = runtime.core().lock();
     let profile = core.profiler().profile(job).expect("profiled");

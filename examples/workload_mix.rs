@@ -39,8 +39,8 @@ fn real_mode() {
     std::thread::sleep(Duration::from_millis(100));
     let b = runtime.submit(mk("B-late", 4), reshape::apps::lu_app(24, 2, 1.0e5));
 
-    runtime.wait_for(a, Duration::from_secs(120));
-    runtime.wait_for(b, Duration::from_secs(120));
+    runtime.wait_for(a, Duration::from_secs(120)).unwrap();
+    runtime.wait_for(b, Duration::from_secs(120)).unwrap();
 
     let core = runtime.core().lock();
     println!("scheduler event trace:");

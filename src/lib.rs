@@ -23,7 +23,7 @@
 //!     5,
 //! );
 //! let job = runtime.submit(spec, reshape::apps::lu_app(24, 4, 1.0e6));
-//! let state = runtime.wait_for(job, Duration::from_secs(60));
+//! let state = runtime.wait_for(job, Duration::from_secs(60)).unwrap();
 //! assert!(matches!(state, JobState::Finished { .. }));
 //! // The profiler saw it grow beyond its initial 2 processors.
 //! let core = runtime.core().lock();

@@ -12,7 +12,7 @@ fn finish(
     runtime: &ReshapeRuntime,
     job: reshape::core::JobId,
 ) -> (JobState, Vec<ProcessorConfig>) {
-    let state = runtime.wait_for(job, Duration::from_secs(120));
+    let state = runtime.wait_for(job, Duration::from_secs(120)).unwrap();
     let core = runtime.core().lock();
     let visited = core
         .profiler()
@@ -124,11 +124,11 @@ fn two_jobs_share_a_small_cluster() {
     let a = runtime.submit(mk("A"), reshape::apps::lu_app(16, 2, 1.0e6));
     let b = runtime.submit(mk("B"), reshape::apps::lu_app(16, 2, 1.0e6));
     assert!(matches!(
-        runtime.wait_for(a, Duration::from_secs(120)),
+        runtime.wait_for(a, Duration::from_secs(120)).unwrap(),
         JobState::Finished { .. }
     ));
     assert!(matches!(
-        runtime.wait_for(b, Duration::from_secs(120)),
+        runtime.wait_for(b, Duration::from_secs(120)).unwrap(),
         JobState::Finished { .. }
     ));
     assert_eq!(runtime.core().lock().idle_procs(), 4);
@@ -156,7 +156,7 @@ fn backfill_lets_small_jobs_jump_blocked_queue() {
     let small = runtime.submit(mk("small", 1, 2, 2), reshape::apps::lu_app(16, 2, 1.0e6));
     for j in [hog, big, small] {
         assert!(matches!(
-            runtime.wait_for(j, Duration::from_secs(120)),
+            runtime.wait_for(j, Duration::from_secs(120)).unwrap(),
             JobState::Finished { .. }
         ));
     }
@@ -219,7 +219,7 @@ fn high_priority_job_starts_before_earlier_submission() {
     let high = runtime.submit(mk("high", 7), reshape::apps::lu_app(16, 2, 1.0e6));
     for j in [hog, low, high] {
         assert!(matches!(
-            runtime.wait_for(j, Duration::from_secs(120)),
+            runtime.wait_for(j, Duration::from_secs(120)).unwrap(),
             JobState::Finished { .. }
         ));
     }
@@ -272,7 +272,7 @@ fn phased_app_reprobes_in_real_mode() {
         14,
     );
     let job = runtime.submit(spec, app);
-    let state = runtime.wait_for(job, Duration::from_secs(120));
+    let state = runtime.wait_for(job, Duration::from_secs(120)).unwrap();
     assert!(matches!(state, JobState::Finished { .. }), "{state:?}");
     let core = runtime.core().lock();
     let prof = core.profiler().profile(job).unwrap();
@@ -329,7 +329,7 @@ fn churn_many_jobs_through_a_small_cluster() {
         std::thread::sleep(Duration::from_millis(15));
     }
     for j in &jobs {
-        let state = runtime.wait_for(*j, Duration::from_secs(120));
+        let state = runtime.wait_for(*j, Duration::from_secs(120)).unwrap();
         assert!(matches!(state, JobState::Finished { .. }), "{j}: {state:?}");
     }
     let core = runtime.core().lock();
@@ -371,10 +371,10 @@ fn cancelled_running_job_terminates_cooperatively() {
     // Let it get going, then cancel.
     std::thread::sleep(Duration::from_millis(30));
     runtime.cancel(long);
-    let state = runtime.wait_for(long, Duration::from_secs(60));
+    let state = runtime.wait_for(long, Duration::from_secs(60)).unwrap();
     assert!(matches!(state, JobState::Cancelled { .. }), "{state:?}");
     assert!(matches!(
-        runtime.wait_for(queued, Duration::from_secs(60)),
+        runtime.wait_for(queued, Duration::from_secs(60)).unwrap(),
         JobState::Finished { .. }
     ));
     assert_eq!(runtime.core().lock().idle_procs(), 4);
@@ -410,7 +410,7 @@ fn non_rank0_failure_is_attributed_by_node() {
     let job = runtime.submit(spec, app);
     // The monitor should mark the job failed well before the 120 s
     // deadlock timeout that would otherwise be the only signal.
-    let state = runtime.wait_for(job, Duration::from_secs(30));
+    let state = runtime.wait_for(job, Duration::from_secs(30)).unwrap();
     assert!(
         matches!(state, JobState::Failed { ref reason, .. } if reason.contains("worker rank")),
         "{state:?}"
@@ -448,7 +448,7 @@ fn real_mode_iteration_times_scale_like_the_model() {
         .static_job();
         // Low rate makes modeled compute dominate the (small) messages.
         let job = runtime.submit(spec, reshape::apps::lu_app(48, 4, 1.0e6));
-        runtime.wait_for(job, Duration::from_secs(60));
+        runtime.wait_for(job, Duration::from_secs(60)).unwrap();
         let core = runtime.core().lock();
         let prof = core.profiler().profile(job).unwrap();
         prof.time_at(ProcessorConfig::new(procs.0, procs.1)).unwrap()
@@ -469,7 +469,9 @@ fn advanced_api_manual_orchestration() {
     // the scheduler at each step; when a second job queues, the scheduler
     // orders a shrink, the app redistributes and the surplus ranks depart.
     use reshape::blockcyclic::{Descriptor, DistMatrix};
-    use reshape::core::driver::{AppDef, DriverShared, ResizeContext, Resolution, SchedulerLink};
+    use reshape::core::driver::{
+        AppDef, DriverShared, ResizeContext, Resolution, RetryPolicy, SchedulerLink,
+    };
     use reshape::core::{Directive, JobId, SchedulerCore};
     use std::sync::{Arc, Mutex};
 
@@ -522,6 +524,7 @@ fn advanced_api_manual_orchestration() {
             link: link2.clone() as Arc<dyn SchedulerLink>,
             slots_per_node: 1,
             fold_wall_time: false,
+            retry: RetryPolicy::default(),
         });
         let mut ctx = ResizeContext::attach(Arc::clone(&shared), comm.clone(), ProcessorConfig::new(2, 3));
         let desc = Descriptor::square(n, 2, 2, 3);
