@@ -13,9 +13,11 @@
 use reshape_grid::GridContext;
 use reshape_mpisim::Pod;
 
+pub mod buddy;
 pub mod index;
 pub mod vector;
 
+pub use buddy::{recover_matrix, BuddyStore};
 pub use index::{g2l, l2g, numroc, owner};
 pub use vector::DistVector;
 

@@ -115,7 +115,9 @@ impl SimResult {
                     busy += config.procs();
                     per_job.insert(e.job, config.procs());
                 }
-                EventKind::Expanded { to, .. } | EventKind::Shrunk { to, .. } => {
+                EventKind::Expanded { to, .. }
+                | EventKind::Shrunk { to, .. }
+                | EventKind::NodeFailed { to, .. } => {
                     let prev = per_job.insert(e.job, to.procs()).unwrap_or(0);
                     busy = busy + to.procs() - prev;
                 }
@@ -561,9 +563,9 @@ impl ClusterSim {
                 }
                 match &e.kind {
                     EventKind::Started { config } => alloc.push((e.time, config.procs())),
-                    EventKind::Expanded { to, .. } | EventKind::Shrunk { to, .. } => {
-                        alloc.push((e.time, to.procs()))
-                    }
+                    EventKind::Expanded { to, .. }
+                    | EventKind::Shrunk { to, .. }
+                    | EventKind::NodeFailed { to, .. } => alloc.push((e.time, to.procs())),
                     EventKind::ExpandFailed { from, .. } => alloc.push((e.time, from.procs())),
                     EventKind::Finished | EventKind::Failed { .. } | EventKind::Cancelled => {
                         alloc.push((e.time, 0))

@@ -84,6 +84,9 @@ pub enum EventKind {
     /// An expansion directive could not be actuated (spawn failure); the job
     /// reverted to `from` and the granted processors returned to the pool.
     ExpandFailed { from: ProcessorConfig, to: ProcessorConfig },
+    /// A node hosting part of the job died; the dead slots were reclaimed
+    /// and the job kept running, force-shrunk to the survivors.
+    NodeFailed { from: ProcessorConfig, to: ProcessorConfig, lost: usize },
     Finished,
     Failed { reason: String },
     Cancelled,
@@ -393,6 +396,14 @@ impl SchedulerCore {
             }
             WalRecord::Failed { job, reason, now } => {
                 self.on_failed(job, reason, now);
+            }
+            WalRecord::NodeFailed {
+                job,
+                dead_slots,
+                to,
+                now,
+            } => {
+                self.on_node_failed(job, &dead_slots, to, now);
             }
             WalRecord::ExpandFailed { job, now } => {
                 self.on_expand_failed(job, now);
@@ -866,8 +877,16 @@ impl SchedulerCore {
     }
 
     /// A job failed (System Monitor "job error" path); reclaim resources.
+    ///
+    /// Idempotent: a second failure report for the same job — a watchdog
+    /// kill racing the crash report, or a monitor retry — is a strict
+    /// no-op. In particular it must not append a second WAL `Failed` record
+    /// (the guard runs *before* logging) nor re-release slots.
     pub fn on_failed(&mut self, job: JobId, reason: String, now: f64) -> Vec<StartAction> {
         let now = self.sane_now(now);
+        if !self.jobs.get(&job).is_some_and(|r| r.state.is_active()) {
+            return Vec::new();
+        }
         if self.wal.is_some() {
             self.log(WalRecord::Failed {
                 job,
@@ -877,9 +896,6 @@ impl SchedulerCore {
         }
         self.tick(now);
         if let Some(rec) = self.jobs.get_mut(&job) {
-            if !rec.state.is_active() {
-                return Vec::new();
-            }
             let slots = std::mem::take(&mut rec.slots);
             rec.state = JobState::Failed {
                 at: now,
@@ -903,6 +919,72 @@ impl SchedulerCore {
                 freed: slots.len(),
             });
         }
+        self.schedule_now(now)
+    }
+
+    /// A node hosting part of a running job died, but the application
+    /// survived by shrinking onto its remaining ranks (buddy-redundancy
+    /// recovery in the driver). The forced-shrink counterpart of
+    /// [`SchedulerCore::on_failed`]: only `dead_slots` are reclaimed, the
+    /// job stays `Running` at the surviving configuration `to`, and the
+    /// degraded size is recorded in the profiler as a shrink so the §3.1
+    /// policy sees the current (smaller) configuration and can re-expand
+    /// the job when replacement processors free up.
+    ///
+    /// No-op (and nothing is logged) unless the job is running, every slot
+    /// in `dead_slots` is actually held by it, and `to` matches the
+    /// surviving slot count — a stale or duplicate report cannot corrupt
+    /// the pool.
+    pub fn on_node_failed(
+        &mut self,
+        job: JobId,
+        dead_slots: &[usize],
+        to: ProcessorConfig,
+        now: f64,
+    ) -> Vec<StartAction> {
+        let now = self.sane_now(now);
+        let valid = self.jobs.get(&job).is_some_and(|rec| {
+            matches!(rec.state, JobState::Running { .. })
+                && !dead_slots.is_empty()
+                && dead_slots.iter().all(|s| rec.slots.contains(s))
+                && rec.slots.len() - dead_slots.len() == to.procs()
+        });
+        if !valid {
+            return Vec::new();
+        }
+        self.log(WalRecord::NodeFailed {
+            job,
+            dead_slots: dead_slots.to_vec(),
+            to,
+            now,
+        });
+        self.tick(now);
+        let rec = self.jobs.get_mut(&job).expect("validated above");
+        let JobState::Running { config: from } = rec.state else {
+            unreachable!("validated above");
+        };
+        rec.slots.retain(|s| !dead_slots.contains(s));
+        rec.state = JobState::Running { config: to };
+        self.pool.release(dead_slots);
+        self.profiler
+            .record_resize(job, Resize::Shrunk { from, to }, 0.0);
+        self.push_event(SchedEvent {
+            time: now,
+            job,
+            kind: EventKind::NodeFailed {
+                from,
+                to,
+                lost: dead_slots.len(),
+            },
+        });
+        reshape_telemetry::incr("core.node_failures_survived", 1);
+        reshape_telemetry::record(reshape_telemetry::Event::NodeFailed {
+            time: now,
+            job: job.0,
+            lost: dead_slots.len(),
+            procs_before: from.procs(),
+            procs_after: to.procs(),
+        });
         self.schedule_now(now)
     }
 
@@ -1211,6 +1293,115 @@ mod tests {
             core.job(a).unwrap().state,
             JobState::Failed { ref reason, .. } if reason == "segfault"
         ));
+    }
+
+    #[test]
+    fn double_failure_report_is_a_strict_noop() {
+        // A watchdog kill racing the crash report delivers `on_failed`
+        // twice. The second report must not log a second WAL record, not
+        // re-release slots, and not push a second Failed event.
+        let mut core = SchedulerCore::new(4, QueuePolicy::Fcfs).with_wal(Wal::in_memory());
+        let (a, _) = core.submit(lu(8000, 2, 2), 0.0);
+        let started = core.on_failed(a, "segfault".into(), 5.0);
+        assert!(started.is_empty());
+        assert_eq!(core.idle_procs(), 4);
+        let failed_records = |c: &SchedulerCore| {
+            c.wal()
+                .unwrap()
+                .records()
+                .iter()
+                .filter(|r| matches!(r, WalRecord::Failed { .. }))
+                .count()
+        };
+        let failed_events = |c: &SchedulerCore| {
+            c.events()
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Failed { .. }))
+                .count()
+        };
+        assert_eq!(failed_records(&core), 1);
+        assert_eq!(failed_events(&core), 1);
+        let snap = core.snapshot();
+        let started = core.on_failed(a, "watchdog kill".into(), 6.0);
+        assert!(started.is_empty());
+        assert_eq!(failed_records(&core), 1, "duplicate report re-logged");
+        assert_eq!(failed_events(&core), 1, "duplicate report re-evented");
+        assert_eq!(core.idle_procs(), 4, "duplicate report double-released");
+        assert_eq!(core.snapshot(), snap, "duplicate report mutated state");
+    }
+
+    #[test]
+    fn node_failure_shrinks_job_in_place() {
+        let mut core = SchedulerCore::new(4, QueuePolicy::Fcfs);
+        let (a, s) = core.submit(lu(8000, 2, 2), 0.0);
+        let dead: Vec<usize> = s[0].slots[..2].to_vec();
+        let survivors: Vec<usize> = s[0].slots[2..].to_vec();
+        let started = core.on_node_failed(a, &dead, ProcessorConfig::new(1, 2), 5.0);
+        assert!(started.is_empty());
+        let rec = core.job(a).unwrap();
+        assert!(
+            matches!(rec.state, JobState::Running { config } if config == ProcessorConfig::new(1, 2)),
+            "{:?}",
+            rec.state
+        );
+        assert_eq!(rec.slots, survivors, "only the dead slots were reclaimed");
+        assert_eq!(core.idle_procs(), 2);
+        assert!(matches!(
+            core.events().last().unwrap().kind,
+            EventKind::NodeFailed { lost: 2, .. }
+        ));
+        // The degraded size is a recorded shrink: the §3.1 policy sees the
+        // smaller configuration and may re-expand at the next resize point.
+        let (d, _) = core.resize_point(a, 100.0, 0.0, 10.0);
+        assert!(
+            matches!(d, Directive::Expand { .. }),
+            "policy should offer the freed processors back: {d:?}"
+        );
+    }
+
+    #[test]
+    fn node_failure_frees_capacity_for_queued_jobs() {
+        let mut core = SchedulerCore::new(6, QueuePolicy::Fcfs);
+        let (a, s) = core.submit(lu(8000, 2, 2), 0.0);
+        let (b, queued) = core.submit(lu(8000, 2, 2), 1.0);
+        assert!(queued.is_empty());
+        let dead: Vec<usize> = s[0].slots[..2].to_vec();
+        let started = core.on_node_failed(a, &dead, ProcessorConfig::new(1, 2), 5.0);
+        assert_eq!(started.len(), 1, "freed slots should start the queued job");
+        assert_eq!(started[0].job, b);
+    }
+
+    #[test]
+    fn stale_node_failure_reports_are_rejected() {
+        let mut core = SchedulerCore::new(4, QueuePolicy::Fcfs).with_wal(Wal::in_memory());
+        let (a, s) = core.submit(lu(8000, 2, 2), 0.0);
+        let slots = s[0].slots.clone();
+        let wal_len = |c: &SchedulerCore| c.wal().unwrap().records().len();
+        let baseline = core.snapshot();
+        let before = wal_len(&core);
+        // Slot not held by the job.
+        assert!(core
+            .on_node_failed(a, &[99], ProcessorConfig::new(1, 2), 5.0)
+            .is_empty());
+        // Survivor count does not match the target configuration.
+        assert!(core
+            .on_node_failed(a, &slots[..1], ProcessorConfig::new(1, 2), 5.0)
+            .is_empty());
+        // Empty dead set.
+        assert!(core
+            .on_node_failed(a, &[], ProcessorConfig::new(2, 2), 5.0)
+            .is_empty());
+        assert_eq!(core.snapshot(), baseline, "invalid report mutated state");
+        assert_eq!(wal_len(&core), before, "invalid report was logged");
+        // A duplicate of a valid report: the first succeeds, the second is
+        // stale (those slots are no longer held) and must be rejected.
+        let dead: Vec<usize> = slots[..2].to_vec();
+        core.on_node_failed(a, &dead, ProcessorConfig::new(1, 2), 6.0);
+        let after = core.snapshot();
+        assert!(core
+            .on_node_failed(a, &dead, ProcessorConfig::new(1, 2), 7.0)
+            .is_empty());
+        assert_eq!(core.snapshot(), after, "duplicate node-failure re-applied");
     }
 
     #[test]

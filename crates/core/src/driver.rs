@@ -24,7 +24,7 @@
 
 use std::sync::Arc;
 
-use reshape_blockcyclic::{Descriptor, DistMatrix};
+use reshape_blockcyclic::{recover_matrix, BuddyStore, Descriptor, DistMatrix};
 use reshape_grid::GridContext;
 use reshape_mpisim::{Comm, NodeId, SpawnCtx};
 use reshape_redist::{plan_2d, redistribute_2d};
@@ -53,6 +53,18 @@ pub trait SchedulerLink: Send + Sync {
     /// configuration and the scheduler should reclaim the granted slots.
     /// Default: ignored.
     fn expand_failed(&self, _job: JobId, _to: ProcessorConfig, _now: f64) {}
+    /// A survivable job lost the given ranks to a node failure but
+    /// recovered in place: the scheduler should reclaim only the dead
+    /// ranks' slots and keep the job running at configuration `to`
+    /// ([`crate::SchedulerCore::on_node_failed`]). `dead_ranks` are rank
+    /// indices in the job's pre-failure communicator; implementations map
+    /// them to processor slots. Default: ignored.
+    fn node_failed(&self, _job: JobId, _dead_ranks: &[usize], _to: ProcessorConfig, _now: f64) {}
+    /// A survivable job could not recover (a rank and its buddy both died):
+    /// the job is over and the scheduler should reclaim everything
+    /// ([`crate::SchedulerCore::on_failed`]). Default: ignored — the
+    /// process-monitor failure path then picks it up as before.
+    fn failed(&self, _job: JobId, _reason: &str, _now: f64) {}
 }
 
 /// A resizable application: closures shared by the original processes and
@@ -180,6 +192,15 @@ pub struct DriverShared {
     pub fold_wall_time: bool,
     /// Spawn-shortfall retry behavior for expansions.
     pub retry: RetryPolicy,
+    /// Run with in-memory buddy redundancy and shrink-to-survivors
+    /// recovery: every rank's panels are replicated to a ring neighbor at
+    /// each resize point, a heartbeat exchange at every iteration boundary
+    /// detects dead ranks, and a detected loss is survived by restoring the
+    /// lost panels from their buddies and continuing on the surviving
+    /// ranks. Costs one panel copy per rank per resize plus `O(P^2)` tiny
+    /// heartbeat messages per iteration, so it is opt-in per job
+    /// ([`crate::JobSpec::survivable`]).
+    pub survivable: bool,
 }
 
 /// What [`ResizeContext::resize`] tells the caller to do next.
@@ -630,9 +651,164 @@ fn spawned_process_main(ctx: SpawnCtx, shared: Arc<DriverShared>) {
     drive_loop(ctx, mats);
 }
 
+/// Heartbeat tag for the per-iteration liveness exchange of survivable
+/// jobs (internal data plane, above the buddy-recovery range).
+const TAG_HEARTBEAT: u32 = 8_700_000;
+/// Second heartbeat round: failure flags, so every survivor agrees on
+/// whether (and whom) the group lost before anyone enters recovery.
+const TAG_HEARTBEAT_CONFIRM: u32 = 8_700_001;
+
+/// Per-iteration failure detection for survivable jobs: every rank pings
+/// every peer, then the observed failure flags are exchanged so all
+/// survivors agree on the dead set before any of them diverges into
+/// recovery. Returns the (possibly empty) list of dead ranks.
+///
+/// Two rounds make the detection decision collective: a rank that died
+/// mid-iteration (the common case — compute advances dominate virtual
+/// time) is seen dead by everyone in round one; a rank that died while
+/// *sending* its round-one pings (so some peers got one and some did not)
+/// never sends round-two flags, which marks it dead for everyone. The
+/// remaining hole — a rank whose crash lands inside its own round-two
+/// receive window — is caught by the next iteration's heartbeat; until
+/// then survivors blocked on it surface through the deadlock timeout and
+/// the job fails like a non-survivable one. Survivable apps must therefore
+/// confine raw collectives to code the driver controls (the `iterate`
+/// closure should use point-to-point or pure compute advances).
+fn check_survivors(comm: &Comm) -> Vec<usize> {
+    let me = comm.rank();
+    let p = comm.size();
+    let mut dead = vec![false; p];
+    for r in 0..p {
+        if r != me {
+            let _ = comm.try_send(r, TAG_HEARTBEAT, &[1u64]);
+        }
+    }
+    for (r, d) in dead.iter_mut().enumerate() {
+        if r != me && comm.recv_or_failed::<u64>(r, TAG_HEARTBEAT).is_err() {
+            *d = true;
+        }
+    }
+    let flag = [u64::from(dead.iter().any(|&d| d))];
+    for (r, d) in dead.iter().enumerate() {
+        if r != me && !d {
+            let _ = comm.try_send(r, TAG_HEARTBEAT_CONFIRM, &flag);
+        }
+    }
+    for (r, d) in dead.iter_mut().enumerate() {
+        if r != me && !*d && comm.recv_or_failed::<u64>(r, TAG_HEARTBEAT_CONFIRM).is_err() {
+            *d = true;
+        }
+    }
+    (0..p).filter(|&r| dead[r]).collect()
+}
+
+/// Shrink-to-survivors recovery: roll every survivor back to its own
+/// snapshot from the last replication epoch, rebuild the dead ranks'
+/// panels from their buddy copies straight into the shrunken layout,
+/// rebuild the communicator and grid on the survivors, report the forced
+/// shrink to the scheduler (only the dead slots are reclaimed; the job
+/// stays `Running`), and refresh the buddy copies at the new size.
+///
+/// The rollback is what keeps the rebuilt matrix consistent: a dead
+/// rank's data exists only as of the last refresh, so mixing it with
+/// survivors' *current* panels would splice two epochs together. The
+/// caller must reset its iteration counter to the replication epoch and
+/// replay the iterations executed since (deterministic SPMD iterations
+/// recompute the same values; that is the survivability contract).
+///
+/// Returns `false` when the loss is unrecoverable (a dead rank's buddy is
+/// also dead): the job is reported failed and every survivor should
+/// return from its iteration loop.
+fn recover_from_loss(
+    ctx: &mut ResizeContext,
+    mats: &mut Vec<DistMatrix<f64>>,
+    buddy: &mut BuddyStore<f64>,
+    dead: &[usize],
+) -> bool {
+    let shared = Arc::clone(&ctx.shared);
+    let me = ctx.comm.rank();
+    let p = ctx.comm.size();
+    let survivors: Vec<usize> = (0..p).filter(|r| !dead.contains(r)).collect();
+    let from = ctx.config;
+    let to = ProcessorConfig::new(1, survivors.len());
+    let t0 = ctx.comm.vtime();
+    let span = reshape_telemetry::span("driver.recovery_wall_seconds");
+    let mut out = Vec::with_capacity(mats.len());
+    for idx in 0..mats.len() {
+        // Feed the *snapshot* of this rank's panel — not the live matrix —
+        // so all sources agree on the epoch being reassembled.
+        let mine = buddy.own_snapshot(idx);
+        match recover_matrix(&ctx.comm, &survivors, &mine, buddy, idx, grid_desc(&mine.desc, to)) {
+            Ok(Some(v)) => out.push(v),
+            Ok(None) => unreachable!("every survivor is inside the shrunken grid"),
+            Err(lost) => {
+                // The rank and its buddy both died: the panels are gone
+                // from memory and the job cannot continue. The audit is a
+                // pure function of the agreed survivor list, so every
+                // survivor takes this branch together.
+                span.stop();
+                reshape_telemetry::incr("driver.recovery_unrecoverable", 1);
+                if me == survivors[0] {
+                    shared.link.failed(
+                        shared.job,
+                        &format!("rank {lost} and its buddy both lost to node failure"),
+                        ctx.comm.vtime(),
+                    );
+                }
+                return false;
+            }
+        }
+    }
+    let new_comm = ctx
+        .comm
+        .survivor_comm(&survivors)
+        .expect("a recovering rank is by definition a survivor");
+    if new_comm.rank() == 0 {
+        shared
+            .link
+            .node_failed(shared.job, dead, to, new_comm.vtime());
+    }
+    *mats = out;
+    ctx.comm = new_comm;
+    ctx.config = to;
+    ctx.grid = GridContext::new(&ctx.comm, to.rows, to.cols);
+    *buddy = BuddyStore::replicate(&ctx.comm, mats);
+    let dt = ctx.comm.vtime() - t0;
+    // The recovery redistribution is charged like any other: the next
+    // resize point reports it so the profiler sees the true cost.
+    ctx.last_redist = dt;
+    span.stop();
+    reshape_telemetry::incr("driver.recoveries", 1);
+    if ctx.comm.rank() == 0 {
+        reshape_telemetry::observe("driver.recovery_vtime_seconds", dt);
+        reshape_telemetry::record(reshape_telemetry::Event::NodeFailed {
+            time: t0,
+            job: shared.job.0,
+            lost: dead.len(),
+            procs_before: from.procs(),
+            procs_after: to.procs(),
+        });
+        reshape_telemetry::record(reshape_telemetry::Event::Recovered {
+            time: ctx.comm.vtime(),
+            job: shared.job.0,
+            procs: to.procs(),
+            seconds: dt,
+        });
+    }
+    true
+}
+
 /// The iteration loop shared by original and spawned processes.
 fn drive_loop(mut ctx: ResizeContext, mut mats: Vec<DistMatrix<f64>>) {
     let shared = Arc::clone(&ctx.shared);
+    // Survivable jobs keep a buddy copy of every panel, refreshed whenever
+    // the layout changes (here at entry, and after every resize below).
+    // `buddy_iter` is the iteration the snapshots were taken *before*:
+    // recovery rolls back to that epoch and replays from there.
+    let mut buddy = shared
+        .survivable
+        .then(|| BuddyStore::replicate(&ctx.comm, &mats));
+    let mut buddy_iter = ctx.iter;
     while ctx.iter < shared.iterations {
         let v0 = ctx.comm.vtime();
         // One span per iteration: the measured wall time is recorded into
@@ -644,6 +820,23 @@ fn drive_loop(mut ctx: ResizeContext, mut mats: Vec<DistMatrix<f64>>) {
         let wall = span.stop();
         if shared.fold_wall_time {
             ctx.comm.advance(wall);
+        }
+        if let Some(b) = buddy.as_mut() {
+            let dead = check_survivors(&ctx.comm);
+            if !dead.is_empty() {
+                if !recover_from_loss(&mut ctx, &mut mats, b, &dead) {
+                    return;
+                }
+                // The recovered panels are from the last replication
+                // epoch: rewind and replay the iterations since on the
+                // shrunken grid (the interrupted one included).
+                reshape_telemetry::incr(
+                    "driver.iterations_replayed",
+                    (ctx.iter - buddy_iter + 1) as u64,
+                );
+                ctx.iter = buddy_iter;
+                continue;
+            }
         }
         let t_iter = ctx.log(ctx.comm.vtime() - v0);
         if ctx.comm.rank() == 0 {
@@ -657,8 +850,18 @@ fn drive_loop(mut ctx: ResizeContext, mut mats: Vec<DistMatrix<f64>>) {
         if shared.app.phase_starts.contains(&ctx.iter) && ctx.comm.rank() == 0 {
             shared.link.phase_change(shared.job, ctx.comm.vtime());
         }
-        if ctx.resize(t_iter, &mut mats) == Resolution::Depart {
-            return;
+        match ctx.resize(t_iter, &mut mats) {
+            Resolution::Depart => return,
+            Resolution::Resized => {
+                // The layout changed: the old buddy copies describe panels
+                // that no longer exist. Refresh at the new size; this also
+                // advances the rollback epoch to the current iteration.
+                if let Some(b) = buddy.as_mut() {
+                    *b = BuddyStore::replicate(&ctx.comm, &mats);
+                    buddy_iter = ctx.iter;
+                }
+            }
+            Resolution::Continue => {}
         }
     }
     ctx.comm.barrier();
@@ -700,6 +903,20 @@ mod tests {
         }
         fn expand_failed(&self, job: JobId, _to: ProcessorConfig, now: f64) {
             self.0.lock().on_expand_failed(job, now);
+        }
+        fn node_failed(&self, job: JobId, dead_ranks: &[usize], to: ProcessorConfig, now: f64) {
+            let mut core = self.0.lock();
+            // Slot i backs rank i: grants (initial and expansion) append in
+            // rank order, so the driver's rank-indexed dead set maps
+            // directly onto the record's slot list.
+            let dead_slots: Vec<usize> = {
+                let rec = core.job(job).expect("job exists while running");
+                dead_ranks.iter().map(|&rk| rec.slots[rk]).collect()
+            };
+            core.on_node_failed(job, &dead_slots, to, now);
+        }
+        fn failed(&self, job: JobId, reason: &str, now: f64) {
+            self.0.lock().on_failed(job, reason.to_string(), now);
         }
     }
 
@@ -768,6 +985,7 @@ mod tests {
             slots_per_node: 1,
             fold_wall_time: false,
             retry: RetryPolicy::default(),
+            survivable: false,
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -830,6 +1048,7 @@ mod tests {
             slots_per_node: 1,
             fold_wall_time: false,
             retry: RetryPolicy::default(),
+            survivable: false,
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -900,6 +1119,7 @@ mod tests {
             slots_per_node: 1,
             fold_wall_time: false,
             retry: RetryPolicy::none(),
+            survivable: false,
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -951,6 +1171,7 @@ mod tests {
             slots_per_node: 1,
             fold_wall_time: false,
             retry: RetryPolicy::none(),
+            survivable: false,
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -993,6 +1214,7 @@ mod tests {
             slots_per_node: 1,
             fold_wall_time: false,
             retry: RetryPolicy::default(),
+            survivable: false,
         });
         let cfg = ProcessorConfig::new(1, 2);
         let shared2 = Arc::clone(&shared);
@@ -1059,6 +1281,7 @@ mod tests {
             slots_per_node: 1,
             fold_wall_time: false,
             retry,
+            survivable: false,
         })
     }
 
@@ -1188,6 +1411,149 @@ mod tests {
             prof.visited()
         );
         assert_eq!(core.idle_procs(), 16, "pool accounting diverged");
+        drop(core);
+    }
+
+    /// Run a static survivable 2x2 job whose matrix evolves element-wise
+    /// each iteration (so a botched rollback/replay is visible in the
+    /// data), optionally crashing nodes mid-run. Returns the matrix
+    /// gathered on the final iteration (empty if the job died first), the
+    /// link, the job id, and how many processes failed.
+    fn run_survivable(
+        n: usize,
+        iters: usize,
+        crashes: &[(u32, f64)],
+    ) -> (Vec<f64>, Arc<CoreLink>, JobId, usize) {
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        for &(node, at) in crashes {
+            uni.inject_node_crash(reshape_mpisim::NodeId(node), at);
+        }
+        let mut core = SchedulerCore::new(4, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "survivor",
+            TopologyPref::Grid { problem_size: n },
+            ProcessorConfig::new(2, 2),
+            iters,
+        )
+        .static_job()
+        .survivable();
+        let (job, starts) = core.submit(spec, 0.0);
+        assert_eq!(starts.len(), 1);
+        let link = Arc::new(CoreLink(Mutex::new(core)));
+        let captured: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        let cap = Arc::clone(&captured);
+        let app = AppDef::new(
+            move |grid| {
+                let desc = Descriptor::square(n, 2, grid.nprow(), grid.npcol());
+                vec![DistMatrix::from_fn(desc, grid.myrow(), grid.mycol(), |i, j| {
+                    (i * n + j) as f64
+                })]
+            },
+            move |grid, mats, it| {
+                // Deterministic per-element evolution: replay after a
+                // rollback must recompute exactly these values on any grid
+                // shape, so the transform depends only on (value, iter).
+                for v in mats[0].local_data_mut() {
+                    *v = *v * 1.5 + (it + 1) as f64;
+                }
+                let p = (grid.nprow() * grid.npcol()) as f64;
+                grid.comm().advance(10.0 / p);
+                if it + 1 == iters {
+                    if let Some(full) = mats[0].gather(grid) {
+                        *cap.lock() = full;
+                    }
+                }
+            },
+        );
+        let shared = Arc::new(DriverShared {
+            job,
+            app,
+            iterations: iters,
+            link: link.clone(),
+            slots_per_node: 1,
+            fold_wall_time: false,
+            retry: RetryPolicy::default(),
+            survivable: true,
+        });
+        let cfg = ProcessorConfig::new(2, 2);
+        let shared2 = Arc::clone(&shared);
+        let h = uni.launch(4, None, "survivor", move |comm| {
+            run_resizable(comm, cfg, Arc::clone(&shared2));
+        });
+        let failed = h
+            .join()
+            .into_iter()
+            .filter(|(_, s)| matches!(s, reshape_mpisim::ProcStatus::Failed(_)))
+            .count();
+        uni.join_spawned();
+        uni.clear_faults();
+        let full = captured.lock().clone();
+        (full, link, job, failed)
+    }
+
+    #[test]
+    fn node_loss_mid_iteration_is_survived_with_identical_data() {
+        let n = 16usize;
+        // Baseline: same app, no faults, all 4 ranks to the end.
+        let (baseline, _, _, failed0) = run_survivable(n, 6, &[]);
+        assert_eq!(failed0, 0);
+        assert_eq!(baseline.len(), n * n, "baseline gather incomplete");
+
+        // Iterations advance 10/4 = 2.5s of virtual time on the 2x2 grid,
+        // so a crash at t=6.0 lands squarely inside iteration 2. Rank 2
+        // dies mid-compute; the survivors detect it at the heartbeat,
+        // restore its panel from rank 3's buddy copy, shrink to 1x3, and
+        // replay from the replication epoch.
+        let (survived, link, job, failed) = run_survivable(n, 6, &[(2, 6.0)]);
+        assert_eq!(failed, 1, "exactly the victim process dies");
+
+        let core = link.0.lock();
+        let rec = core.job(job).unwrap();
+        assert!(
+            matches!(rec.state, crate::job::JobState::Finished { .. }),
+            "survivable job should finish after a single node loss, got {:?}",
+            rec.state
+        );
+        assert!(
+            core.events().iter().any(|e| matches!(
+                e.kind,
+                crate::core::EventKind::NodeFailed { lost: 1, .. }
+            )),
+            "forced shrink was never reported to the scheduler"
+        );
+        assert_eq!(core.idle_procs(), 4, "dead and finished slots both return to the pool");
+        drop(core);
+
+        // The recovered run must agree with the fault-free run *bitwise*:
+        // rollback plus deterministic replay reproduces the exact floats.
+        assert_eq!(survived.len(), baseline.len());
+        for (i, (a, b)) in survived.iter().zip(&baseline).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "element {i} diverged after recovery: {a} != {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_buddy_pair_fails_the_job_cleanly() {
+        let n = 16usize;
+        // Ranks 2 and 3 are ring neighbors: rank 3 holds rank 2's only
+        // copy, so losing both in the same epoch is unrecoverable. The
+        // survivors must agree, report the failure once, and exit.
+        let (survived, link, job, failed) = run_survivable(n, 6, &[(2, 6.0), (3, 6.0)]);
+        assert_eq!(failed, 2);
+        assert!(survived.is_empty(), "no final gather after an unrecoverable loss");
+
+        let core = link.0.lock();
+        let rec = core.job(job).unwrap();
+        assert!(
+            matches!(rec.state, crate::job::JobState::Failed { .. }),
+            "expected Failed after losing a buddy pair, got {:?}",
+            rec.state
+        );
+        assert_eq!(core.idle_procs(), 4, "failed job's slots were not reclaimed");
         drop(core);
     }
 }

@@ -35,6 +35,12 @@ pub struct JobSpec {
     /// paper's future-work "quality of service" knob).
     #[serde(default)]
     pub priority: u8,
+    /// Whether the application runs with buddy redundancy and can survive a
+    /// node loss by force-shrinking onto its surviving ranks. For such jobs
+    /// the System Monitor leaves crash handling to the driver's recovery
+    /// path instead of failing the job on the first dead process.
+    #[serde(default)]
+    pub survivable: bool,
 }
 
 impl JobSpec {
@@ -51,6 +57,7 @@ impl JobSpec {
             iterations,
             resizable: true,
             priority: 0,
+            survivable: false,
         };
         assert!(
             spec.topology.is_legal(spec.initial),
@@ -70,6 +77,14 @@ impl JobSpec {
     /// Set the scheduling priority (higher queues first).
     pub fn with_priority(mut self, priority: u8) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Opt the job into shrink-to-survivors recovery: the driver maintains
+    /// buddy copies of its panels and a node loss force-shrinks the job
+    /// instead of failing it (as long as redundancy holds).
+    pub fn survivable(mut self) -> Self {
+        self.survivable = true;
         self
     }
 }

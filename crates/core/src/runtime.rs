@@ -71,6 +71,14 @@ enum Msg {
         reason: String,
         now: f64,
     },
+    /// A survivable job lost ranks to a node failure but recovered in
+    /// place; only the dead ranks' slots should be reclaimed.
+    NodeFailed {
+        job: JobId,
+        dead_ranks: Vec<usize>,
+        to: ProcessorConfig,
+        now: f64,
+    },
     ExpandFailed {
         job: JobId,
         now: f64,
@@ -124,6 +132,23 @@ impl SchedulerLink for RuntimeLink {
 
     fn expand_failed(&self, job: JobId, _to: ProcessorConfig, now: f64) {
         let _ = self.tx.send(Msg::ExpandFailed { job, now });
+    }
+
+    fn node_failed(&self, job: JobId, dead_ranks: &[usize], to: ProcessorConfig, now: f64) {
+        let _ = self.tx.send(Msg::NodeFailed {
+            job,
+            dead_ranks: dead_ranks.to_vec(),
+            to,
+            now,
+        });
+    }
+
+    fn failed(&self, job: JobId, reason: &str, now: f64) {
+        let _ = self.tx.send(Msg::Failed {
+            job,
+            reason: reason.to_string(),
+            now,
+        });
     }
 }
 
@@ -268,6 +293,12 @@ impl SchedThreadCtx {
                 .iter()
                 .map(|&slot| NodeId((slot / self.slots_per_node) as u32))
                 .collect();
+            let (name, survivable) = {
+                let core = self.core.lock();
+                core.job(s.job)
+                    .map(|r| (r.spec.name.clone(), r.spec.survivable))
+                    .unwrap_or_default()
+            };
             let shared = Arc::new(DriverShared {
                 job: s.job,
                 app,
@@ -278,12 +309,9 @@ impl SchedThreadCtx {
                 slots_per_node: self.slots_per_node,
                 fold_wall_time: self.fold_wall_time,
                 retry: self.retry,
+                survivable,
             });
             let config = s.config;
-            let name = {
-                let core = self.core.lock();
-                core.job(s.job).map(|r| r.spec.name.clone()).unwrap_or_default()
-            };
             let start_vtime = self.core.lock().job(s.job).and_then(|r| r.started_at).unwrap_or(0.0);
             let handle = self.universe.launch_at(
                 config.procs(),
@@ -388,6 +416,33 @@ impl SchedThreadCtx {
                 Msg::Failed { job, reason, now } => {
                     self.hearts.lock().remove(&job);
                     let starts = self.core.lock().on_failed(job, reason, now);
+                    self.actuate(starts);
+                }
+                Msg::NodeFailed {
+                    job,
+                    dead_ranks,
+                    to,
+                    now,
+                } => {
+                    // Completing a recovery is progress; keep the watchdog
+                    // off the job's back while it resumes.
+                    self.beat(job);
+                    let starts = {
+                        let mut core = self.core.lock();
+                        // Ranks index the job's communicator in slot-grant
+                        // order: initial grants and expansion grants both
+                        // append slots in rank order, so slot i backs rank i.
+                        let dead_slots: Vec<usize> = core
+                            .job(job)
+                            .map(|r| {
+                                dead_ranks
+                                    .iter()
+                                    .filter_map(|&rk| r.slots.get(rk).copied())
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        core.on_node_failed(job, &dead_slots, to, now)
+                    };
                     self.actuate(starts);
                 }
                 Msg::ExpandFailed { job, now } => {
@@ -605,11 +660,24 @@ impl ReshapeRuntime {
                             found
                         });
                         if let Some(job) = job {
-                            let _ = mon_tx.send(Msg::Failed {
-                                job,
-                                reason,
-                                now: f64::NAN,
+                            // Survivable jobs handle rank death themselves
+                            // (buddy restore + forced shrink); the monitor
+                            // stays out of the way while they are running.
+                            // If recovery is impossible the driver reports
+                            // the failure through its link, and a wedged
+                            // recovery is the watchdog's to kill.
+                            let deferred = mon_core.lock().job(job).is_some_and(|r| {
+                                r.spec.survivable && matches!(r.state, JobState::Running { .. })
                             });
+                            if deferred {
+                                reshape_telemetry::incr("runtime.monitor_deferred_to_recovery", 1);
+                            } else {
+                                let _ = mon_tx.send(Msg::Failed {
+                                    job,
+                                    reason,
+                                    now: f64::NAN,
+                                });
+                            }
                         }
                     }
                 }
@@ -1073,6 +1141,49 @@ mod tests {
             matches!(state, JobState::Failed { ref reason, .. } if reason.contains("crashed")),
             "{state:?}"
         );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if rt.core().lock().idle_procs() == 4 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "resources never reclaimed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn survivable_job_outlives_a_node_crash() {
+        // Same crash as above, but the job opted into shrink-to-survivors
+        // recovery: the system monitor must defer to the driver (a
+        // survivable Running job is the recovery path's to handle, not
+        // `Msg::Failed`'s), the driver shrinks 2x2 -> 1x3 from buddy
+        // copies, and the job runs to completion at the degraded size.
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        uni.inject_node_crash(NodeId(1), 0.5);
+        let rt = ReshapeRuntime::new(uni, QueuePolicy::Fcfs);
+        let spec = JobSpec::new(
+            "survivor",
+            TopologyPref::Grid { problem_size: 8 },
+            ProcessorConfig::new(2, 2),
+            50,
+        )
+        .static_job()
+        .survivable();
+        let job = rt.submit(spec, toy(8, 1.0));
+        let state = rt.wait_for(job, Duration::from_secs(30)).unwrap();
+        assert!(
+            matches!(state, JobState::Finished { .. }),
+            "survivable job should outlive the crash, got {state:?}"
+        );
+        let core = rt.core().lock();
+        assert!(
+            core.events().iter().any(|e| e.job == job
+                && matches!(e.kind, crate::core::EventKind::NodeFailed { lost: 1, .. })),
+            "forced shrink never reached the scheduler"
+        );
+        drop(core);
+        // All four slots drain back: three at finish, the dead one at the
+        // forced shrink.
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
             if rt.core().lock().idle_procs() == 4 {

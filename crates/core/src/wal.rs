@@ -94,6 +94,15 @@ pub enum WalRecord {
         reason: String,
         now: f64,
     },
+    /// A node hosting part of the job died: only the dead slots are
+    /// reclaimed and the job keeps running at the surviving configuration
+    /// `to` (forced shrink, the survivability path).
+    NodeFailed {
+        job: JobId,
+        dead_slots: Vec<usize>,
+        to: ProcessorConfig,
+        now: f64,
+    },
     ExpandFailed {
         job: JobId,
         now: f64,
@@ -350,6 +359,7 @@ pub fn record_histogram(records: &[WalRecord]) -> BTreeMap<&'static str, usize> 
             WalRecord::NoteRedist { .. } => "note_redist",
             WalRecord::Finished { .. } => "finished",
             WalRecord::Failed { .. } => "failed",
+            WalRecord::NodeFailed { .. } => "node_failed",
             WalRecord::ExpandFailed { .. } => "expand_failed",
             WalRecord::Cancel { .. } => "cancel",
             WalRecord::Reserve { .. } => "reserve",
@@ -380,6 +390,12 @@ mod tests {
                 job: JobId(3),
                 reason: "node 2 crashed".into(),
                 now: 9.25,
+            },
+            WalRecord::NodeFailed {
+                job: JobId(4),
+                dead_slots: vec![5, 6],
+                to: ProcessorConfig::linear(2),
+                now: 9.5,
             },
             WalRecord::Reserve {
                 start: 10.0,
@@ -489,6 +505,7 @@ mod tests {
         assert_eq!(h.get("open"), Some(&1));
         assert_eq!(h.get("try_schedule"), Some(&1));
         assert_eq!(h.get("failed"), Some(&1));
+        assert_eq!(h.get("node_failed"), Some(&1));
         assert_eq!(h.get("reserve"), Some(&1));
     }
 }

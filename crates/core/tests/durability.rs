@@ -50,6 +50,30 @@ fn scripted_mixed_history_recovers_exactly() {
 }
 
 #[test]
+fn node_failed_record_replays_to_equal_snapshot() {
+    let mut core = SchedulerCore::new(8, QueuePolicy::Fcfs).with_wal(Wal::in_memory());
+    let spec_a = JobSpec::new(
+        "survivor",
+        TopologyPref::Grid { problem_size: 8000 },
+        ProcessorConfig::new(2, 2),
+        6,
+    )
+    .survivable();
+    let (a, s) = core.submit(spec_a, 0.0);
+    core.resize_point(a, 10.0, 0.0, 1.0);
+    // A node dies under the job; the driver recovered onto 2 survivors and
+    // reports the forced shrink.
+    let dead: Vec<usize> = s[0].slots[..2].to_vec();
+    core.on_node_failed(a, &dead, ProcessorConfig::new(1, 2), 2.0);
+    // Life goes on at the degraded size: another resize point, then done.
+    core.resize_point(a, 11.0, 0.0, 3.0);
+    core.on_finished(a, 9.0);
+
+    let recovered = recover_from_text(&mut core);
+    assert_eq!(recovered.snapshot(), core.snapshot());
+}
+
+#[test]
 fn nan_failure_timestamps_are_sanitized_for_replay() {
     let mut core = SchedulerCore::new(8, QueuePolicy::Fcfs).with_wal(Wal::in_memory());
     let (a, _) = core.submit(spec("a", 5), 0.0);

@@ -198,6 +198,21 @@ impl Comm {
         self.core.router.is_live(self.group.members[rank])
     }
 
+    /// Whether `rank` must be treated as failed by survivable protocols:
+    /// either its process has already terminated (no mailbox), or its node
+    /// carries an injected crash firing at or before *this* rank's current
+    /// virtual time — the peer is doomed even if its thread has not yet hit
+    /// the checkpoint that kills it, because nothing it could still send can
+    /// be virtually ordered after the crash.
+    pub fn rank_failed(&self, rank: usize) -> bool {
+        assert!(rank < self.size(), "rank {rank} out of range");
+        !self.core.router.is_live(self.group.members[rank])
+            || self
+                .core
+                .fault
+                .crashed_by(self.group.nodes[rank], self.ep.borrow().now)
+    }
+
     /// The universe this communicator lives in (for spawning).
     pub(crate) fn core(&self) -> &Arc<UniverseCore> {
         &self.core
@@ -258,6 +273,48 @@ impl Comm {
         (env.src, env.tag, env.payload)
     }
 
+    /// Fault-aware variant of [`Comm::send_raw`]: instead of treating a dead
+    /// destination as a protocol bug (panic), the failure is reported to the
+    /// caller. The send also fails when the destination node's injected
+    /// crash fires *before the message would arrive* — the mid-transfer
+    /// death case: the virtual transfer is in flight when the node dies, so
+    /// the message can never be consumed. Time and traffic are charged
+    /// either way, like a real send onto a dying link.
+    pub(crate) fn try_send_raw(&self, dst: usize, tag: u32, payload: Bytes) -> Result<(), ()> {
+        assert!(dst < self.size(), "destination rank {dst} out of range");
+        self.check_crashed();
+        self.stats.msgs.set(self.stats.msgs.get() + 1);
+        self.stats.bytes.set(self.stats.bytes.get() + payload.len() as u64);
+        reshape_telemetry::incr("mpisim.msgs_sent", 1);
+        reshape_telemetry::incr("mpisim.bytes_sent", payload.len() as u64);
+        let slow = self
+            .core
+            .fault
+            .link_factor(self.group.nodes[self.rank], self.group.nodes[dst]);
+        let arrival = {
+            let mut ep = self.ep.borrow_mut();
+            ep.now += self.core.net.send_cost(payload.len()) * slow;
+            ep.now + self.core.net.latency * slow
+        };
+        if self.core.fault.crashed_by(self.group.nodes[dst], arrival) {
+            reshape_telemetry::incr("mpisim.sends_lost_to_crash", 1);
+            return Err(());
+        }
+        self.core
+            .router
+            .try_deliver(
+                self.group.members[dst],
+                Envelope {
+                    comm: self.group.id,
+                    src: self.rank,
+                    tag,
+                    arrival,
+                    payload,
+                },
+            )
+            .map_err(|_| ())
+    }
+
     /// Send a slice of POD elements to `dst` with a user tag.
     ///
     /// Sends are buffered (never block on the receiver), like an eager-mode
@@ -265,6 +322,17 @@ impl Comm {
     pub fn send<T: Pod>(&self, dst: usize, tag: u32, data: &[T]) {
         assert!(tag < TAG_INTERNAL, "tag {tag} is in the reserved range");
         self.send_raw(dst, tag, to_bytes(data));
+    }
+
+    /// Fault-aware send: `Err(())` when the destination is dead, doomed to
+    /// die before the message would arrive, or its mailbox is gone. Used by
+    /// the transactional redistribution and other survivable protocols.
+    /// The error is deliberately unit: the only failure is "peer dead", and
+    /// the caller already knows which peer it addressed.
+    #[allow(clippy::result_unit_err)]
+    pub fn try_send<T: Pod>(&self, dst: usize, tag: u32, data: &[T]) -> Result<(), ()> {
+        assert!(tag < TAG_INTERNAL, "tag {tag} is in the reserved range");
+        self.try_send_raw(dst, tag, to_bytes(data))
     }
 
     /// Blocking receive of a message from `src` with tag `tag`.
@@ -291,6 +359,46 @@ impl Comm {
     pub fn sendrecv<T: Pod>(&self, dst: usize, src: usize, tag: u32, data: &[T]) -> Vec<T> {
         self.send(dst, tag, data);
         self.recv(src, tag)
+    }
+
+    /// Fault-aware blocking receive: wait for a matching message from `src`,
+    /// or `Err(())` once `src`'s process has terminated without one.
+    ///
+    /// The outcome is decided by virtual-time semantics, not wall-clock
+    /// luck: we only give up after observing the sender's *actual* thread
+    /// death, and a dead thread's sends are all already in our mailbox, so a
+    /// final probe after the death observation cleanly separates "sent
+    /// before crashing" (delivered) from "died first" (`Err`). The poll loop
+    /// does not advance this rank's virtual clock — a failed receive costs
+    /// no virtual time, matching the usual model where failure detection
+    /// rides on the surrounding protocol's own traffic. The error is
+    /// deliberately unit: the only failure is "peer died first".
+    #[allow(clippy::result_unit_err)]
+    pub fn recv_or_failed<T: Pod>(&self, src: usize, tag: u32) -> Result<Vec<T>, ()> {
+        assert!(src < self.size(), "source rank {src} out of range");
+        self.check_crashed();
+        let deadline = std::time::Instant::now() + crate::endpoint::deadlock_timeout();
+        loop {
+            if self.iprobe(Some(src), Some(tag)) {
+                return Ok(self.recv(src, tag));
+            }
+            if !self.rank_alive(src) {
+                // One final drain: everything the dead thread sent is
+                // already delivered to our channel.
+                if self.iprobe(Some(src), Some(tag)) {
+                    return Ok(self.recv(src, tag));
+                }
+                return Err(());
+            }
+            if std::time::Instant::now() > deadline {
+                panic!(
+                    "rank {}: recv_or_failed from rank {src} tag {tag} made no progress \
+                     within the deadlock timeout — peer is alive but silent",
+                    self.rank
+                );
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Non-blocking test for a matching incoming message.
@@ -405,6 +513,38 @@ impl Comm {
             let old_ranks: Vec<usize> = v[3..].iter().map(|&r| r as usize).collect();
             Some(self.subgroup_comm(id, new_rank, &old_ranks))
         }
+    }
+
+    /// Build a communicator over `survivors` (old ranks, strictly
+    /// ascending) *without any communication* — usable when some ranks of
+    /// this communicator are dead and a collective `split` would wedge.
+    ///
+    /// Every survivor derives the same communicator id locally by hashing
+    /// the parent id and the survivor set; bit 63 is forced on, and
+    /// [`crate::router::Router::alloc_comm_id`] allocates sequentially from
+    /// 1, so derived ids can never collide with allocated ones. Two
+    /// different survivor sets of the same parent hash to different ids, so
+    /// stale traffic from a disagreeing peer cannot match.
+    ///
+    /// Returns `None` when this rank is not in `survivors`.
+    pub fn survivor_comm(&self, survivors: &[usize]) -> Option<Comm> {
+        assert!(
+            survivors.windows(2).all(|w| w[0] < w[1]),
+            "survivor list must be strictly ascending"
+        );
+        assert!(
+            survivors.iter().all(|&r| r < self.size()),
+            "survivor rank out of range"
+        );
+        let new_rank = survivors.iter().position(|&r| r == self.rank)?;
+        let mut h: u64 = self.group.id ^ 0x9E37_79B9_7F4A_7C15;
+        for &r in survivors {
+            h = h
+                .wrapping_mul(0x0000_0100_0000_01B3)
+                .wrapping_add(r as u64 + 1)
+                ^ (h >> 29);
+        }
+        Some(self.subgroup_comm(h | (1 << 63), new_rank, survivors))
     }
 
     fn subgroup_comm(&self, id: u64, new_rank: usize, old_ranks: &[usize]) -> Comm {
@@ -570,6 +710,133 @@ mod tests {
                 // Receiver time must reflect sender compute + transfer.
                 assert!(comm.vtime() > 1.0 + (1 << 20) as f64 / 125e6 * 0.9);
             }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn try_send_and_recv_or_failed_work_between_live_ranks() {
+        let uni = Universe::new(2, 1, NetModel::ideal());
+        uni.launch(2, None, "try-live", |comm| {
+            if comm.rank() == 0 {
+                comm.try_send(1, 7, &[9u64]).expect("peer is alive");
+            } else {
+                let got: Vec<u64> = comm.recv_or_failed(0, 7).expect("peer is alive");
+                assert_eq!(got, vec![9]);
+            }
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn try_send_to_terminated_rank_fails() {
+        let uni = Universe::new(2, 1, NetModel::ideal());
+        uni.launch(2, None, "try-dead", |comm| {
+            if comm.rank() == 1 {
+                return; // terminates; mailbox is reaped
+            }
+            while comm.rank_alive(1) {
+                std::thread::yield_now();
+            }
+            comm.try_send(1, 7, &[1u64])
+                .expect_err("dead destination must fail the send");
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn try_send_to_doomed_rank_fails_before_it_dies() {
+        use crate::NodeId;
+        // Node 1 is doomed at t=5.0 but its thread blocks and never reaches
+        // the crash checkpoint; a message arriving at t>=5.0 can still never
+        // be consumed, so the send must fail deterministically.
+        let uni = Universe::new(2, 1, NetModel::ideal());
+        uni.inject_node_crash(NodeId(1), 5.0);
+        uni.launch(2, None, "try-doomed", |comm| {
+            if comm.rank() == 1 {
+                // Block until rank 0 releases us, then walk into the crash.
+                let _: Vec<u64> = comm.recv(0, 8);
+                comm.advance(10.0);
+                unreachable!("advance crossed the crash deadline");
+            }
+            comm.advance(6.0); // our clock is past the peer's doom
+            comm.try_send(1, 7, &[1u64])
+                .expect_err("message would arrive after the destination's crash");
+            comm.send(1, 8, &[0u64]); // pre-doom arrival: release the victim
+        })
+        .join();
+    }
+
+    #[test]
+    fn recv_or_failed_reports_dead_sender() {
+        let uni = Universe::new(2, 1, NetModel::ideal());
+        uni.launch(2, None, "rof-dead", |comm| {
+            if comm.rank() == 1 {
+                return;
+            }
+            comm.recv_or_failed::<u64>(1, 7)
+                .expect_err("sender died without sending");
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn recv_or_failed_delivers_message_sent_before_death() {
+        let uni = Universe::new(2, 1, NetModel::ideal());
+        uni.launch(2, None, "rof-race", |comm| {
+            if comm.rank() == 1 {
+                comm.send(0, 7, &[77u64]);
+                return; // dies immediately after sending
+            }
+            // Wait for the actual death so the final-drain path is the one
+            // under test, not the fast path.
+            while comm.rank_alive(1) {
+                std::thread::yield_now();
+            }
+            let got: Vec<u64> = comm
+                .recv_or_failed(1, 7)
+                .expect("message sent before death must be delivered");
+            assert_eq!(got, vec![77]);
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn survivor_comm_agrees_without_communication() {
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        uni.launch(4, None, "survivors", |comm| {
+            if comm.rank() == 2 {
+                return; // the casualty
+            }
+            while comm.rank_alive(2) {
+                std::thread::yield_now();
+            }
+            let sub = comm
+                .survivor_comm(&[0, 1, 3])
+                .expect("every survivor is in the set");
+            assert_eq!(sub.size(), 3);
+            assert_ne!(sub.id(), comm.id());
+            assert!(sub.id() & (1 << 63) != 0, "derived ids carry the high bit");
+            // Ranks compact: old 0,1,3 -> new 0,1,2; messaging works.
+            let expect_rank = match comm.rank() {
+                0 => 0,
+                1 => 1,
+                _ => 2,
+            };
+            assert_eq!(sub.rank(), expect_rank);
+            let sum = sub.allreduce(crate::ReduceOp::Sum, &[comm.rank() as u64]);
+            assert_eq!(sum, vec![4], "sum of old ranks 0, 1, 3");
+        })
+        .join_ok();
+    }
+
+    #[test]
+    fn survivor_comm_excludes_non_survivors() {
+        let uni = Universe::new(3, 1, NetModel::ideal());
+        uni.launch(3, None, "not-in-set", |comm| {
+            let sub = comm.survivor_comm(&[0, 1]);
+            assert_eq!(sub.is_some(), comm.rank() < 2);
+            comm.barrier();
         })
         .join_ok();
     }

@@ -14,7 +14,7 @@ use crate::router::{Envelope, ProcId};
 /// of timing out the whole suite. Override with the
 /// `RESHAPE_MPISIM_TIMEOUT_SECS` environment variable (e.g. for tests that
 /// deliberately provoke deadlocks).
-fn deadlock_timeout() -> Duration {
+pub(crate) fn deadlock_timeout() -> Duration {
     static TIMEOUT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
     *TIMEOUT.get_or_init(|| {
         std::env::var("RESHAPE_MPISIM_TIMEOUT_SECS")

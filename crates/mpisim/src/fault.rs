@@ -160,6 +160,22 @@ impl FaultState {
         }
     }
 
+    /// Whether `node` has an injected crash firing at or before virtual time
+    /// `now` — *without* killing the caller. Survivable protocols use this to
+    /// classify a peer as doomed: even if its thread has not yet reached the
+    /// checkpoint that kills it, no message it sends can arrive at or after
+    /// `now`, and any message addressed to it arriving at or after its crash
+    /// time can never be consumed.
+    pub fn crashed_by(&self, node: NodeId, now: f64) -> bool {
+        if !self.armed() {
+            return false;
+        }
+        self.node_crashes
+            .lock()
+            .get(&node.0)
+            .is_some_and(|&at| now >= at)
+    }
+
     /// Grant for a spawn of `requested` processes: the front cap of the
     /// injection queue, if any, clamped to the request.
     pub fn next_spawn_cap(&self, requested: usize) -> usize {

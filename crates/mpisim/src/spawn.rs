@@ -164,10 +164,25 @@ impl Comm {
             // like MPI_Comm_spawn_multiple partially failing; callers see the
             // shortfall via `remote_size()` and must cope.
             let granted = core.fault.next_spawn_cap(n);
+            // A placement on an already-crashed node could never produce a
+            // useful process (it would die on its first operation, wedging
+            // any collective that includes it). Decline such placements
+            // like any other partial grant, so callers go through the
+            // normal shortfall abort/retry path.
+            let now = self.vtime();
             let nodes = nodes.map(|mut v| {
                 v.truncate(granted);
+                let before = v.len();
+                v.retain(|&nd| !core.fault.crashed_by(nd, now));
+                if v.len() < before {
+                    reshape_telemetry::incr(
+                        "mpisim.spawns_declined_dead_node",
+                        (before - v.len()) as u64,
+                    );
+                }
                 v
             });
+            let granted = nodes.as_ref().map_or(granted, Vec::len);
             reshape_telemetry::incr("mpisim.spawns", 1);
             reshape_telemetry::incr("mpisim.spawned_procs", granted as u64);
             if granted < n {
@@ -344,6 +359,31 @@ mod tests {
         });
         h.join_ok();
         uni.join_spawned();
+    }
+
+    #[test]
+    fn spawn_declines_placements_on_crashed_nodes() {
+        use crate::NodeId;
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        // Node 3 is dead from the start; a spawn targeting nodes 2 and 3
+        // must be granted only the live placement, surfacing as the usual
+        // short grant rather than a process that dies on arrival.
+        uni.inject_node_crash(NodeId(3), 0.0);
+        let h = uni.launch(1, None, "root", |comm| {
+            comm.advance(1.0);
+            let inter = comm.spawn(
+                2,
+                Some(vec![NodeId(2), NodeId(3)]),
+                "kids",
+                |ctx| {
+                    assert_eq!(ctx.world.size(), 1, "only the live node spawned");
+                },
+            );
+            assert_eq!(inter.remote_size(), 1, "dead-node placement declined");
+        });
+        h.join_ok();
+        uni.join_spawned();
+        uni.clear_faults();
     }
 
     #[test]

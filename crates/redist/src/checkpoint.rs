@@ -92,6 +92,10 @@ pub fn checkpoint_redistribute<T: Pod + Default>(
             f.read_to_end(&mut back).expect("read checkpoint");
             assert_eq!(back.len(), bytes.len(), "checkpoint file truncated");
             full = from_bytes(&bytes::Bytes::from(back));
+            // The checkpoint exists only to bridge the resize; once read
+            // back it is dead weight (and a stale one would shadow the next
+            // resize's data), so remove it eagerly.
+            let _ = std::fs::remove_file(path);
         }
         // Charge disk time regardless of whether a real file was used.
         comm.advance(
@@ -213,6 +217,30 @@ mod tests {
     #[test]
     fn checkpoint_preserves_data_through_real_file() {
         round_trip_via_checkpoint(true);
+    }
+
+    #[test]
+    fn checkpoint_file_removed_after_success() {
+        let tmp = std::env::temp_dir().join(format!("reshape-ckpt-clean-{}.bin", std::process::id()));
+        let uni = Universe::new(2, 1, NetModel::ideal());
+        let path = tmp.clone();
+        uni.launch(2, None, "ckpt-clean", move |comm| {
+            let s = Descriptor::square(8, 2, 1, 2);
+            let d = Descriptor::square(8, 2, 2, 1);
+            let me = comm.rank();
+            let src = DistMatrix::from_fn(s, 0, me, |i, j| (i * 9 + j) as f64);
+            checkpoint_redistribute(
+                &comm,
+                s,
+                d,
+                Some(&src),
+                &CheckpointParams::default(),
+                Some(&path),
+            )
+            .expect("both ranks are in the destination grid");
+        })
+        .join_ok();
+        assert!(!tmp.exists(), "checkpoint file must be cleaned up on success");
     }
 
     #[test]

@@ -133,7 +133,12 @@ pub fn redistribute_2d<T: Pod + Default>(
 
 /// Serialize a transfer's elements from the source panel, row blocks outer,
 /// global row order within a block, column blocks inner.
-fn pack<T: Pod + Default>(plan: &Redist2d, tr: &Transfer2d, m: &DistMatrix<T>, buf: &mut Vec<T>) {
+pub(crate) fn pack<T: Pod + Default>(
+    plan: &Redist2d,
+    tr: &Transfer2d,
+    m: &DistMatrix<T>,
+    buf: &mut Vec<T>,
+) {
     buf.clear();
     let d = &plan.src;
     for &rb in &tr.row_blocks {
@@ -154,7 +159,12 @@ fn pack<T: Pod + Default>(plan: &Redist2d, tr: &Transfer2d, m: &DistMatrix<T>, b
 }
 
 /// Mirror of [`pack`] on the destination layout.
-fn unpack<T: Pod + Default>(plan: &Redist2d, tr: &Transfer2d, buf: &[T], m: &mut DistMatrix<T>) {
+pub(crate) fn unpack<T: Pod + Default>(
+    plan: &Redist2d,
+    tr: &Transfer2d,
+    buf: &[T],
+    m: &mut DistMatrix<T>,
+) {
     let ds = &plan.src;
     let dd = &plan.dst;
     let mut idx = 0;

@@ -101,7 +101,15 @@ pub fn try_checkpoint_redistribute<T: Pod + Default>(
 ) -> Result<Option<DistMatrix<T>>, RedistAbort> {
     let p = src_desc.nprow * src_desc.npcol;
     let q = dst_desc.nprow * dst_desc.npcol;
-    abort_if_dead(comm, p.max(q))?;
+    if let Err(abort) = abort_if_dead(comm, p.max(q)) {
+        // A stale checkpoint from an earlier resize must not outlive the
+        // abort: a later attempt would otherwise find (or clobber) it.
+        // Every surviving rank may try; removal is idempotent.
+        if let Some(path) = file {
+            let _ = std::fs::remove_file(path);
+        }
+        return Err(abort);
+    }
     Ok(checkpoint_redistribute(comm, src_desc, dst_desc, src, params, file))
 }
 
@@ -155,6 +163,51 @@ mod tests {
             }
         })
         .join_ok();
+    }
+
+    /// An aborted checkpoint redistribution must not leave (or preserve) a
+    /// checkpoint file: a stale file would shadow the next resize's data.
+    #[test]
+    fn aborted_checkpoint_removes_stale_file() {
+        let tmp = std::env::temp_dir().join(format!("reshape-ckpt-abort-{}.bin", std::process::id()));
+        std::fs::write(&tmp, b"stale checkpoint from a previous resize").unwrap();
+        let uni = Universe::new(4, 1, NetModel::ideal());
+        let path = tmp.clone();
+        uni.launch(4, None, "ckpt-abort", move |comm| {
+            let s = Descriptor::square(8, 2, 2, 2);
+            let d = Descriptor::square(8, 2, 1, 2);
+            let me = comm.rank();
+            if me == 3 {
+                return; // dies before the pre-flight
+            }
+            while comm.rank_alive(3) {
+                comm.advance(0.001);
+            }
+            let src = DistMatrix::from_fn(s, me / 2, me % 2, |i, j| (i + j) as f64);
+            let err = try_checkpoint_redistribute(
+                &comm,
+                s,
+                d,
+                Some(&src),
+                &CheckpointParams::default(),
+                Some(&path),
+            )
+            .expect_err("dead rank must abort");
+            assert_eq!(err.dead_rank, 3);
+            const TAG_SYNC: u32 = 7_700_000;
+            let mut buf: Vec<u64> = Vec::new();
+            if me == 0 {
+                comm.recv_into(1, TAG_SYNC, &mut buf);
+                comm.recv_into(2, TAG_SYNC, &mut buf);
+                comm.send(1, TAG_SYNC, &[1u64]);
+                comm.send(2, TAG_SYNC, &[1u64]);
+            } else {
+                comm.send(0, TAG_SYNC, &[me as u64]);
+                comm.recv_into(0, TAG_SYNC, &mut buf);
+            }
+        })
+        .join_ok();
+        assert!(!tmp.exists(), "abort must clean up the checkpoint file");
     }
 
     /// With everyone alive the wrapper is a transparent pass-through.

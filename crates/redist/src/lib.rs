@@ -36,6 +36,7 @@ mod general2d;
 mod naive;
 mod plan1d;
 mod plan2d;
+mod txn;
 
 pub use checkpoint::{checkpoint_cost, checkpoint_redistribute, CheckpointParams};
 pub use cost::{evaluate_1d, evaluate_2d, evaluate_2d_contended, RedistCost, PACK_BANDWIDTH};
@@ -53,3 +54,4 @@ pub use general2d::{plan_general_2d, redistribute_general_2d, GTransfer2d, Gener
 pub use naive::plan_naive_2d;
 pub use plan1d::{plan_1d, Redist1d, Transfer1d};
 pub use plan2d::{plan_2d, Redist2d, Transfer2d};
+pub use txn::txn_redistribute_2d;

@@ -85,6 +85,26 @@ pub enum Event {
         action: String,
         freed: usize,
     },
+    /// A node died under a running survivable job: the scheduler reclaimed
+    /// only the `lost` dead slots and force-shrank the job from
+    /// `procs_before` to `procs_after` processors, keeping it running.
+    NodeFailed {
+        time: f64,
+        job: u64,
+        lost: usize,
+        procs_before: usize,
+        procs_after: usize,
+    },
+    /// The application completed its shrink-to-survivors recovery (buddy
+    /// restore + redistribution) and resumed iterating.
+    Recovered {
+        time: f64,
+        job: u64,
+        /// Ranks the job resumed with.
+        procs: usize,
+        /// Wall-clock seconds from detection to resume.
+        seconds: f64,
+    },
     /// Free-form annotation.
     Note { time: f64, text: String },
 }
@@ -98,6 +118,8 @@ impl Event {
             Event::JobTurnaround { .. } => "job_turnaround",
             Event::SpawnFault { .. } => "spawn_fault",
             Event::Recovery { .. } => "recovery",
+            Event::NodeFailed { .. } => "node_failed",
+            Event::Recovered { .. } => "recovered",
             Event::Note { .. } => "note",
         }
     }
@@ -243,6 +265,19 @@ mod tests {
                 action: "revert_failed_expansion".into(),
                 freed: 4,
             },
+            Event::NodeFailed {
+                time: 44.0,
+                job: 3,
+                lost: 2,
+                procs_before: 8,
+                procs_after: 6,
+            },
+            Event::Recovered {
+                time: 44.5,
+                job: 3,
+                procs: 6,
+                seconds: 0.31,
+            },
             Event::Note {
                 time: 99.0,
                 text: "done".into(),
@@ -267,6 +302,8 @@ mod tests {
         assert_eq!(events[2].kind(), "job_turnaround");
         assert_eq!(events[3].kind(), "spawn_fault");
         assert_eq!(events[4].kind(), "recovery");
-        assert_eq!(events[5].kind(), "note");
+        assert_eq!(events[5].kind(), "node_failed");
+        assert_eq!(events[6].kind(), "recovered");
+        assert_eq!(events[7].kind(), "note");
     }
 }

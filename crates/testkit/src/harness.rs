@@ -34,6 +34,9 @@ pub struct RunStats {
     /// clean run has `watchdog_kills == hangs_injected`: every hang is
     /// detected, and no healthy job is ever killed.
     pub watchdog_kills: usize,
+    /// Node losses the job outlived via forced shrink
+    /// ([`Fault::NodeLoss`] with the buddy intact).
+    pub node_losses_survived: usize,
 }
 
 /// Virtual seconds a hung job sits silent before the modeled watchdog
@@ -88,6 +91,7 @@ pub struct Driver<'a> {
     transitions: usize,
     hangs_injected: usize,
     watchdog_kills: usize,
+    node_losses_survived: usize,
 }
 
 impl<'a> Driver<'a> {
@@ -101,6 +105,7 @@ impl<'a> Driver<'a> {
             transitions: 0,
             hangs_injected: 0,
             watchdog_kills: 0,
+            node_losses_survived: 0,
         }
     }
 
@@ -196,6 +201,15 @@ impl<'a> Driver<'a> {
         let mut st = stats(self.transitions, self.core.events());
         st.hangs_injected = self.hangs_injected;
         st.watchdog_kills = self.watchdog_kills;
+        // Cross-check the harness's own count against the event trace: a
+        // forced shrink that never produced a NodeFailed event (or vice
+        // versa) would be a reporting bug.
+        if st.node_losses_survived != self.node_losses_survived {
+            return Err(self.fail(format!(
+                "node-loss accounting diverged: {} reported, {} in the trace",
+                self.node_losses_survived, st.node_losses_survived
+            )));
+        }
         Ok((st, self.core))
     }
 
@@ -263,6 +277,35 @@ impl<'a> Driver<'a> {
                 l.hung = true;
                 l.next_checkin = now + WATCHDOG_DEADLINE;
                 self.hangs_injected += 1;
+                return Ok(());
+            }
+            Some(Fault::NodeLoss { checkin: k, buddy_intact }) if k == checkins => {
+                if buddy_intact && config.procs() > 1 {
+                    // The driver recovered onto the survivors and reports
+                    // the forced shrink: one slot (the dead node's) is
+                    // gone, the job keeps running degraded by one.
+                    let dead = [*self
+                        .core
+                        .job(id)
+                        .expect("running job holds slots")
+                        .slots
+                        .last()
+                        .expect("running job holds at least one slot")];
+                    let to = reshape_core::ProcessorConfig::new(1, config.procs() - 1);
+                    let starts = self.core.on_node_failed(id, &dead, to, now);
+                    register(&mut self.live, &starts, self.sc, &self.ids, now);
+                    self.node_losses_survived += 1;
+                    self.live.get_mut(&id).expect("still live").next_checkin =
+                        now + plan.work / to.procs() as f64;
+                } else {
+                    // The rank's buddy died with it (or there was nobody
+                    // left to shrink onto): redundancy lost, job over.
+                    let starts =
+                        self.core
+                            .on_failed(id, "node lost with its buddy".into(), now);
+                    register(&mut self.live, &starts, self.sc, &self.ids, now);
+                    self.live.remove(&id);
+                }
                 return Ok(());
             }
             _ => {}
@@ -335,6 +378,7 @@ fn stats(transitions: usize, events: &[reshape_core::SchedEvent]) -> RunStats {
             EventKind::ExpandFailed { .. } => st.expand_failures += 1,
             EventKind::Failed { .. } => st.job_failures += 1,
             EventKind::Cancelled => st.cancellations += 1,
+            EventKind::NodeFailed { .. } => st.node_losses_survived += 1,
             _ => {}
         }
     }

@@ -23,6 +23,11 @@
 //!   / naive / general / checkpoint, 2-D and 1-D) on identical inputs and
 //!   demands bitwise-equal results; under a dead rank, all fault-checked
 //!   variants must abort without moving data.
+//! * [`survival`] — end-to-end node-loss drills on the simulated cluster:
+//!   a seeded crash mid-iteration must be survived iff the victim's buddy
+//!   is intact (with the final matrix bitwise-equal to a fault-free run),
+//!   and a seeded crash mid-redistribution must abort the transactional
+//!   executor with the old layout bitwise intact.
 //!
 //! To reproduce a CI failure locally:
 //!
@@ -36,9 +41,11 @@ pub mod harness;
 pub mod oracle;
 pub mod rng;
 pub mod scenario;
+pub mod survival;
 
 pub use crashrestart::{run_crash_restart, CrashReport};
 pub use harness::{run_scenario, run_scenario_on, run_seed, Driver, RunStats};
 pub use oracle::{check_invariants, check_trace};
 pub use rng::SplitMix64;
 pub use scenario::{generate, Fault, JobPlan, Scenario};
+pub use survival::{run_survival, run_txn_rollback, SurvivalReport};

@@ -145,7 +145,9 @@ fn check_admission_order(
                 busy += config.procs();
                 running.insert(e.job, config.procs());
             }
-            EventKind::Expanded { to, .. } | EventKind::Shrunk { to, .. } => {
+            EventKind::Expanded { to, .. }
+            | EventKind::Shrunk { to, .. }
+            | EventKind::NodeFailed { to, .. } => {
                 let prev = running.insert(e.job, to.procs()).unwrap_or(0);
                 busy = busy + to.procs() - prev;
             }

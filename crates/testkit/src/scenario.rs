@@ -25,6 +25,12 @@ pub enum Fault {
     /// stops reaching resize points without its processes dying. The
     /// harness's watchdog model must declare it hung and reclaim.
     HangAtCheckin(usize),
+    /// One node under the job dies at its `n`-th check-in. When
+    /// `buddy_intact` the driver's shrink-to-survivors recovery succeeds:
+    /// the harness reports a forced shrink (`on_node_failed`) and the job
+    /// continues at the degraded size. Otherwise the dead rank's buddy died
+    /// with it, redundancy is lost, and the job fails outright.
+    NodeLoss { checkin: usize, buddy_intact: bool },
 }
 
 /// One job of the workload.
@@ -75,6 +81,13 @@ pub fn generate(seed: u64) -> Scenario {
         let iterations = rng.usize_range(1, 6);
         let spec = gen_spec(&mut rng, i, iterations);
         let fault = gen_fault(&mut rng, &spec, iterations);
+        // A job scheduled to survive a node loss must have opted into the
+        // recovery machinery, like a real submission would.
+        let spec = if matches!(fault, Some(Fault::NodeLoss { buddy_intact: true, .. })) {
+            spec.survivable()
+        } else {
+            spec
+        };
         jobs.push(JobPlan {
             spec,
             arrival,
@@ -146,10 +159,14 @@ fn gen_fault(rng: &mut SplitMix64, spec: &JobSpec, iterations: usize) -> Option<
     if !rng.chance(1, 4) {
         return None;
     }
-    Some(match rng.range(0, 3) {
+    Some(match rng.range(0, 4) {
         0 => Fault::FailAtCheckin(rng.usize_range(1, iterations)),
         1 => Fault::CancelAtCheckin(rng.usize_range(1, iterations)),
         2 => Fault::HangAtCheckin(rng.usize_range(1, iterations)),
+        3 => Fault::NodeLoss {
+            checkin: rng.usize_range(1, iterations),
+            buddy_intact: rng.chance(3, 4),
+        },
         _ if spec.resizable => Fault::ExpandFailure,
         // Static jobs never expand; give them a failure instead so the
         // fault still fires.
@@ -195,6 +212,7 @@ mod tests {
     #[test]
     fn fault_mix_is_exercised() {
         let (mut fails, mut cancels, mut expands, mut hangs) = (0, 0, 0, 0);
+        let (mut losses_survivable, mut losses_fatal) = (0, 0);
         for seed in 0..300 {
             for j in generate(seed).jobs {
                 match j.fault {
@@ -202,10 +220,16 @@ mod tests {
                     Some(Fault::CancelAtCheckin(_)) => cancels += 1,
                     Some(Fault::ExpandFailure) => expands += 1,
                     Some(Fault::HangAtCheckin(_)) => hangs += 1,
+                    Some(Fault::NodeLoss { buddy_intact: true, .. }) => losses_survivable += 1,
+                    Some(Fault::NodeLoss { buddy_intact: false, .. }) => losses_fatal += 1,
                     None => {}
                 }
             }
         }
         assert!(fails > 0 && cancels > 0 && expands > 0 && hangs > 0);
+        assert!(
+            losses_survivable > 0 && losses_fatal > 0,
+            "node-loss mix unexercised: {losses_survivable}/{losses_fatal}"
+        );
     }
 }

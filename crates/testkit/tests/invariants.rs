@@ -22,6 +22,7 @@ fn two_hundred_fifty_six_seeded_schedules_hold_invariants() {
         agg.expand_failures += st.expand_failures;
         agg.job_failures += st.job_failures;
         agg.cancellations += st.cancellations;
+        agg.node_losses_survived += st.node_losses_survived;
     }
     // The sweep must genuinely exercise the recovery machinery, not just
     // pass vacuously.
@@ -31,6 +32,10 @@ fn two_hundred_fifty_six_seeded_schedules_hold_invariants() {
     assert!(agg.expand_failures > 10, "expand-failure path unexercised: {agg:?}");
     assert!(agg.job_failures > 20, "failure path unexercised: {agg:?}");
     assert!(agg.cancellations > 20, "cancel path unexercised: {agg:?}");
+    assert!(
+        agg.node_losses_survived > 10,
+        "forced-shrink path unexercised: {agg:?}"
+    );
 }
 
 /// One extra seed taken from the environment — CI passes

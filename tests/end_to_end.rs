@@ -525,6 +525,7 @@ fn advanced_api_manual_orchestration() {
             slots_per_node: 1,
             fold_wall_time: false,
             retry: RetryPolicy::default(),
+            survivable: false,
         });
         let mut ctx = ResizeContext::attach(Arc::clone(&shared), comm.clone(), ProcessorConfig::new(2, 3));
         let desc = Descriptor::square(n, 2, 2, 3);
