@@ -21,11 +21,15 @@
 //! ```
 //!
 //! `max_n` caps the problem-size sweep (default 4096); CI's smoke run
-//! passes 512 to keep the debug-build data motion small.
+//! passes 512 to keep the debug-build data motion small. `--telemetry`
+//! prints the shared journal on exit, and `RESHAPE_TRACE=path.json`
+//! exports the replicate/checkpoint/restore phases as a Perfetto trace
+//! (one trace per problem size, virtual-clock timestamps).
 
 use std::sync::{Arc, Mutex};
 
 use reshape_bench::{json_arg, write_json, Table};
+use reshape_telemetry::trace;
 use reshape_blockcyclic::{recover_matrix, BuddyStore, Descriptor, DistMatrix};
 use reshape_mpisim::{NetModel, Universe};
 use reshape_redist::{checkpoint_cost, checkpoint_redistribute, CheckpointParams};
@@ -62,9 +66,20 @@ fn measure(n: usize) -> SizeResult {
         let d = Descriptor::new(n, n, NB, NB, 1, 3);
         let src = DistMatrix::from_fn(s, me / 2, me % 2, |i, j| (i * n + j) as f64);
 
+        // With RESHAPE_TRACE set, each phase becomes a span under a per-size
+        // root (trace id = N), stamped with the simulator's virtual clock.
+        let root = if me == 0 {
+            trace::begin(n as u64, 0, format!("recovery n={n}"), "job", "recovery", comm.vtime())
+        } else {
+            0
+        };
+
         let t0 = comm.vtime();
         let store = BuddyStore::replicate(&comm, std::slice::from_ref(&src));
         let t_rep = comm.vtime() - t0;
+        if me == 0 {
+            trace::complete(n as u64, root, "buddy_replicate", "redist", "recovery", t0, t0 + t_rep);
+        }
 
         // Checkpoint/restart round trip onto the survivors. All four ranks
         // take part in the funnel (the checkpoint is written while the
@@ -80,6 +95,9 @@ fn measure(n: usize) -> SizeResult {
         );
         let t_ck = comm.vtime() - t0;
         assert_eq!(out.is_some(), me < 3, "1x3 grid covers ranks 0..3");
+        if me == 0 {
+            trace::complete(n as u64, root, "ckpt_roundtrip", "redist", "recovery", t0, t0 + t_ck);
+        }
 
         // Buddy restore: rank 3 is dead from here on and sits out. The
         // survivors rebuild its panel from rank 0's ward copy, landing
@@ -93,6 +111,12 @@ fn measure(n: usize) -> SizeResult {
                 .expect("rank 3's buddy (rank 0) is alive");
             t_rec = comm.vtime() - t0;
             assert!(out.is_some(), "every survivor owns part of the 1x3 layout");
+            if me == 0 {
+                trace::complete(n as u64, root, "buddy_restore", "recovery", "recovery", t0, t0 + t_rec);
+            }
+        }
+        if me == 0 {
+            trace::end(root, comm.vtime());
         }
         sink.lock().expect("delta sink").push((t_rep, t_ck, t_rec));
     })
@@ -173,6 +197,11 @@ fn main() {
 
     if let Some(path) = json_arg() {
         write_json(&path, &results);
+    }
+    // With RESHAPE_TRACE set, export the per-phase spans (replicate /
+    // checkpoint round trip / restore, one trace per problem size).
+    if trace::enabled() {
+        trace::write_trace_files(&trace::drain_spans());
     }
     reshape_bench::flush_telemetry();
 }

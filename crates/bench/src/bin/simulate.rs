@@ -2,7 +2,7 @@
 //! simulator from a JSON description.
 //!
 //! ```text
-//! cargo run -p reshape-bench --bin simulate -- workload.json [--json out.json]
+//! cargo run -p reshape-bench --bin simulate -- workload.json [--json out.json] [--top]
 //! cargo run -p reshape-bench --bin simulate -- --print-example
 //! ```
 //!
@@ -11,6 +11,14 @@
 //! topology, initial configuration, performance model, priority). Output is
 //! the turnaround table plus utilization; `--json` dumps the full
 //! [`SimResult`](reshape_clustersim::SimResult).
+//!
+//! `--top` replays the run as a live terminal dashboard (pool occupancy,
+//! per-job state and iteration-time sparkline, §3.1 decision feed),
+//! refreshing on a sim-time cadence. With `RESHAPE_TRACE=trace.json` set,
+//! the run also exports a Perfetto-loadable Chrome trace plus a
+//! `trace.json.critpath.json` sidecar, and prints the per-job
+//! critical-path attribution (compute / queue wait / spawn /
+//! redistribution / rollback-replay shares of each turnaround).
 
 use reshape_bench::{json_arg, write_json, Table};
 use reshape_clustersim::{AppModel, ClusterSim, MachineParams, RedistMode, SimJob};
@@ -95,11 +103,16 @@ fn main() {
         println!("{EXAMPLE}");
         return;
     }
+    let top = args.iter().any(|a| a == "--top");
+    if top && reshape_telemetry::mode() == reshape_telemetry::Mode::Off {
+        // The dashboard's decision feed reads the telemetry journal.
+        reshape_telemetry::set_mode(reshape_telemetry::Mode::Text);
+    }
     let path = args
         .get(1)
         .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| {
-            eprintln!("usage: simulate <workload.json> [--json out.json] | --print-example");
+            eprintln!("usage: simulate <workload.json> [--json out.json] [--top] | --print-example");
             std::process::exit(2);
         });
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -156,6 +169,25 @@ fn main() {
     }
     let result = sim.run(&jobs);
 
+    if top {
+        // Replay the completed run at ~16 frames/s, each frame sampling
+        // cluster state at an evenly spaced virtual time. Deterministic
+        // content (only the refresh pacing is wall-clock).
+        use std::io::Write as _;
+        let decisions = reshape_telemetry::snapshot_events();
+        let frames = 48u32;
+        for f in 0..=frames {
+            let t = result.makespan * f as f64 / frames as f64;
+            print!(
+                "\x1b[2J\x1b[H{}",
+                reshape_clustersim::dashboard::frame(&result, &decisions, t, 100)
+            );
+            std::io::stdout().flush().ok();
+            std::thread::sleep(std::time::Duration::from_millis(60));
+        }
+        println!();
+    }
+
     let mut table = Table::new(vec![
         "job", "arrival", "started", "finished", "turnaround", "redist (s)",
     ]);
@@ -210,6 +242,19 @@ fn main() {
         t.bytes_redistributed.to_string(),
     ]);
     summary.print();
+
+    // Causal trace: with RESHAPE_TRACE set, print the per-job critical-path
+    // attribution and export the Chrome/Perfetto trace (+ the structured
+    // `.critpath.json` sidecar for downstream tooling).
+    if reshape_telemetry::trace::enabled() {
+        let spans = reshape_telemetry::trace::drain_spans();
+        let paths = reshape_telemetry::critpath::analyze(&spans);
+        if !paths.is_empty() {
+            println!("\n-- critical path (per job, seconds) --");
+            print!("{}", reshape_telemetry::critpath::render_table(&paths));
+        }
+        reshape_telemetry::trace::write_trace_files(&spans);
+    }
 
     if let Some(out) = json_arg() {
         write_json(&out, &result);

@@ -1,0 +1,57 @@
+//! `trace_check` — validate an exported Chrome/Perfetto trace file.
+//!
+//! ```text
+//! cargo run -p reshape-bench --bin trace_check -- trace.json
+//! ```
+//!
+//! Parses the trace-event JSON produced by `RESHAPE_TRACE` exports and
+//! checks the causal invariants the rest of the tooling relies on: every
+//! event is well-formed (`ph:"X"`, microsecond timestamps, non-negative
+//! durations), span ids are unique, every non-zero parent edge points at a
+//! span in the same file, and no span ends before it starts. Exits 0 and
+//! prints a summary when the trace is sound; prints every violation and
+//! exits 1 otherwise — CI runs this against a fixed-seed `simulate` export.
+
+use reshape_telemetry::trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace_check <trace.json>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("trace_check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let spans = match trace::parse_chrome_trace(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_check: {path}: malformed trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    if spans.is_empty() {
+        eprintln!("trace_check: {path}: no spans (was RESHAPE_TRACE set during the run?)");
+        std::process::exit(1);
+    }
+    let problems = trace::validate(&spans);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("trace_check: {path}: {p}");
+        }
+        std::process::exit(1);
+    }
+    let traces: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.trace).collect();
+    let parented = spans.iter().filter(|s| s.parent != 0).count();
+    let t_max = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
+    println!(
+        "trace_check: {path}: OK — {} spans, {} traces, {parented} parent edges, t_max {t_max:.1}s",
+        spans.len(),
+        traces.len()
+    );
+    let paths = reshape_telemetry::critpath::analyze(&spans);
+    if !paths.is_empty() {
+        print!("{}", reshape_telemetry::critpath::render_table(&paths));
+    }
+}

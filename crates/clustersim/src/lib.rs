@@ -15,6 +15,7 @@
 //! single-application experiments of Figure 3; `reshape-bench` turns
 //! simulation results into the paper's tables and figures.
 
+pub mod dashboard;
 pub mod perfmodel;
 pub mod sim;
 pub mod workloads;

@@ -416,6 +416,19 @@ impl ClusterSim {
                     let t_iter = js.model.iter_time_at(0, s.config, machine) / core.job_speed(s.job);
                     js.last_iter_time = t_iter;
                     js.compute_total += t_iter;
+                    if reshape_telemetry::trace::enabled() {
+                        use reshape_telemetry::trace;
+                        let c = trace::complete(
+                            s.job.0,
+                            trace::head(s.job.0),
+                            "iter 0",
+                            "compute",
+                            "sim",
+                            now,
+                            now + t_iter,
+                        );
+                        trace::set_head(s.job.0, c);
+                    }
                     push(heap, seq, now + t_iter, Ev::IterationEnd(s.job));
                 }
             };
@@ -490,6 +503,7 @@ impl ClusterSim {
                         continue;
                     }
                     let js = sims.get_mut(&id).expect("job exists");
+                    let expanded = matches!(directive, Directive::Expand { .. });
                     let (next_cfg, redist_cost, profile) = match directive {
                         Directive::NoChange => (pre, 0.0, None),
                         Directive::Terminate => unreachable!("handled above"),
@@ -535,6 +549,59 @@ impl ClusterSim {
                     js.last_redist = redist_cost;
                     js.redist_total += redist_cost;
                     js.compute_total += t_iter;
+                    if reshape_telemetry::trace::enabled() {
+                        // Resize span chain under the decision the core just
+                        // emitted (and set as the job's trace head):
+                        // decision → spawn → redist(+phases) → next compute,
+                        // all stamped with the deterministic sim clock.
+                        use reshape_telemetry::trace;
+                        let jid = id.0;
+                        if expanded {
+                            // Process startup is free in the sim; the
+                            // zero-duration mark keeps the causal chain
+                            // shaped like the threaded runtime's.
+                            let sp = trace::complete(
+                                jid,
+                                trace::head(jid),
+                                format!("spawn {pre}->{next_cfg}"),
+                                "spawn",
+                                "sim",
+                                now,
+                                now,
+                            );
+                            trace::set_head(jid, sp);
+                        }
+                        if redist_cost > 0.0 {
+                            let r = trace::complete(
+                                jid,
+                                trace::head(jid),
+                                format!("redist {pre}->{next_cfg}"),
+                                "redist",
+                                "sim",
+                                now,
+                                now + redist_cost,
+                            );
+                            if let Some(prof) = &profile {
+                                let t1 = now + prof.pack_seconds;
+                                let t2 = t1 + prof.transfer_seconds;
+                                let t3 = (t2 + prof.unpack_seconds).min(now + redist_cost);
+                                trace::complete(jid, r, "pack", "redist_pack", "sim", now, t1);
+                                trace::complete(jid, r, "transfer", "redist_transfer", "sim", t1, t2);
+                                trace::complete(jid, r, "unpack", "redist_unpack", "sim", t2, t3);
+                            }
+                            trace::set_head(jid, r);
+                        }
+                        let c = trace::complete(
+                            jid,
+                            trace::head(jid),
+                            format!("iter {done}"),
+                            "compute",
+                            "sim",
+                            now + redist_cost,
+                            now + redist_cost + t_iter,
+                        );
+                        trace::set_head(jid, c);
+                    }
                     push(
                         &mut heap,
                         &mut seq,

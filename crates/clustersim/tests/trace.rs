@@ -1,0 +1,144 @@
+//! End-to-end causal-trace acceptance for the simulator: a fixed workload
+//! run with tracing on must produce, for every resize, the span chain
+//! scheduler-decision → spawn/handshake → redistribution (with phase
+//! children) → resumed compute, with correct parent edges; the
+//! critical-path attribution must account for each job's full makespan;
+//! and the Chrome-trace export must survive a parse round trip.
+
+use reshape_clustersim::{AppModel, ClusterSim, MachineParams, SimJob};
+use reshape_core::{EventKind, JobSpec, ProcessorConfig, TopologyPref};
+use reshape_telemetry::trace;
+use reshape_telemetry::{critpath, SpanRecord};
+
+/// Trace state is process-global; every test takes this lock and resets.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lu_job(n: usize, iters: usize, arrival: f64) -> SimJob {
+    SimJob {
+        spec: JobSpec::new(
+            format!("LU{n}"),
+            TopologyPref::Grid { problem_size: n },
+            ProcessorConfig::new(1, 2),
+            iters,
+        ),
+        model: AppModel::Lu { n },
+        arrival,
+        cancel_at: None,
+        fail_at: None,
+    }
+}
+
+fn traced_run(workload: &[SimJob]) -> (reshape_clustersim::SimResult, Vec<SpanRecord>) {
+    let _g = lock();
+    trace::reset();
+    trace::set_enabled(true);
+    let result = ClusterSim::new(16, MachineParams::system_x()).run(workload);
+    let spans = trace::drain_spans();
+    trace::set_enabled(false);
+    (result, spans)
+}
+
+fn find(spans: &[SpanRecord], pred: impl Fn(&SpanRecord) -> bool) -> Option<&SpanRecord> {
+    spans.iter().find(|s| pred(s))
+}
+
+#[test]
+fn every_expansion_produces_the_full_causal_chain() {
+    let (result, spans) = traced_run(&[lu_job(12000, 12, 0.0)]);
+    assert!(trace::validate(&spans).is_empty(), "{:?}", trace::validate(&spans));
+
+    let expansions: Vec<_> = result
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Expanded { .. }))
+        .collect();
+    assert!(!expansions.is_empty(), "idle 16-slot cluster must expand the job");
+
+    for e in &expansions {
+        let jid = e.job.0;
+        // Scheduler decision span at the resize point's virtual time...
+        let decision = find(&spans, |s| {
+            s.trace == jid
+                && s.cat == "decision"
+                && s.name.starts_with("decision:expand")
+                && (s.start - e.time).abs() < 1e-9
+        })
+        .unwrap_or_else(|| panic!("no decision span for expansion at t={}", e.time));
+        // ...causing a spawn/handshake span...
+        let spawn = find(&spans, |s| s.parent == decision.id && s.cat == "spawn")
+            .expect("spawn span parented to the decision");
+        // ...causing the redistribution, which decomposes into phases...
+        let redist = find(&spans, |s| s.parent == spawn.id && s.cat == "redist")
+            .expect("redist span parented to the spawn");
+        for phase in ["redist_pack", "redist_transfer", "redist_unpack"] {
+            let p = find(&spans, |s| s.parent == redist.id && s.cat == phase)
+                .unwrap_or_else(|| panic!("missing {phase} child"));
+            assert!(p.start >= redist.start - 1e-9 && p.end <= redist.end + 1e-9);
+        }
+        // ...and compute resumes under the redistribution.
+        let compute = find(&spans, |s| s.parent == redist.id && s.cat == "compute")
+            .expect("resumed compute span parented to the redist");
+        assert!(compute.start >= redist.end - 1e-9, "compute resumes after redist");
+    }
+
+    // Lifecycle spans: one root and one queue-wait per job, and the root
+    // closes at the job's finish time.
+    let job = result.jobs[0].job.0;
+    let root = find(&spans, |s| s.trace == job && s.cat == "job").expect("job root span");
+    assert!(find(&spans, |s| s.trace == job && s.cat == "queue_wait").is_some());
+    assert!((root.end - result.jobs[0].finished).abs() < 1e-9);
+}
+
+#[test]
+fn critical_path_accounts_for_the_whole_makespan() {
+    let (result, spans) = traced_run(&[lu_job(12000, 12, 0.0), lu_job(8000, 8, 5.0)]);
+    let paths = critpath::analyze(&spans);
+    assert_eq!(paths.len(), 2, "one attribution per job trace");
+    for p in &paths {
+        let outcome = result
+            .jobs
+            .iter()
+            .find(|j| j.job.0 == p.trace)
+            .expect("attribution matches a job");
+        let expected = outcome.finished - outcome.submitted;
+        assert!(
+            (p.makespan - expected).abs() < 1e-6,
+            "{}: root span covers submit..finish ({} vs {expected})",
+            p.name,
+            p.makespan
+        );
+        // Acceptance: per-job category sums equal the makespan within one
+        // sim-time unit (the sweep makes them exact up to float error).
+        assert!(
+            (p.total() - p.makespan).abs() <= 1.0,
+            "{}: buckets sum to {} but makespan is {}",
+            p.name,
+            p.total(),
+            p.makespan
+        );
+        assert!(p.compute > 0.0, "compute must dominate an LU run");
+    }
+    // The second job arrives while the first holds the cluster's fast
+    // slots; some queue wait or redistribution must be attributed overall.
+    let total_redist: f64 = paths.iter().map(|p| p.redistribution).sum();
+    assert!(total_redist > 0.0, "expansions must charge redistribution time");
+}
+
+#[test]
+fn chrome_export_round_trips_and_validates() {
+    let (_result, spans) = traced_run(&[lu_job(8000, 8, 0.0)]);
+    let json = trace::chrome_trace_json(&spans);
+    let back = trace::parse_chrome_trace(&json).expect("export parses");
+    assert_eq!(back.len(), spans.len());
+    assert!(trace::validate(&back).is_empty());
+    // Timestamps survive the µs round trip to within a microsecond.
+    for (a, b) in spans.iter().zip(&back) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.parent, b.parent);
+        assert!((a.start - b.start).abs() < 2e-6, "{} vs {}", a.start, b.start);
+        assert!(b.end >= b.start);
+    }
+}

@@ -178,6 +178,10 @@ pub struct SchedulerCore {
     /// (and, for file-backed WALs, flushed) before it is applied. See
     /// [`crate::wal`].
     wal: Option<Wal>,
+    /// Open causal-trace spans per live job: `(job root, queue-wait)`.
+    /// Runtime-only bookkeeping — not part of [`CoreSnapshot`] equality
+    /// (traces are an observability layer, not scheduler state).
+    trace_ids: HashMap<JobId, (u64, u64)>,
 }
 
 impl SchedulerCore {
@@ -201,6 +205,7 @@ impl SchedulerCore {
             last_tick: 0.0,
             chaos_leak_on_failure: false,
             wal: None,
+            trace_ids: HashMap::new(),
         }
     }
 
@@ -354,6 +359,17 @@ impl SchedulerCore {
             core.apply(rec.clone());
         }
         reshape_telemetry::incr("core.wal_recoveries", 1);
+        if reshape_telemetry::trace::enabled() {
+            reshape_telemetry::trace::complete(
+                0,
+                0,
+                format!("wal_recovery ({} records)", wal.records().len()),
+                "recovery",
+                "scheduler",
+                0.0,
+                core.last_tick,
+            );
+        }
         core.wal = Some(wal);
         Ok(core)
     }
@@ -424,6 +440,21 @@ impl SchedulerCore {
     fn log(&mut self, rec: WalRecord) {
         if let Some(w) = self.wal.as_mut() {
             w.append(rec);
+            // Durability work belongs to the scheduler's own trace (trace
+            // 0): a zero-duration marker at the last observed virtual time
+            // keeps WAL pressure visible in Perfetto without perturbing
+            // replay determinism (spans are runtime-only state).
+            if reshape_telemetry::trace::enabled() {
+                reshape_telemetry::trace::complete(
+                    0,
+                    0,
+                    "wal_append",
+                    "wal",
+                    "scheduler",
+                    self.last_tick,
+                    self.last_tick,
+                );
+            }
         }
     }
 
@@ -625,6 +656,24 @@ impl SchedulerCore {
             job: id,
             kind: EventKind::Submitted,
         });
+        if reshape_telemetry::trace::enabled() {
+            use reshape_telemetry::trace;
+            // The job id doubles as the trace id: deterministic, stable
+            // across WAL replay, and readable in the Perfetto UI. The root
+            // span covers submission → completion; queue-wait is its first
+            // child and closes when the job starts.
+            let root = trace::begin(
+                id.0,
+                0,
+                self.jobs[&id].spec.name.clone(),
+                "job",
+                "scheduler",
+                now,
+            );
+            let qw = trace::begin(id.0, root, "queue_wait", "queue_wait", "scheduler", now);
+            trace::set_head(id.0, root);
+            self.trace_ids.insert(id, (root, qw));
+        }
         (id, self.schedule_now(now))
     }
 
@@ -658,6 +707,9 @@ impl SchedulerCore {
                     job: id,
                     kind: EventKind::Started { config },
                 });
+                if let Some(&(_, qw)) = self.trace_ids.get(&id) {
+                    reshape_telemetry::trace::end(qw, now);
+                }
                 actions.push(StartAction { job: id, config, slots });
                 // Restart from the head: starting a job may unblock nothing,
                 // but keeping strict order costs little.
@@ -769,6 +821,26 @@ impl SchedulerCore {
                 remaining_iters,
             });
         }
+        if reshape_telemetry::trace::enabled() {
+            use reshape_telemetry::trace;
+            let label = match &decision {
+                RemapDecision::Expand { to } => format!("decision:expand {current}->{to}"),
+                RemapDecision::Shrink { to } => format!("decision:shrink {current}->{to}"),
+                RemapDecision::NoChange => "decision:no_change".to_string(),
+            };
+            // Parent on the causal context the resize-point message carried
+            // (the rank's last compute span) when it names this trace, else
+            // on the trace head. The decision becomes the new head, so the
+            // driver's spawn/redistribution spans chain under it.
+            let ctx = trace::current();
+            let parent = if ctx.trace == job.0 && ctx.parent != 0 {
+                ctx.parent
+            } else {
+                trace::head(job.0)
+            };
+            let d = trace::complete(job.0, parent, label, "decision", "scheduler", now, now);
+            trace::set_head(job.0, d);
+        }
         match decision {
             RemapDecision::Expand { to } => {
                 let delta = to.procs() - current.procs();
@@ -853,6 +925,15 @@ impl SchedulerCore {
         self.profiler.record_resize(job, kind, seconds);
     }
 
+    /// Close a job's trace (root + queue-wait spans) at its terminal
+    /// transition. Idempotent: the ids are removed on first use.
+    fn trace_close(&mut self, job: JobId, now: f64) {
+        if let Some((root, qw)) = self.trace_ids.remove(&job) {
+            reshape_telemetry::trace::end(qw, now);
+            reshape_telemetry::trace::end(root, now);
+        }
+    }
+
     /// A job finished; reclaim its processors and start queued work.
     pub fn on_finished(&mut self, job: JobId, now: f64) -> Vec<StartAction> {
         let now = self.sane_now(now);
@@ -872,6 +953,7 @@ impl SchedulerCore {
                 job,
                 kind: EventKind::Finished,
             });
+            self.trace_close(job, now);
         }
         self.schedule_now(now)
     }
@@ -918,6 +1000,7 @@ impl SchedulerCore {
                 action: "reclaim_failed_job".to_string(),
                 freed: slots.len(),
             });
+            self.trace_close(job, now);
         }
         self.schedule_now(now)
     }
@@ -977,6 +1060,19 @@ impl SchedulerCore {
                 lost: dead_slots.len(),
             },
         });
+        if reshape_telemetry::trace::enabled() {
+            use reshape_telemetry::trace;
+            let m = trace::complete(
+                job.0,
+                trace::head(job.0),
+                format!("node_failed {from}->{to} (-{})", dead_slots.len()),
+                "recovery",
+                "scheduler",
+                now,
+                now,
+            );
+            trace::set_head(job.0, m);
+        }
         reshape_telemetry::incr("core.node_failures_survived", 1);
         reshape_telemetry::record(reshape_telemetry::Event::NodeFailed {
             time: now,
@@ -1022,6 +1118,19 @@ impl SchedulerCore {
             job,
             kind: EventKind::ExpandFailed { from, to },
         });
+        if reshape_telemetry::trace::enabled() {
+            use reshape_telemetry::trace;
+            let m = trace::complete(
+                job.0,
+                trace::head(job.0),
+                format!("expand_failed {to}->{from}"),
+                "spawn",
+                "scheduler",
+                now,
+                now,
+            );
+            trace::set_head(job.0, m);
+        }
         reshape_telemetry::incr("core.expand_failures", 1);
         reshape_telemetry::record(reshape_telemetry::Event::Recovery {
             time: now,
@@ -1053,6 +1162,7 @@ impl SchedulerCore {
                     job,
                     kind: EventKind::Cancelled,
                 });
+                self.trace_close(job, now);
                 // Removing a queued job may unblock an FCFS head.
                 self.schedule_now(now)
             }
@@ -1069,6 +1179,7 @@ impl SchedulerCore {
                     job,
                     kind: EventKind::Cancelled,
                 });
+                self.trace_close(job, now);
                 self.schedule_now(now)
             }
             _ => Vec::new(),
@@ -1103,6 +1214,13 @@ impl SchedulerCore {
 
     pub fn idle_procs(&self) -> usize {
         self.pool.idle()
+    }
+
+    /// Latest virtual time the core has observed (updated by `tick` and
+    /// every timestamped transition). Used to stamp trace marks emitted
+    /// from wall-clock-only contexts (e.g. the watchdog).
+    pub fn last_tick(&self) -> f64 {
+        self.last_tick
     }
 
     pub fn busy_procs(&self) -> usize {

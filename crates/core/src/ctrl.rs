@@ -23,6 +23,14 @@
 //! The guarantee tests lean on: every message passed to
 //! [`ReliableSender::send`] is delivered to the receiver **exactly once**,
 //! in send order, no matter what the chaos stream does.
+//!
+//! **Causal tracing.** Trace propagation needs no support from this layer:
+//! the runtime embeds a `TraceCtx` (trace id + parent span) inside the
+//! message payload itself, so the context rides through loss, duplication
+//! and reordering under the same exactly-once guarantee as the rest of the
+//! message. The receiver re-establishes the sender's causal context
+//! (`trace::ctx_guard`) before acting, which is what links driver-side
+//! spans to the scheduler-side spans they cause across this channel.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

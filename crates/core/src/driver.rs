@@ -28,6 +28,7 @@ use reshape_blockcyclic::{recover_matrix, BuddyStore, Descriptor, DistMatrix};
 use reshape_grid::GridContext;
 use reshape_mpisim::{Comm, NodeId, SpawnCtx};
 use reshape_redist::{plan_2d, redistribute_2d};
+use reshape_telemetry::trace::{self, TraceCtx};
 
 use crate::core::Directive;
 use crate::job::JobId;
@@ -452,7 +453,23 @@ impl ResizeContext {
         };
         if self.comm.rank() == 0 {
             send_verdict_reliable(&inter, delta, EXPAND_GO);
+            if trace::enabled() {
+                // Spawn + commit handshake, retries and backoff included:
+                // from entry into the spawn loop to the GO verdict.
+                let job = self.shared.job.0;
+                let s = trace::complete(
+                    job,
+                    trace::head(job),
+                    format!("spawn +{delta} ({attempt} attempt{})", if attempt == 1 { "" } else { "s" }),
+                    "spawn",
+                    "driver",
+                    t0,
+                    self.comm.vtime(),
+                );
+                trace::set_head(job, s);
+            }
         }
+        let t_redist0 = self.comm.vtime();
         let merged = inter.merge();
         // Tell the newcomers where the computation stands: iteration count,
         // old and new configurations, and each array's descriptor.
@@ -476,6 +493,19 @@ impl ResizeContext {
         if self.comm.rank() == 0 {
             reshape_telemetry::incr("driver.expansions", 1);
             reshape_telemetry::observe("driver.redist_vtime_seconds", dt);
+            if trace::enabled() {
+                let job = self.shared.job.0;
+                let s = trace::complete(
+                    job,
+                    trace::head(job),
+                    format!("redist {from}->{to}"),
+                    "redist",
+                    "driver",
+                    t_redist0,
+                    self.comm.vtime(),
+                );
+                trace::set_head(job, s);
+            }
             self.shared.link.note_redist(self.shared.job, from, to, dt);
         }
         self.comm = merged;
@@ -509,6 +539,19 @@ impl ResizeContext {
         if self.comm.rank() == 0 {
             reshape_telemetry::incr("driver.shrinks", 1);
             reshape_telemetry::observe("driver.redist_vtime_seconds", dt);
+            if trace::enabled() {
+                let job = self.shared.job.0;
+                let s = trace::complete(
+                    job,
+                    trace::head(job),
+                    format!("redist {from}->{to}"),
+                    "redist",
+                    "driver",
+                    t0,
+                    self.comm.vtime(),
+                );
+                trace::set_head(job, s);
+            }
             self.shared.link.note_redist(self.shared.job, from, to, dt);
         }
         self.comm = sub.expect("retained ranks form the new communicator");
@@ -781,6 +824,20 @@ fn recover_from_loss(
     reshape_telemetry::incr("driver.recoveries", 1);
     if ctx.comm.rank() == 0 {
         reshape_telemetry::observe("driver.recovery_vtime_seconds", dt);
+        if trace::enabled() {
+            let job = shared.job.0;
+            let s = trace::complete(
+                job,
+                trace::head(job),
+                format!("recovery {from}->{to} (-{} ranks)", dead.len()),
+                "recovery",
+                "driver",
+                t0,
+                ctx.comm.vtime(),
+            );
+            trace::set_head(job, s);
+            trace::set_current(TraceCtx { trace: job, parent: s });
+        }
         reshape_telemetry::record(reshape_telemetry::Event::NodeFailed {
             time: t0,
             job: shared.job.0,
@@ -809,6 +866,10 @@ fn drive_loop(mut ctx: ResizeContext, mut mats: Vec<DistMatrix<f64>>) {
         .survivable
         .then(|| BuddyStore::replicate(&ctx.comm, &mats));
     let mut buddy_iter = ctx.iter;
+    // Highest iteration index already traced: after a rollback, iterations
+    // below this mark are replays and their spans are categorized as such
+    // (the critical-path analyzer charges them to rollback/replay).
+    let mut traced_iter = ctx.iter;
     while ctx.iter < shared.iterations {
         let v0 = ctx.comm.vtime();
         // One span per iteration: the measured wall time is recorded into
@@ -842,7 +903,28 @@ fn drive_loop(mut ctx: ResizeContext, mut mats: Vec<DistMatrix<f64>>) {
         if ctx.comm.rank() == 0 {
             // Virtual iteration time — what the profiler sees.
             reshape_telemetry::observe("driver.iter_vtime_seconds", t_iter);
+            if trace::enabled() {
+                let cat = if ctx.iter < traced_iter { "replay" } else { "compute" };
+                let s = trace::complete(
+                    shared.job.0,
+                    trace::head(shared.job.0),
+                    format!("iter {}", ctx.iter),
+                    cat,
+                    "driver",
+                    v0,
+                    ctx.comm.vtime(),
+                );
+                trace::set_head(shared.job.0, s);
+                // Ambient context for this rank-0 thread: the next message
+                // to the scheduler (resize point, completion, failure)
+                // carries this span as its causal parent.
+                trace::set_current(TraceCtx {
+                    trace: shared.job.0,
+                    parent: s,
+                });
+            }
         }
+        traced_iter = traced_iter.max(ctx.iter + 1);
         ctx.iter += 1;
         if ctx.iter >= shared.iterations {
             break;

@@ -28,6 +28,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use reshape_mpisim::{NodeId, ProcId, ProcStatus, Universe};
+use reshape_telemetry::trace::{self, TraceCtx};
 
 use crate::core::{Directive, QueuePolicy, SchedEvent, SchedulerCore, StartAction};
 use crate::ctrl::{reliable_channel, ReliableConfig, ReliableSender};
@@ -47,6 +48,10 @@ enum Msg {
         iter_time: f64,
         redist_time: f64,
         now: f64,
+        /// Causal trace context of the sender (the driver's current span),
+        /// so the scheduler's decision span parents to the application
+        /// iteration that triggered it — across the sequenced channel.
+        ctx: TraceCtx,
         reply: Sender<Directive>,
     },
     NoteRedist {
@@ -58,6 +63,7 @@ enum Msg {
     Finished {
         job: JobId,
         now: f64,
+        ctx: TraceCtx,
     },
     PhaseChange {
         job: JobId,
@@ -70,6 +76,7 @@ enum Msg {
         job: JobId,
         reason: String,
         now: f64,
+        ctx: TraceCtx,
     },
     /// A survivable job lost ranks to a node failure but recovered in
     /// place; only the dead ranks' slots should be reclaimed.
@@ -78,10 +85,12 @@ enum Msg {
         dead_ranks: Vec<usize>,
         to: ProcessorConfig,
         now: f64,
+        ctx: TraceCtx,
     },
     ExpandFailed {
         job: JobId,
         now: f64,
+        ctx: TraceCtx,
     },
     /// Watchdog verdict: `job` missed its heartbeat deadline. Revalidated
     /// on the scheduler thread before acting.
@@ -106,6 +115,7 @@ impl SchedulerLink for RuntimeLink {
                 iter_time,
                 redist_time,
                 now,
+                ctx: trace::current(),
                 reply,
             })
             .is_ok();
@@ -123,7 +133,11 @@ impl SchedulerLink for RuntimeLink {
     }
 
     fn finished(&self, job: JobId, now: f64) {
-        let _ = self.tx.send(Msg::Finished { job, now });
+        let _ = self.tx.send(Msg::Finished {
+            job,
+            now,
+            ctx: trace::current(),
+        });
     }
 
     fn phase_change(&self, job: JobId, now: f64) {
@@ -131,7 +145,11 @@ impl SchedulerLink for RuntimeLink {
     }
 
     fn expand_failed(&self, job: JobId, _to: ProcessorConfig, now: f64) {
-        let _ = self.tx.send(Msg::ExpandFailed { job, now });
+        let _ = self.tx.send(Msg::ExpandFailed {
+            job,
+            now,
+            ctx: trace::current(),
+        });
     }
 
     fn node_failed(&self, job: JobId, dead_ranks: &[usize], to: ProcessorConfig, now: f64) {
@@ -140,6 +158,7 @@ impl SchedulerLink for RuntimeLink {
             dead_ranks: dead_ranks.to_vec(),
             to,
             now,
+            ctx: trace::current(),
         });
     }
 
@@ -148,6 +167,7 @@ impl SchedulerLink for RuntimeLink {
             job,
             reason: reason.to_string(),
             now,
+            ctx: trace::current(),
         });
     }
 }
@@ -381,9 +401,14 @@ impl SchedThreadCtx {
                     iter_time,
                     redist_time,
                     now,
+                    ctx,
                     reply,
                 } => {
                     self.beat(job);
+                    // Adopt the sender's causal context for the duration of
+                    // the core call, so the decision span it emits parents
+                    // to the driver-side span that sent this message.
+                    let _g = trace::ctx_guard(ctx);
                     let (directive, starts) = self
                         .core
                         .lock()
@@ -399,8 +424,9 @@ impl SchedThreadCtx {
                 } => {
                     self.core.lock().note_redist_cost(job, from, to, seconds);
                 }
-                Msg::Finished { job, now } => {
+                Msg::Finished { job, now, ctx } => {
                     self.hearts.lock().remove(&job);
+                    let _g = trace::ctx_guard(ctx);
                     let starts = self.core.lock().on_finished(job, now);
                     self.actuate(starts);
                 }
@@ -413,8 +439,14 @@ impl SchedThreadCtx {
                     let starts = self.core.lock().cancel(job, now);
                     self.actuate(starts);
                 }
-                Msg::Failed { job, reason, now } => {
+                Msg::Failed {
+                    job,
+                    reason,
+                    now,
+                    ctx,
+                } => {
                     self.hearts.lock().remove(&job);
+                    let _g = trace::ctx_guard(ctx);
                     let starts = self.core.lock().on_failed(job, reason, now);
                     self.actuate(starts);
                 }
@@ -423,10 +455,12 @@ impl SchedThreadCtx {
                     dead_ranks,
                     to,
                     now,
+                    ctx,
                 } => {
                     // Completing a recovery is progress; keep the watchdog
                     // off the job's back while it resumes.
                     self.beat(job);
+                    let _g = trace::ctx_guard(ctx);
                     let starts = {
                         let mut core = self.core.lock();
                         // Ranks index the job's communicator in slot-grant
@@ -445,7 +479,8 @@ impl SchedThreadCtx {
                     };
                     self.actuate(starts);
                 }
-                Msg::ExpandFailed { job, now } => {
+                Msg::ExpandFailed { job, now, ctx } => {
+                    let _g = trace::ctx_guard(ctx);
                     let starts = self.core.lock().on_expand_failed(job, now);
                     self.actuate(starts);
                 }
@@ -476,6 +511,22 @@ impl SchedThreadCtx {
             return;
         }
         reshape_telemetry::incr("runtime.watchdog_kills", 1);
+        if trace::enabled() {
+            // The watchdog has no virtual clock; stamp the kill at the
+            // core's latest observed virtual time so the mark lands inside
+            // the job's span window instead of at t=0.
+            let t = self.core.lock().last_tick();
+            let m = trace::complete(
+                job.0,
+                trace::head(job.0),
+                "watchdog_kill",
+                "recovery",
+                "scheduler",
+                t,
+                t,
+            );
+            trace::set_head(job.0, m);
+        }
         // Capture what the requeue needs before the failure path clears it.
         let (last_good, spec) = {
             let core = self.core.lock();
@@ -676,6 +727,10 @@ impl ReshapeRuntime {
                                     job,
                                     reason,
                                     now: f64::NAN,
+                                    // The monitor thread has no ambient
+                                    // span; the core falls back to the
+                                    // job's trace head for parenting.
+                                    ctx: TraceCtx::default(),
                                 });
                             }
                         }

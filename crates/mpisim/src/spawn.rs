@@ -205,6 +205,22 @@ impl Comm {
                 self.vtime(),
             );
             span.stop();
+            if reshape_telemetry::trace::enabled() {
+                // The launcher's own slice of a spawn, stamped in virtual
+                // time (`now` predates the charged spawn overhead) and
+                // parented to whatever span the calling rank is inside.
+                use reshape_telemetry::trace;
+                let ctx = trace::current();
+                trace::complete(
+                    ctx.trace,
+                    ctx.parent,
+                    format!("mpi_spawn {granted}/{n}"),
+                    "spawn",
+                    "mpisim",
+                    now,
+                    self.vtime(),
+                );
+            }
             let mut msg: Vec<u64> = vec![inter_id, granted as u64];
             msg.extend(child_group.members.iter().map(|p| p.0));
             msg.extend(child_group.nodes.iter().map(|nd| nd.0 as u64));

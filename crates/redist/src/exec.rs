@@ -57,6 +57,11 @@ pub fn redistribute_2d<T: Pod + Default>(
 
     let mut out = my_dst.map(|(dr, dc)| DistMatrix::<T>::new(plan.dst, dr, dc));
 
+    // Causal trace: one executor span per rank-0 execution, stamped in
+    // *virtual* time and parented to whatever span the caller is inside
+    // (the driver's redist span, or the sim's redistribution phase).
+    let trace_v0 = (me == 0 && reshape_telemetry::trace::enabled()).then(|| comm.vtime());
+
     // Per-phase wall-clock accounting (pack / transfer / unpack), recorded
     // once per execution. `tel` keeps the hot loops free of clock reads
     // when telemetry is off.
@@ -127,6 +132,22 @@ pub fn redistribute_2d<T: Pod + Default>(
         reshape_telemetry::observe("redist.pack_seconds", pack_s);
         reshape_telemetry::observe("redist.transfer_seconds", xfer_s);
         reshape_telemetry::observe("redist.unpack_seconds", unpack_s);
+    }
+    if let Some(v0) = trace_v0 {
+        use reshape_telemetry::trace;
+        let ctx = trace::current();
+        trace::complete(
+            ctx.trace,
+            ctx.parent,
+            format!(
+                "redist_exec {}x{}->{}x{} ({} steps)",
+                plan.src.nprow, plan.src.npcol, plan.dst.nprow, plan.dst.npcol, plan.steps.len()
+            ),
+            "redist_exec",
+            "redist",
+            v0,
+            comm.vtime(),
+        );
     }
     out
 }

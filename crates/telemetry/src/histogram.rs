@@ -259,10 +259,50 @@ mod tests {
     fn empty_snapshot_is_all_zero() {
         let s = Histogram::new().snapshot();
         assert_eq!(s.count, 0);
-        assert_eq!(s.quantile(0.5), 0.0);
+        // Every quantile of an empty distribution is 0, including the
+        // extremes — no NaNs, no panics.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0.0, "q={q}");
+        }
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.min, 0.0);
         assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(0.037);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0.037, "q={q}");
+        }
+        assert_eq!(s.mean(), 0.037);
+        assert_eq!(s.min, 0.037);
+        assert_eq!(s.max, 0.037);
+    }
+
+    #[test]
+    fn all_samples_in_overflow_bucket_report_max() {
+        // Everything past the last finite bound lands in the +inf bucket;
+        // quantiles cannot use a bucket bound there and must fall back to
+        // the observed max (finite, not +inf).
+        let h = Histogram::new();
+        let huge = bucket_upper_bound(BUCKETS - 2) * 4.0;
+        for k in 0..10 {
+            h.record(huge * (1.0 + k as f64));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.buckets[BUCKETS - 1], 10, "all in overflow");
+        assert_eq!(s.buckets[..BUCKETS - 1].iter().sum::<u64>(), 0);
+        for q in [0.1, 0.5, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!(v.is_finite(), "q={q} gave {v}");
+            assert_eq!(v, s.max, "q={q}");
+        }
+        assert_eq!(s.max, huge * 10.0);
     }
 
     fn snap_of(values: &[f64]) -> HistogramSnapshot {

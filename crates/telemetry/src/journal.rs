@@ -142,6 +142,14 @@ fn inner() -> &'static Mutex<Inner> {
     })
 }
 
+/// The registry counter mirroring [`dropped`]: every silent eviction from
+/// the bounded buffer is surfaced as `journal_dropped_total`, so reports
+/// and scrapes see the loss even if nobody polls [`dropped`].
+fn dropped_counter() -> &'static std::sync::Arc<crate::Counter> {
+    static C: OnceLock<std::sync::Arc<crate::Counter>> = OnceLock::new();
+    C.get_or_init(|| crate::Registry::global().counter("journal_dropped_total"))
+}
+
 /// Append an event (dropping the oldest at capacity). No-op when telemetry
 /// is off.
 pub fn record(ev: Event) {
@@ -152,6 +160,7 @@ pub fn record(ev: Event) {
     if j.events.len() >= j.cap {
         j.events.pop_front();
         j.dropped += 1;
+        dropped_counter().incr();
     }
     j.events.push_back(ev);
 }
@@ -163,6 +172,7 @@ pub fn set_capacity(cap: usize) {
     while j.events.len() > j.cap {
         j.events.pop_front();
         j.dropped += 1;
+        dropped_counter().incr();
     }
 }
 
@@ -200,6 +210,11 @@ mod tests {
         set_capacity(4);
         drain();
         let before = dropped();
+        // `journal_dropped_total` must advance in lockstep with the local
+        // drop tally, so scrapes see the silent loss. Deltas, not
+        // absolutes: the registry counter is process-global.
+        let counter = crate::Registry::global().counter("journal_dropped_total");
+        let c_before = counter.get();
         for i in 0..10 {
             record(note(i));
         }
@@ -208,6 +223,7 @@ mod tests {
         assert_eq!(kept.first(), Some(&note(6)));
         assert_eq!(kept.last(), Some(&note(9)));
         assert_eq!(dropped() - before, 6);
+        assert_eq!(counter.get() - c_before, 6, "counter must track the tally");
         set_capacity(DEFAULT_CAPACITY);
     }
 

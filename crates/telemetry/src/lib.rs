@@ -21,10 +21,12 @@
 //! With telemetry off, every recording call is a single relaxed atomic
 //! load and a branch — cheap enough to leave in the mpisim send path.
 
+pub mod critpath;
 mod histogram;
 mod journal;
 mod metrics;
 mod span;
+pub mod trace;
 
 pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS, MIN_BOUND};
 pub use journal::{
@@ -33,6 +35,7 @@ pub use journal::{
 };
 pub use metrics::{Counter, Gauge, Registry, RegistrySnapshot};
 pub use span::Span;
+pub use trace::{SpanRecord, TraceCtx};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Once;
@@ -181,13 +184,25 @@ pub fn text_report() -> String {
 
 /// Write the report for the current [`mode`] to `RESHAPE_TELEMETRY_PATH`
 /// (truncating), or to stderr when the variable is unset. No-op when off.
-/// Non-destructive: the journal and registry are left intact.
+/// Non-destructive: the journal and registry are left intact. Also drains
+/// and exports collected trace spans when `RESHAPE_TRACE` is set (that
+/// part runs regardless of the telemetry mode), and warns when the
+/// bounded journal silently evicted events.
 pub fn flush() {
+    trace::flush();
     let body = match mode() {
         Mode::Off => return,
         Mode::Json => json_lines(),
         Mode::Text => text_report(),
     };
+    let dropped = journal_dropped();
+    if dropped > 0 {
+        eprintln!(
+            "reshape-telemetry: warning: {dropped} journal events were dropped by the \
+             bounded buffer (journal_dropped_total) — raise the cap with \
+             set_journal_capacity to keep them"
+        );
+    }
     match std::env::var("RESHAPE_TELEMETRY_PATH").ok().filter(|p| !p.is_empty()) {
         Some(path) => {
             if let Err(e) = std::fs::write(&path, body) {
