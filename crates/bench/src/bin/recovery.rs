@@ -195,6 +195,23 @@ fn main() {
          gap widens with cluster size (the funnel serializes at one NIC)."
     );
 
+    for r in &results {
+        reshape_bench::record_metric(
+            "recovery",
+            &format!("n{}_buddy_total_virtual_s", r.n),
+            "s",
+            reshape_perfbase::MetricKind::Virtual,
+            r.buddy_total_s,
+        );
+        reshape_bench::record_metric(
+            "recovery",
+            &format!("n{}_ckpt_roundtrip_virtual_s", r.n),
+            "s",
+            reshape_perfbase::MetricKind::Virtual,
+            r.ckpt_roundtrip_s,
+        );
+    }
+
     if let Some(path) = json_arg() {
         write_json(&path, &results);
     }

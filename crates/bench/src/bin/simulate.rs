@@ -2,7 +2,7 @@
 //! simulator from a JSON description.
 //!
 //! ```text
-//! cargo run -p reshape-bench --bin simulate -- workload.json [--json out.json] [--top]
+//! cargo run -p reshape-bench --bin simulate -- workload.json [--json out.json] [--summary-json out.json] [--top]
 //! cargo run -p reshape-bench --bin simulate -- --print-example
 //! ```
 //!
@@ -10,7 +10,10 @@
 //! mode, optional advance reservations, and the job list (arrival,
 //! topology, initial configuration, performance model, priority). Output is
 //! the turnaround table plus utilization; `--json` dumps the full
-//! [`SimResult`](reshape_clustersim::SimResult).
+//! [`SimResult`](reshape_clustersim::SimResult), while `--summary-json`
+//! writes just the run-summary table (makespan, utilization, turnaround
+//! statistics, resize activity) as one flat JSON object for scripts that
+//! only want the headline numbers.
 //!
 //! `--top` replays the run as a live terminal dashboard (pool occupancy,
 //! per-job state and iteration-time sparkline, §3.1 decision feed),
@@ -95,6 +98,14 @@ const EXAMPLE: &str = r#"{
     }
   ]
 }"#;
+
+/// Parse `--summary-json <path>` from argv.
+fn summary_json_arg(args: &[String]) -> Option<std::path::PathBuf> {
+    args.iter()
+        .position(|a| a == "--summary-json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
 
 fn main() {
     reshape_bench::telemetry_from_args();
@@ -242,6 +253,30 @@ fn main() {
         t.bytes_redistributed.to_string(),
     ]);
     summary.print();
+
+    // Publish cluster-level series (per-window utilization, queue wait,
+    // resize counts) into the registry for the OpenMetrics exporter.
+    result.publish_metrics(8);
+
+    if let Some(out) = summary_json_arg(&args) {
+        let flat = serde_json::json!({
+            "makespan": result.makespan,
+            "total_procs": result.total_procs,
+            "jobs_finished": t.jobs_finished,
+            "jobs_failed": t.jobs_failed,
+            "jobs_cancelled": t.jobs_cancelled,
+            "expansions": t.expansions,
+            "shrinks": t.shrinks,
+            "utilization": t.utilization,
+            "mean_turnaround": t.mean_turnaround,
+            "p95_turnaround": t.p95_turnaround,
+            "max_turnaround": t.max_turnaround,
+            "compute_seconds_total": t.compute_seconds_total,
+            "redist_seconds_total": t.redist_seconds_total,
+            "bytes_redistributed": t.bytes_redistributed,
+        });
+        write_json(&out, &flat);
+    }
 
     // Causal trace: with RESHAPE_TRACE set, print the per-job critical-path
     // attribution and export the Chrome/Perfetto trace (+ the structured

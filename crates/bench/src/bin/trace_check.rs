@@ -8,9 +8,14 @@
 //! checks the causal invariants the rest of the tooling relies on: every
 //! event is well-formed (`ph:"X"`, microsecond timestamps, non-negative
 //! durations), span ids are unique, every non-zero parent edge points at a
-//! span in the same file, and no span ends before it starts. Exits 0 and
-//! prints a summary when the trace is sound; prints every violation and
-//! exits 1 otherwise — CI runs this against a fixed-seed `simulate` export.
+//! span in the same file, and no span ends before it starts. When the
+//! export's `<trace>.critpath.json` sidecar is present it is validated
+//! too: it must parse as the critical-path schema, every bucket must be
+//! non-negative, the buckets must sum to the job's makespan, and the rows
+//! must agree with an attribution recomputed from the trace itself. Exits
+//! 0 and prints a summary when everything is sound; prints every violation
+//! and exits 1 otherwise — CI runs this against a fixed-seed `simulate`
+//! export.
 
 use reshape_telemetry::trace;
 
@@ -54,4 +59,84 @@ fn main() {
     if !paths.is_empty() {
         print!("{}", reshape_telemetry::critpath::render_table(&paths));
     }
+
+    let sidecar = format!("{path}.critpath.json");
+    if std::path::Path::new(&sidecar).exists() {
+        let problems = check_sidecar(&sidecar, &paths);
+        if !problems.is_empty() {
+            for p in &problems {
+                eprintln!("trace_check: {sidecar}: {p}");
+            }
+            std::process::exit(1);
+        }
+        println!("trace_check: {sidecar}: OK — {} jobs, buckets sum to makespan", paths.len());
+    }
+}
+
+/// Validate the `.critpath.json` sidecar against the schema and against the
+/// attribution recomputed from the trace. Returns all violations found.
+fn check_sidecar(
+    sidecar: &str,
+    recomputed: &[reshape_telemetry::critpath::JobCritPath],
+) -> Vec<String> {
+    use reshape_telemetry::critpath::JobCritPath;
+
+    let text = match std::fs::read_to_string(sidecar) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read sidecar: {e}")],
+    };
+    let rows: Vec<JobCritPath> = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => return vec![format!("not a critical-path sidecar (schema violation): {e}")],
+    };
+    let mut problems = Vec::new();
+    for r in &rows {
+        let buckets = [
+            ("makespan", r.makespan),
+            ("compute", r.compute),
+            ("queue_wait", r.queue_wait),
+            ("spawn", r.spawn),
+            ("redistribution", r.redistribution),
+            ("rollback_replay", r.rollback_replay),
+            ("other", r.other),
+        ];
+        for (name, v) in buckets {
+            if !v.is_finite() || v < 0.0 {
+                problems.push(format!("trace {} ({}): {name} = {v} is not a duration", r.trace, r.name));
+            }
+        }
+        // The buckets partition the root interval, so their sum must equal
+        // the makespan (float-tolerant, scaled to the magnitude involved).
+        let tol = 1e-6 * (1.0 + r.makespan.abs());
+        if (r.total() - r.makespan).abs() > tol {
+            problems.push(format!(
+                "trace {} ({}): buckets sum to {} but makespan is {}",
+                r.trace,
+                r.name,
+                r.total(),
+                r.makespan
+            ));
+        }
+    }
+    if rows.len() != recomputed.len() {
+        problems.push(format!(
+            "sidecar has {} jobs but the trace yields {}",
+            rows.len(),
+            recomputed.len()
+        ));
+    }
+    for (got, want) in rows.iter().zip(recomputed) {
+        if got.trace != want.trace {
+            problems.push(format!("job order mismatch: sidecar trace {} vs trace {}", got.trace, want.trace));
+            continue;
+        }
+        let tol = 1e-6 * (1.0 + want.makespan.abs());
+        if (got.total() - want.total()).abs() > tol || (got.makespan - want.makespan).abs() > tol {
+            problems.push(format!(
+                "trace {} ({}): sidecar attribution diverges from the trace (makespan {} vs {})",
+                got.trace, got.name, got.makespan, want.makespan
+            ));
+        }
+    }
+    problems
 }

@@ -21,5 +21,5 @@ pub mod sim;
 pub mod workloads;
 
 pub use perfmodel::{AppModel, MachineParams, RedistProfile, MODEL_BLOCK};
-pub use sim::{ClusterSim, JobOutcome, RedistMode, SimJob, SimResult, SimTelemetry};
+pub use sim::{ClusterSim, JobOutcome, RedistMode, SimJob, SimResult, SimTelemetry, WindowSample};
 pub use workloads::{fig3a_job, fig3b_jobs, random_workload, workload1, workload2, Workload};

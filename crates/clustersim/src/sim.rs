@@ -88,6 +88,27 @@ pub struct SimTelemetry {
     pub bytes_redistributed: u64,
 }
 
+/// One fixed-width slice of simulated time in [`SimResult::window_series`]:
+/// the cluster-level trends (utilization, queue pressure, resize activity)
+/// that end-of-run scalars average away.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// 0-based window index; the window spans `[start, end)`.
+    pub index: usize,
+    pub start: f64,
+    pub end: f64,
+    /// Mean fraction of cluster processors assigned to jobs in the window.
+    pub utilization: f64,
+    /// Queued-job-seconds accrued inside the window (sum over jobs of the
+    /// overlap between their `[submitted, started)` interval and the
+    /// window).
+    pub queue_wait_s: f64,
+    /// Mean number of queued jobs over the window (`queue_wait_s / width`).
+    pub queue_depth: f64,
+    /// Expansions + shrinks actuated inside the window.
+    pub resizes: usize,
+}
+
 /// Complete result of one simulation run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SimResult {
@@ -134,6 +155,115 @@ impl SimResult {
             out.push((e.time, busy));
         }
         out
+    }
+
+    /// Cluster-level time series: split the makespan into `nwindows` equal
+    /// windows and report, per window, mean utilization, queue pressure,
+    /// and resize activity. This is the feed for the OpenMetrics exporter
+    /// ([`SimResult::publish_metrics`]) and for trend dashboards — scalar
+    /// end-of-run aggregates hide exactly the transients (arrival bursts,
+    /// backfill gaps) that resizing policies exist to absorb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nwindows == 0`.
+    pub fn window_series(&self, nwindows: usize) -> Vec<WindowSample> {
+        assert!(nwindows > 0, "need at least one window");
+        let span = self.makespan.max(f64::MIN_POSITIVE);
+        let len = span / nwindows as f64;
+        let busy = self.busy_series();
+
+        // Integral of the busy step function over [a, b).
+        let busy_integral = |a: f64, b: f64| -> f64 {
+            let mut acc = 0.0;
+            let mut cur = 0usize;
+            let mut t = a;
+            for &(st, p) in &busy {
+                if st <= a {
+                    cur = p;
+                    continue;
+                }
+                if st >= b {
+                    break;
+                }
+                acc += cur as f64 * (st - t);
+                t = st;
+                cur = p;
+            }
+            acc + cur as f64 * (b - t)
+        };
+
+        (0..nwindows)
+            .map(|i| {
+                let (start, end) = (i as f64 * len, (i + 1) as f64 * len);
+                let queue_wait_s: f64 = self
+                    .jobs
+                    .iter()
+                    .map(|j| (j.started.min(end) - j.submitted.max(start)).max(0.0))
+                    .sum();
+                // Half-open windows; the final one is closed so an event at
+                // exactly `makespan` is not dropped.
+                let in_window = |t: f64| {
+                    t >= start && (t < end || (i + 1 == nwindows && t <= end))
+                };
+                let resizes = self
+                    .events
+                    .iter()
+                    .filter(|e| {
+                        matches!(
+                            e.kind,
+                            EventKind::Expanded { .. } | EventKind::Shrunk { .. }
+                        ) && in_window(e.time)
+                    })
+                    .count();
+                WindowSample {
+                    index: i,
+                    start,
+                    end,
+                    utilization: busy_integral(start, end) / (self.total_procs as f64 * len),
+                    queue_wait_s,
+                    queue_depth: queue_wait_s / len,
+                    resizes,
+                }
+            })
+            .collect()
+    }
+
+    /// Publish the run into the global telemetry registry: overall gauges
+    /// plus per-window labeled series (`reshape_sim_utilization{window="k"}`
+    /// and friends) that `RESHAPE_METRICS` exports in OpenMetrics format.
+    /// No-op when telemetry is off.
+    pub fn publish_metrics(&self, nwindows: usize) {
+        if !reshape_telemetry::enabled() {
+            return;
+        }
+        reshape_telemetry::gauge_set("reshape_sim_makespan_seconds", self.makespan);
+        reshape_telemetry::gauge_set("reshape_sim_utilization_overall", self.utilization);
+        reshape_telemetry::gauge_set("reshape_sim_total_procs", self.total_procs as f64);
+        reshape_telemetry::gauge_set(
+            "reshape_sim_jobs_finished",
+            self.telemetry.jobs_finished as f64,
+        );
+        reshape_telemetry::gauge_set(
+            "reshape_sim_mean_turnaround_seconds",
+            self.telemetry.mean_turnaround,
+        );
+        reshape_telemetry::gauge_set(
+            "reshape_sim_bytes_redistributed",
+            self.telemetry.bytes_redistributed as f64,
+        );
+        for w in self.window_series(nwindows) {
+            let window = w.index.to_string();
+            let labels = [("window", window.as_str())];
+            reshape_telemetry::gauge_labeled("reshape_sim_utilization", &labels, w.utilization);
+            reshape_telemetry::gauge_labeled(
+                "reshape_sim_queue_wait_seconds",
+                &labels,
+                w.queue_wait_s,
+            );
+            reshape_telemetry::gauge_labeled("reshape_sim_queue_depth", &labels, w.queue_depth);
+            reshape_telemetry::gauge_labeled("reshape_sim_resizes", &labels, w.resizes as f64);
+        }
     }
 
     /// Per-job allocation step series (Figures 4(a)/5(a)).
@@ -1154,5 +1284,64 @@ mod tests {
         }
         let max_busy = series.iter().map(|&(_, b)| b).max().unwrap();
         assert!(max_busy <= 36);
+    }
+
+    #[test]
+    fn window_series_tiles_the_makespan_consistently() {
+        let machine = MachineParams::system_x();
+        let result = ClusterSim::new(36, machine).run(&[
+            lu_job(12000, (1, 2), 5, 0.0),
+            lu_job(8000, (2, 2), 5, 10.0),
+            lu_job(8000, (2, 2), 5, 11.0),
+        ]);
+        let windows = result.window_series(8);
+        assert_eq!(windows.len(), 8);
+        assert_eq!(windows[0].start, 0.0);
+        assert!((windows[7].end - result.makespan).abs() < 1e-9);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.index, i);
+            assert!(w.utilization >= 0.0 && w.utilization <= 1.0 + 1e-9, "window {i}");
+            assert!(w.queue_wait_s >= 0.0);
+            assert!((w.queue_depth - w.queue_wait_s / (w.end - w.start)).abs() < 1e-9);
+        }
+        // Windowed utilization must average back to the overall number.
+        let mean: f64 = windows.iter().map(|w| w.utilization).sum::<f64>() / 8.0;
+        assert!(
+            (mean - result.utilization).abs() < 1e-6,
+            "window mean {mean} vs overall {}",
+            result.utilization
+        );
+        // Windowed resize counts must total the run's resize count.
+        let resizes: usize = windows.iter().map(|w| w.resizes).sum();
+        assert_eq!(
+            resizes,
+            result.telemetry.expansions + result.telemetry.shrinks
+        );
+        // Queue wait totals the per-job submit→start gaps.
+        let waited: f64 = windows.iter().map(|w| w.queue_wait_s).sum();
+        let expect: f64 = result.jobs.iter().map(|j| j.started - j.submitted).sum();
+        assert!((waited - expect).abs() < 1e-6, "{waited} vs {expect}");
+    }
+
+    #[test]
+    fn publish_metrics_feeds_the_openmetrics_exporter() {
+        let machine = MachineParams::system_x();
+        let result = ClusterSim::new(36, machine).run(&[
+            lu_job(12000, (1, 2), 5, 0.0),
+            lu_job(8000, (2, 2), 5, 10.0),
+        ]);
+        let before = reshape_telemetry::mode();
+        reshape_telemetry::set_mode(reshape_telemetry::Mode::Metrics);
+        result.publish_metrics(4);
+        let text =
+            reshape_telemetry::render_openmetrics(&reshape_telemetry::Registry::global().snapshot());
+        reshape_telemetry::set_mode(before);
+        assert!(text.contains("# TYPE reshape_sim_utilization gauge"), "{text}");
+        for w in 0..4 {
+            assert!(text.contains(&format!("reshape_sim_utilization{{window=\"{w}\"}}")));
+            assert!(text.contains(&format!("reshape_sim_queue_wait_seconds{{window=\"{w}\"}}")));
+            assert!(text.contains(&format!("reshape_sim_resizes{{window=\"{w}\"}}")));
+        }
+        assert!(text.contains("reshape_sim_makespan_seconds "));
     }
 }

@@ -1,0 +1,250 @@
+//! The `BENCH_<area>.json` trajectory file format.
+//!
+//! Each file is one [`BenchReport`]: a schema version, an environment
+//! fingerprint (enough to judge whether two reports are comparable at all),
+//! and a map of named metrics with robust statistics. Reports are written
+//! pretty-printed with sorted keys so diffs across PRs read cleanly — the
+//! files are *meant* to be committed and re-recorded by perf PRs.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::Summary;
+
+/// Bump on any incompatible change to the report layout. `compare` refuses
+/// to diff across schema versions.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// How a metric was measured — drives the default noise threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum MetricKind {
+    /// Wall-clock time on the recording host: noisy, machine-dependent.
+    Wall,
+    /// Virtual time on the deterministic simulator: exact run to run.
+    Virtual,
+    /// A count (bytes, messages, steps): exact run to run.
+    Count,
+}
+
+impl MetricKind {
+    /// Default relative noise threshold for the regression gate: the
+    /// fraction by which the median may grow before the change counts as
+    /// significant. Deterministic kinds get a tight bound (any drift is a
+    /// real algorithmic change); wall time gets a generous one (committed
+    /// baselines travel across machines).
+    pub fn default_noise(self) -> f64 {
+        match self {
+            MetricKind::Wall => 0.35,
+            MetricKind::Virtual => 0.02,
+            MetricKind::Count => 0.001,
+        }
+    }
+}
+
+/// One recorded metric.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricRecord {
+    /// Unit of the median (by convention: `s`, `ns/op`, `bytes`, `ops`).
+    pub unit: String,
+    pub kind: MetricKind,
+    /// `true` (the default) when smaller is better — time-like metrics.
+    /// Throughput metrics set it to `false` so the gate flags *drops*.
+    pub lower_is_better: bool,
+    /// Per-metric noise override; falls back to the kind's default.
+    #[serde(default)]
+    pub noise: Option<f64>,
+    pub summary: Summary,
+}
+
+impl MetricRecord {
+    pub fn noise(&self) -> f64 {
+        self.noise.unwrap_or_else(|| self.kind.default_noise())
+    }
+}
+
+/// Where and how a report was recorded. Compared loosely: mismatches are
+/// *reported* (a cross-machine diff of wall metrics means little) but never
+/// fail the gate by themselves.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnvFingerprint {
+    pub host: String,
+    pub os: String,
+    pub arch: String,
+    pub cpus: usize,
+    pub rustc: String,
+    pub git_sha: String,
+    /// Seed the deterministic suites ran with.
+    pub seed: u64,
+    /// `quick` or `full` — medians are only comparable within one profile.
+    pub profile: String,
+}
+
+impl EnvFingerprint {
+    /// Capture the current environment. Everything degrades to `"unknown"`
+    /// rather than failing — a fingerprint is advisory.
+    pub fn capture(seed: u64, quick: bool) -> Self {
+        let host = std::fs::read_to_string("/etc/hostname")
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .or_else(|| std::env::var("HOSTNAME").ok())
+            .unwrap_or_else(|| "unknown".into());
+        let rustc = std::process::Command::new(
+            std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into()),
+        )
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+        EnvFingerprint {
+            host,
+            os: std::env::consts::OS.into(),
+            arch: std::env::consts::ARCH.into(),
+            cpus: std::thread::available_parallelism().map_or(0, |n| n.get()),
+            rustc,
+            git_sha: git_sha().unwrap_or_else(|| "unknown".into()),
+            seed,
+            profile: if quick { "quick" } else { "full" }.into(),
+        }
+    }
+}
+
+/// Resolve HEAD by reading `.git` directly (no `git` subprocess: the bench
+/// may run in a tree exported without git on the PATH).
+fn git_sha() -> Option<String> {
+    let root = repo_root()?;
+    let head = std::fs::read_to_string(root.join(".git/HEAD")).ok()?;
+    let head = head.trim();
+    if let Some(reference) = head.strip_prefix("ref: ") {
+        let sha = std::fs::read_to_string(root.join(".git").join(reference)).ok()?;
+        return Some(sha.trim().to_string());
+    }
+    Some(head.to_string())
+}
+
+/// The directory `BENCH_*.json` files live in: the workspace root, found by
+/// walking up from the current directory to the first `Cargo.lock`. Falls
+/// back to `.` so the tools still work from an exported tree.
+pub fn repo_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return std::env::current_dir().ok();
+        }
+    }
+}
+
+/// One `BENCH_<area>.json` file.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    pub schema_version: u32,
+    pub area: String,
+    pub env: EnvFingerprint,
+    pub metrics: BTreeMap<String, MetricRecord>,
+}
+
+impl BenchReport {
+    pub fn new(area: &str, env: EnvFingerprint) -> Self {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            area: area.into(),
+            env,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// File name for an area: `BENCH_<area>.json`.
+    pub fn file_name(area: &str) -> String {
+        format!("BENCH_{area}.json")
+    }
+
+    /// Write the report (pretty, trailing newline) into `dir`.
+    pub fn write(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(Self::file_name(&self.area));
+        let mut body = serde_json::to_string_pretty(self).expect("reports serialize");
+        body.push('\n');
+        std::fs::write(&path, body)?;
+        Ok(path)
+    }
+
+    /// Load a report, verifying the schema version.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report: BenchReport = serde_json::from_str(&text)
+            .map_err(|e| format!("{} is not a BenchReport: {e}", path.display()))?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "{}: schema version {} (this binary speaks {SCHEMA_VERSION}) — re-record the baseline",
+                path.display(),
+                report.schema_version
+            ));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::summarize;
+
+    fn sample_report() -> BenchReport {
+        let mut r = BenchReport::new("demo", EnvFingerprint::default());
+        r.metrics.insert(
+            "pack_seconds".into(),
+            MetricRecord {
+                unit: "s".into(),
+                kind: MetricKind::Virtual,
+                lower_is_better: true,
+                noise: None,
+                summary: summarize(&[0.5, 0.5, 0.5]),
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("perfbase-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = sample_report();
+        let path = r.write(&dir).unwrap();
+        assert!(path.ends_with("BENCH_demo.json"));
+        let back = BenchReport::load(&path).unwrap();
+        assert_eq!(back, r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("perfbase-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = sample_report();
+        r.schema_version = SCHEMA_VERSION + 1;
+        let body = serde_json::to_string_pretty(&r).unwrap();
+        let path = dir.join("BENCH_demo.json");
+        std::fs::write(&path, body).unwrap();
+        let err = BenchReport::load(&path).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn noise_defaults_follow_kind() {
+        let m = sample_report().metrics["pack_seconds"].clone();
+        assert_eq!(m.noise(), MetricKind::Virtual.default_noise());
+        let mut m2 = m;
+        m2.noise = Some(0.1);
+        assert_eq!(m2.noise(), 0.1);
+    }
+}

@@ -1,0 +1,264 @@
+//! The measurement loop: warmup, repeated sampling, robust summarization,
+//! and the process-global sink that lets every bench binary contribute
+//! metrics to `BENCH_*.json` files without bespoke printing.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+use crate::report::{BenchReport, EnvFingerprint, MetricKind, MetricRecord};
+use crate::stats::{summarize, Summary};
+
+/// Records metrics for one area. Wall-clock metrics run `warmup` unrecorded
+/// iterations first (JIT-less Rust still benefits: caches, page tables,
+/// lazy allocation); deterministic metrics may use `warmup = 0`.
+pub struct Recorder {
+    report: BenchReport,
+    warmup: usize,
+    samples: usize,
+}
+
+impl Recorder {
+    pub fn new(area: &str, env: EnvFingerprint, warmup: usize, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        Recorder {
+            report: BenchReport::new(area, env),
+            warmup,
+            samples,
+        }
+    }
+
+    fn area(&self) -> &str {
+        &self.report.area
+    }
+
+    /// Record a wall-clock metric: `f` runs `warmup + samples` times, each
+    /// timed run contributing one sample in seconds.
+    pub fn wall<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        for _ in 0..self.warmup {
+            f();
+        }
+        let samples: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        self.push(name, "s", MetricKind::Wall, true, summarize(&samples));
+    }
+
+    /// Record a wall-clock per-op metric: `f` performs `ops` operations per
+    /// call; the sample is nanoseconds per operation.
+    pub fn wall_per_op<F: FnMut()>(&mut self, name: &str, ops: u64, mut f: F) {
+        assert!(ops > 0);
+        for _ in 0..self.warmup {
+            f();
+        }
+        let samples: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64() * 1e9 / ops as f64
+            })
+            .collect();
+        self.push(name, "ns/op", MetricKind::Wall, true, summarize(&samples));
+    }
+
+    /// Record a deterministic measurement (virtual seconds, counts): `f`
+    /// returns the value directly; it still runs `samples` times so a
+    /// nondeterminism bug shows up as nonzero MAD in the report.
+    pub fn value<F: FnMut() -> f64>(&mut self, name: &str, unit: &str, kind: MetricKind, mut f: F) {
+        let samples: Vec<f64> = (0..self.samples).map(|_| f()).collect();
+        self.push(name, unit, kind, true, summarize(&samples));
+    }
+
+    /// Record one already-measured value (no repetition — end-to-end macro
+    /// numbers that are too expensive to repeat, or aggregates).
+    pub fn single(&mut self, name: &str, unit: &str, kind: MetricKind, value: f64) {
+        self.push(name, unit, kind, true, summarize(&[value]));
+    }
+
+    fn push(&mut self, name: &str, unit: &str, kind: MetricKind, lower_is_better: bool, mut summary: Summary) {
+        apply_handicap(self.area(), name, &mut summary);
+        let prev = self.report.metrics.insert(
+            name.to_string(),
+            MetricRecord {
+                unit: unit.into(),
+                kind,
+                lower_is_better,
+                noise: None,
+                summary,
+            },
+        );
+        assert!(prev.is_none(), "metric {name} recorded twice in area {}", self.report.area);
+    }
+
+    /// Mark an already-recorded metric as higher-is-better (throughput,
+    /// utilization): the gate then flags significant *drops*.
+    pub fn higher_is_better(&mut self, name: &str) {
+        self.report
+            .metrics
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no metric {name}"))
+            .lower_is_better = false;
+    }
+
+    /// Override the noise threshold of an already-recorded metric.
+    pub fn set_noise(&mut self, name: &str, noise: f64) {
+        self.report
+            .metrics
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no metric {name}"))
+            .noise = Some(noise);
+    }
+
+    pub fn finish(self) -> BenchReport {
+        self.report
+    }
+}
+
+/// Testing hook: `PERFBASE_HANDICAP=area/metric=factor[,...]` multiplies the
+/// named metric's statistics by `factor` at record time — an artificial
+/// slowdown that lets CI (and the integration tests) prove the regression
+/// gate actually trips. `metric` matches by substring; `area/` is optional.
+fn apply_handicap(area: &str, name: &str, summary: &mut Summary) {
+    let Ok(spec) = std::env::var("PERFBASE_HANDICAP") else {
+        return;
+    };
+    for clause in spec.split(',').filter(|c| !c.is_empty()) {
+        let Some((target, factor)) = clause.split_once('=') else {
+            continue;
+        };
+        let Ok(factor) = factor.trim().parse::<f64>() else {
+            continue;
+        };
+        let matches = match target.split_once('/') {
+            Some((a, m)) => a == area && name.contains(m),
+            None => name.contains(target),
+        };
+        if matches {
+            summary.median *= factor;
+            summary.min *= factor;
+            summary.max *= factor;
+            summary.mad *= factor;
+        }
+    }
+}
+
+/// Process-global metric sink: bench binaries report their headline numbers
+/// here (in addition to printing their human tables), and [`flush_to`]
+/// turns everything into `BENCH_<area>.json` files. Enabled by setting
+/// `PERFBASE_OUT=<dir>`; without it the sink records into memory and the
+/// flush is a no-op, so instrumented binaries cost nothing extra.
+static SINK: Mutex<BTreeMap<String, BTreeMap<String, MetricRecord>>> =
+    Mutex::new(BTreeMap::new());
+
+/// Report one measured value into the global sink under `area`/`name`.
+pub fn sink_metric(area: &str, name: &str, unit: &str, kind: MetricKind, value: f64) {
+    let mut summary = summarize(&[value]);
+    apply_handicap(area, name, &mut summary);
+    SINK.lock().entry(area.to_string()).or_default().insert(
+        name.to_string(),
+        MetricRecord {
+            unit: unit.into(),
+            kind,
+            lower_is_better: true,
+            noise: None,
+            summary,
+        },
+    );
+}
+
+/// Drain the sink into `BENCH_<area>.json` files under `dir` (one file per
+/// area seen). Returns the written paths.
+pub fn flush_sink_to(dir: &Path, env: &EnvFingerprint) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let drained = std::mem::take(&mut *SINK.lock());
+    let mut out = Vec::new();
+    for (area, metrics) in drained {
+        let mut report = BenchReport::new(&area, env.clone());
+        report.metrics = metrics;
+        out.push(report.write(dir)?);
+    }
+    Ok(out)
+}
+
+/// Flush the sink to the directory named by `PERFBASE_OUT`, if set. Bench
+/// binaries call this at exit (via `reshape_bench::flush_telemetry`).
+pub fn flush_sink_env() {
+    let Some(dir) = std::env::var("PERFBASE_OUT").ok().filter(|d| !d.is_empty()) else {
+        SINK.lock().clear();
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("perfbase: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let env = EnvFingerprint::capture(0, true);
+    match flush_sink_to(&dir, &env) {
+        Ok(paths) => {
+            for p in &paths {
+                eprintln!("perfbase: wrote {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("perfbase: cannot write {}: {e}", dir.display()),
+    }
+}
+
+/// Serialize any value as a pretty JSON file (convenience shared by the
+/// driver and tests).
+pub fn write_json_file<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let mut body = serde_json::to_string_pretty(value).expect("value serializes");
+    body.push('\n');
+    std::fs::write(path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_collects_wall_and_value_metrics() {
+        let mut r = Recorder::new("t", EnvFingerprint::default(), 1, 5);
+        r.wall("sleepless", || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        r.value("det", "s", MetricKind::Virtual, || 1.25);
+        r.single("bytes", "bytes", MetricKind::Count, 4096.0);
+        let report = r.finish();
+        assert_eq!(report.metrics.len(), 3);
+        assert_eq!(report.metrics["det"].summary.median, 1.25);
+        assert_eq!(report.metrics["det"].summary.mad, 0.0);
+        assert_eq!(report.metrics["bytes"].summary.samples, 1);
+        assert!(report.metrics["sleepless"].summary.median >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded twice")]
+    fn duplicate_metric_names_panic() {
+        let mut r = Recorder::new("t", EnvFingerprint::default(), 0, 1);
+        r.single("x", "s", MetricKind::Wall, 1.0);
+        r.single("x", "s", MetricKind::Wall, 2.0);
+    }
+
+    #[test]
+    fn sink_groups_by_area_and_flushes() {
+        let dir = std::env::temp_dir().join(format!("perfbase-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        sink_metric("alpha", "m1", "s", MetricKind::Wall, 0.5);
+        sink_metric("alpha", "m2", "bytes", MetricKind::Count, 10.0);
+        sink_metric("beta", "m1", "s", MetricKind::Virtual, 2.0);
+        let paths = flush_sink_to(&dir, &EnvFingerprint::default()).unwrap();
+        assert_eq!(paths.len(), 2);
+        let alpha = BenchReport::load(&dir.join("BENCH_alpha.json")).unwrap();
+        assert_eq!(alpha.metrics.len(), 2);
+        assert_eq!(alpha.metrics["m2"].summary.median, 10.0);
+        // Drained: a second flush writes nothing.
+        assert!(flush_sink_to(&dir, &EnvFingerprint::default()).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

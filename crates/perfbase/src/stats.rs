@@ -1,0 +1,155 @@
+//! Robust summary statistics for benchmark samples.
+//!
+//! Benchmark distributions are heavy-tailed (page faults, scheduler
+//! preemption, first-touch allocation), so the recorder reports the
+//! **median** as the central value and the **median absolute deviation**
+//! (MAD) as the spread, after rejecting outliers that sit further than
+//! [`OUTLIER_K`] scaled MADs from the raw median — the classic robust
+//! filter. Means and standard deviations are not used anywhere: one bad
+//! sample would poison them, and the regression gate must not flap because
+//! CI shared a core with another job for 50 ms.
+
+use serde::{Deserialize, Serialize};
+
+/// Samples further than this many scaled MADs from the median are dropped.
+pub const OUTLIER_K: f64 = 5.0;
+
+/// 1.4826 · MAD estimates the standard deviation for normal data; using the
+/// scaled form keeps [`OUTLIER_K`] comparable to a "k sigma" rule.
+pub const MAD_SCALE: f64 = 1.4826;
+
+/// Robust summary of one metric's samples.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Median of the samples that survived outlier rejection.
+    pub median: f64,
+    /// Scaled median absolute deviation of the surviving samples.
+    pub mad: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Samples taken (after warmup).
+    pub samples: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+}
+
+/// Median of a slice (averages the two central elements for even lengths).
+/// Returns 0.0 for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite benchmark samples"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        0.5 * (v[mid - 1] + v[mid])
+    }
+}
+
+/// Scaled median absolute deviation around `center`.
+pub fn mad(values: &[f64], center: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let devs: Vec<f64> = values.iter().map(|v| (v - center).abs()).collect();
+    MAD_SCALE * median(&devs)
+}
+
+/// Summarize samples with outlier rejection: samples further than
+/// [`OUTLIER_K`] scaled MADs from the raw median are dropped, then the
+/// median/MAD/min/max of the survivors are reported. When the raw MAD is
+/// zero (deterministic virtual-time measurements), nothing is rejected —
+/// every sample equal to the median is a survivor by definition, and a
+/// zero-MAD filter must not reject legitimate repeats.
+pub fn summarize(samples: &[f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary::default();
+    }
+    let m0 = median(samples);
+    let d0 = mad(samples, m0);
+    let kept: Vec<f64> = if d0 > 0.0 {
+        samples
+            .iter()
+            .copied()
+            .filter(|v| (v - m0).abs() <= OUTLIER_K * d0)
+            .collect()
+    } else {
+        samples.to_vec()
+    };
+    let m = median(&kept);
+    Summary {
+        median: m,
+        mad: mad(&kept, m),
+        min: kept.iter().copied().fold(f64::INFINITY, f64::min),
+        max: kept.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        samples: samples.len(),
+        rejected: samples.len() - kept.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_of_constant_data_is_zero() {
+        let v = [5.0; 8];
+        assert_eq!(mad(&v, median(&v)), 0.0);
+    }
+
+    #[test]
+    fn summarize_keeps_clean_data_intact() {
+        let v = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let s = summarize(&v);
+        assert_eq!(s.samples, 5);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.median, 1.0);
+        assert!(s.mad > 0.0);
+        assert_eq!(s.min, 0.9);
+        assert_eq!(s.max, 1.1);
+    }
+
+    #[test]
+    fn planted_outliers_are_rejected() {
+        // 20 tight samples around 1.0 plus two wild ones: the summary must
+        // report the tight cluster, not the contaminated extremes.
+        let mut v: Vec<f64> = (0..20).map(|i| 1.0 + 0.001 * i as f64).collect();
+        v.push(50.0);
+        v.push(120.0);
+        let s = summarize(&v);
+        assert_eq!(s.rejected, 2, "{s:?}");
+        assert!(s.max < 1.1, "{s:?}");
+        assert!((s.median - 1.0095).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn deterministic_samples_survive_zero_mad() {
+        // Virtual-time benches repeat exactly; a naive k·MAD filter with
+        // MAD = 0 would reject everything off the median (there is nothing
+        // off the median, but guard the degenerate path explicitly).
+        let s = summarize(&[2.5, 2.5, 2.5, 2.5]);
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mad, 0.0);
+    }
+
+    #[test]
+    fn single_outlier_in_deterministic_data() {
+        // One bad sample among repeats: MAD is 0, so rejection is skipped,
+        // but the median still lands on the repeated value.
+        let s = summarize(&[2.5, 2.5, 2.5, 2.5, 9.0]);
+        assert_eq!(s.median, 2.5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Micro area `blockcyclic`: the pure index arithmetic every pack/unpack
+//! loop and ownership query sits on. Wall-clock ns/op — these are the
+//! innermost loops of the data plane, the first place vectorization work
+//! (ROADMAP item 4) will show up.
+
+use reshape_blockcyclic::{g2l, l2g, numroc, owner};
+
+use crate::runner::Recorder;
+use crate::suites::SuiteOpts;
+
+pub fn run(rec: &mut Recorder, opts: SuiteOpts) {
+    let sweep: u64 = if opts.quick { 200_000 } else { 2_000_000 };
+    let nb = 64;
+
+    rec.wall_per_op("numroc_ns_per_op", sweep, || {
+        let mut acc = 0usize;
+        for i in 0..sweep as usize {
+            acc = acc.wrapping_add(numroc(10_000 + (i & 1023), nb, i % 16, 16));
+        }
+        std::hint::black_box(acc);
+    });
+
+    rec.wall_per_op("g2l_l2g_roundtrip_ns_per_op", sweep, || {
+        let mut acc = 0usize;
+        for g in 0..sweep as usize {
+            let (p, l) = g2l(g, nb, 12);
+            acc = acc.wrapping_add(l2g(l, nb, p, 12));
+        }
+        std::hint::black_box(acc);
+    });
+
+    rec.wall_per_op("owner_ns_per_op", sweep, || {
+        let mut acc = 0usize;
+        for g in 0..sweep as usize {
+            acc = acc.wrapping_add(owner(g, nb, 12));
+        }
+        std::hint::black_box(acc);
+    });
+}

@@ -1,0 +1,63 @@
+//! Area `clustersim`: macro sweeps through the cluster simulator — the
+//! real SchedulerCore driven by calibrated models. Makespan, utilization,
+//! and turnaround are *virtual* (bit-deterministic for a fixed seed), so
+//! any drift is a genuine policy or cost-model change; the wall metric
+//! tracks how fast the simulator itself runs, which is what the
+//! discrete-event rewrite (ROADMAP item 1) must improve.
+
+use reshape_clustersim::{random_workload, ClusterSim, MachineParams};
+
+use crate::report::MetricKind;
+use crate::runner::Recorder;
+use crate::suites::SuiteOpts;
+
+pub fn run(rec: &mut Recorder, opts: SuiteOpts) {
+    let jobs = if opts.quick { 24 } else { 120 };
+    let wl = random_workload(opts.seed, jobs, 36);
+    let sim = ClusterSim::new(wl.total_procs, MachineParams::system_x());
+
+    let mut walls = Vec::new();
+    let mut results = Vec::new();
+    rec.value("sweep_makespan_virtual_s", "s", MetricKind::Virtual, || {
+        let t0 = std::time::Instant::now();
+        let result = sim.run(&wl.jobs);
+        walls.push(t0.elapsed().as_secs_f64());
+        let makespan = result.makespan;
+        results.push(result);
+        makespan
+    });
+    let result = results.pop().expect("at least one sample ran");
+
+    rec.single("sweep_wall_s", "s", MetricKind::Wall, crate::stats::median(&walls));
+    rec.single(
+        "sweep_utilization",
+        "ratio",
+        MetricKind::Virtual,
+        result.utilization,
+    );
+    rec.higher_is_better("sweep_utilization");
+    rec.single(
+        "sweep_mean_turnaround_virtual_s",
+        "s",
+        MetricKind::Virtual,
+        result.telemetry.mean_turnaround,
+    );
+    rec.single(
+        "sweep_p95_turnaround_virtual_s",
+        "s",
+        MetricKind::Virtual,
+        result.telemetry.p95_turnaround,
+    );
+    rec.single(
+        "sweep_bytes_redistributed",
+        "bytes",
+        MetricKind::Count,
+        result.telemetry.bytes_redistributed as f64,
+    );
+    rec.single(
+        "sweep_resizes",
+        "ops",
+        MetricKind::Count,
+        (result.telemetry.expansions + result.telemetry.shrinks) as f64,
+    );
+}

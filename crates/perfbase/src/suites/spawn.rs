@@ -1,0 +1,68 @@
+//! Area `spawn`: expansion latency. ReSHAPE expansions are spawn-dominated
+//! (one sequential `MPI_Comm_spawn` plus intercommunicator merge), which is
+//! exactly what ROADMAP item 3 (parallel spawning, warm pools) will attack
+//! — this area records the baseline it must beat. Virtual seconds are
+//! deterministic on the simulated cluster; wall seconds track the host-side
+//! thread-spawn cost.
+
+use std::sync::{Arc, Mutex};
+
+use reshape_mpisim::{NetModel, Universe};
+
+use crate::report::MetricKind;
+use crate::runner::Recorder;
+use crate::suites::SuiteOpts;
+
+/// One expansion: `parents` ranks spawn `children` more and merge, the
+/// ReSHAPE grow path. Returns (virtual seconds, wall seconds) of the
+/// spawn + merge + barrier on rank 0.
+fn spawn_once(parents: usize, children: usize) -> (f64, f64) {
+    let uni = Universe::new(parents + children, 1, NetModel::gigabit_ethernet());
+    let delta: Arc<Mutex<f64>> = Arc::default();
+    let sink = Arc::clone(&delta);
+    let t_wall = std::time::Instant::now();
+    uni.launch(parents, None, "perfbase-spawn", move |comm| {
+        let t0 = comm.vtime();
+        let bigger = comm.spawn_merge(children, None, "perfbase-kids", |ctx| {
+            let merged = ctx.parent.merge();
+            merged.barrier();
+        });
+        bigger.barrier();
+        let dt = comm.vtime() - t0;
+        if comm.rank() == 0 {
+            *sink.lock().expect("delta sink") = dt;
+        }
+    })
+    .join_ok();
+    uni.join_spawned();
+    let wall = t_wall.elapsed().as_secs_f64();
+    let virt = *delta.lock().expect("delta sink");
+    (virt, wall)
+}
+
+pub fn run(rec: &mut Recorder, opts: SuiteOpts) {
+    let cases: &[(usize, usize)] = if opts.quick {
+        &[(2, 2), (4, 4)]
+    } else {
+        &[(2, 2), (4, 4), (4, 12), (8, 24)]
+    };
+    for &(parents, children) in cases {
+        let mut walls = Vec::new();
+        rec.value(
+            &format!("expand_{parents}to{}_virtual_s", parents + children),
+            "s",
+            MetricKind::Virtual,
+            || {
+                let (virt, wall) = spawn_once(parents, children);
+                walls.push(wall);
+                virt
+            },
+        );
+        rec.single(
+            &format!("expand_{parents}to{}_wall_s", parents + children),
+            "s",
+            MetricKind::Wall,
+            crate::stats::median(&walls),
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Area `wal`: scheduler durability costs. Every SchedulerCore transition
+//! pays one WAL append (encode + write + flush) on the hot path, and
+//! crash-restart pays a full decode + replay. Both are wall-clock on real
+//! files — the numbers CI's crash-restart drills actually spend.
+
+use reshape_core::{
+    JobSpec, ProcessorConfig, QueuePolicy, SchedulerCore, TopologyPref, Wal,
+};
+
+use crate::report::MetricKind;
+use crate::runner::Recorder;
+use crate::suites::SuiteOpts;
+
+/// Drive a real scheduler through `jobs` short lives with an in-memory WAL
+/// attached, returning the recorded transition stream in wire format.
+fn record_stream(jobs: usize) -> String {
+    let mut core = SchedulerCore::new(16, QueuePolicy::Fcfs).with_wal(Wal::in_memory());
+    let mut now = 0.0;
+    for j in 0..jobs {
+        let spec = JobSpec::new(
+            format!("wal-bench-{j}"),
+            TopologyPref::Grid {
+                problem_size: 8000,
+            },
+            ProcessorConfig::new(2, 2),
+            6,
+        );
+        let (id, _) = core.submit(spec, now);
+        core.try_schedule(now);
+        now += 1.0;
+        // Resize points feed the profiler — the record most often appended.
+        // One job runs at a time so every transition is always legal,
+        // whatever the remap policy decides in between.
+        for it in 0..4 {
+            core.resize_point(id, 10.0 - it as f64, 0.5, now);
+            now += 1.0;
+        }
+        core.on_finished(id, now);
+        now += 1.0;
+    }
+    core.take_wal().expect("wal attached").encode()
+}
+
+pub fn run(rec: &mut Recorder, opts: SuiteOpts) {
+    let jobs = if opts.quick { 60 } else { 400 };
+    let stream = record_stream(jobs);
+    let records = stream.lines().count();
+    rec.single("records", "ops", MetricKind::Count, records as f64);
+
+    let parsed = Wal::decode(&stream).expect("freshly recorded stream decodes");
+    let recs: Vec<_> = parsed.records().to_vec();
+    let dir = std::env::temp_dir().join(format!("perfbase-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Append: every record encoded, written, and flushed to a fresh
+    // file-backed WAL — the write-ahead path each transition pays.
+    let path = dir.join("bench.wal");
+    rec.wall_per_op("append_ns_per_record", recs.len() as u64, || {
+        let mut wal = Wal::create(&path).expect("create WAL");
+        for r in &recs {
+            wal.append(r.clone());
+        }
+    });
+
+    // Recover: decode the stream and replay it into a fresh core — the
+    // crash-restart cost for this many transitions.
+    rec.wall("recover_seconds", || {
+        let wal = Wal::decode(&stream).expect("stream decodes");
+        let core = SchedulerCore::recover(wal).expect("stream replays");
+        std::hint::black_box(core.total_procs());
+    });
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -95,6 +95,36 @@ impl Histogram {
         }
     }
 
+    /// Merge a snapshot (e.g. shipped from another process or rank) into
+    /// this live histogram. Strict: the snapshot must be empty or have
+    /// exactly [`BUCKETS`] buckets — anything else means it came from an
+    /// incompatible layout and silently re-bucketing would corrupt
+    /// quantiles, so it is refused.
+    pub fn merge(&self, other: &HistogramSnapshot) -> Result<(), MergeError> {
+        if other.count == 0 {
+            return Ok(());
+        }
+        if other.buckets.len() != BUCKETS {
+            return Err(MergeError::BucketMismatch {
+                expected: BUCKETS,
+                got: other.buckets.len(),
+            });
+        }
+        let mut d = self.inner.lock();
+        for (b, &o) in d.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        d.count += other.count;
+        d.sum += other.sum;
+        if other.min < d.min {
+            d.min = other.min;
+        }
+        if other.max > d.max {
+            d.max = other.max;
+        }
+        Ok(())
+    }
+
     /// Consistent point-in-time copy of the distribution.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let d = self.inner.lock();
@@ -107,6 +137,26 @@ impl Histogram {
         }
     }
 }
+
+/// Why two histograms cannot be combined.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MergeError {
+    /// The two sides disagree on bucket layout.
+    BucketMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::BucketMismatch { expected, got } => write!(
+                f,
+                "histogram bucket layout mismatch: expected {expected} buckets, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Serializable copy of a [`Histogram`]. Empty snapshots report 0 for every
 /// statistic and act as the identity under [`HistogramSnapshot::merge`].
@@ -148,6 +198,23 @@ impl HistogramSnapshot {
             }
         }
         self.max
+    }
+
+    /// Strict variant of [`merge`](Self::merge): refuses snapshots whose
+    /// bucket layouts disagree (both non-empty with different lengths)
+    /// instead of silently resizing.
+    pub fn try_merge(&mut self, other: &HistogramSnapshot) -> Result<(), MergeError> {
+        if other.count == 0 {
+            return Ok(());
+        }
+        if self.count > 0 && self.buckets.len() != other.buckets.len() {
+            return Err(MergeError::BucketMismatch {
+                expected: self.buckets.len(),
+                got: other.buckets.len(),
+            });
+        }
+        self.merge(other);
+        Ok(())
     }
 
     /// Merge another snapshot into this one. Bucket counts, totals, and
@@ -303,6 +370,91 @@ mod tests {
             assert_eq!(v, s.max, "q={q}");
         }
         assert_eq!(s.max, huge * 10.0);
+    }
+
+    #[test]
+    fn live_merge_combines_ranks() {
+        let local = Histogram::new();
+        local.record(0.5);
+        let remote = Histogram::new();
+        remote.record(2.0);
+        remote.record(8.0);
+        local.merge(&remote.snapshot()).unwrap();
+        let s = local.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.sum, 10.5);
+    }
+
+    #[test]
+    fn live_merge_rejects_foreign_bucket_layout() {
+        let h = Histogram::new();
+        h.record(1.0);
+        let alien = HistogramSnapshot {
+            buckets: vec![1; 16],
+            count: 1,
+            sum: 1.0,
+            min: 1.0,
+            max: 1.0,
+        };
+        let err = h.merge(&alien).unwrap_err();
+        assert_eq!(err, MergeError::BucketMismatch { expected: BUCKETS, got: 16 });
+        assert!(err.to_string().contains("expected 64 buckets, got 16"));
+        // The refused merge left the histogram untouched.
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn live_merge_accepts_empty_snapshot_of_any_shape() {
+        let h = Histogram::new();
+        h.record(1.0);
+        let empty = HistogramSnapshot::default(); // zero buckets, zero count
+        h.merge(&empty).unwrap();
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatched_nonempty_snapshots() {
+        let mut a = HistogramSnapshot {
+            buckets: vec![1; 8],
+            count: 1,
+            sum: 1.0,
+            min: 1.0,
+            max: 1.0,
+        };
+        let b = HistogramSnapshot {
+            buckets: vec![1; 4],
+            count: 1,
+            sum: 2.0,
+            min: 2.0,
+            max: 2.0,
+        };
+        assert_eq!(
+            a.try_merge(&b).unwrap_err(),
+            MergeError::BucketMismatch { expected: 8, got: 4 }
+        );
+        // Identity cases still succeed: empty other, or empty self.
+        a.try_merge(&HistogramSnapshot::default()).unwrap();
+        let mut fresh = HistogramSnapshot::default();
+        fresh.try_merge(&b).unwrap();
+        assert_eq!(fresh.count, 1);
+    }
+
+    #[test]
+    fn quantiles_stable_under_merge() {
+        // Quantile estimates after merging two halves equal the estimates
+        // of recording the whole stream into one histogram — the property
+        // a cross-rank aggregation needs to report honest p95s.
+        let evens: Vec<f64> = (10..20).step_by(2).map(|k| MIN_BOUND * 2f64.powi(k)).collect();
+        let odds: Vec<f64> = (11..20).step_by(2).map(|k| MIN_BOUND * 2f64.powi(k)).collect();
+        let mut merged = snap_of(&evens);
+        merged.try_merge(&snap_of(&odds)).unwrap();
+        let all: Vec<f64> = evens.iter().chain(odds.iter()).copied().collect();
+        let whole = snap_of(&all);
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q={q}");
+        }
     }
 
     fn snap_of(values: &[f64]) -> HistogramSnapshot {

@@ -12,11 +12,15 @@
 //!   policy inputs, redistributions with per-phase timings, per-job
 //!   turnaround summaries) exportable as JSONL.
 //!
-//! Everything is controlled by two environment variables:
+//! Everything is controlled by three environment variables:
 //!
-//! - `RESHAPE_TELEMETRY` — `off` (default), `text`, or `json`;
+//! - `RESHAPE_TELEMETRY` — `off` (default), `text`, `json`, or `metrics`;
 //! - `RESHAPE_TELEMETRY_PATH` — where [`flush`] writes its report
-//!   (stderr when unset).
+//!   (stderr when unset);
+//! - `RESHAPE_METRICS` — a path (conventionally `*.prom`); when set,
+//!   [`flush`] additionally writes the registry in the OpenMetrics text
+//!   exposition format (see [`render_openmetrics`]). Setting it alone
+//!   implies `metrics` mode, so recording turns on.
 //!
 //! With telemetry off, every recording call is a single relaxed atomic
 //! load and a branch — cheap enough to leave in the mpisim send path.
@@ -25,15 +29,19 @@ pub mod critpath;
 mod histogram;
 mod journal;
 mod metrics;
+pub mod openmetrics;
 mod span;
 pub mod trace;
 
-pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS, MIN_BOUND};
+pub use histogram::{
+    bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, MergeError, BUCKETS, MIN_BOUND,
+};
 pub use journal::{
     drain as drain_journal, dropped as journal_dropped, record, set_capacity as set_journal_capacity,
     snapshot_events, Event, DEFAULT_CAPACITY,
 };
 pub use metrics::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use openmetrics::{encode_labels, escape_label_value, render_openmetrics, sanitize_name};
 pub use span::Span;
 pub use trace::{SpanRecord, TraceCtx};
 
@@ -49,6 +57,10 @@ pub enum Mode {
     Text,
     /// Record everything; [`flush`] emits JSONL.
     Json,
+    /// Record everything; [`flush`] emits only the OpenMetrics file named
+    /// by `RESHAPE_METRICS` (no text/JSONL body). Implied when
+    /// `RESHAPE_METRICS` is set without `RESHAPE_TELEMETRY`.
+    Metrics,
 }
 
 static MODE: AtomicU8 = AtomicU8::new(0);
@@ -59,6 +71,9 @@ fn init_mode_from_env() {
         let m = match std::env::var("RESHAPE_TELEMETRY").ok().as_deref() {
             Some("text") => 1,
             Some("json") => 2,
+            Some("metrics") => 3,
+            // A metrics sink path alone is enough to opt in to recording.
+            _ if metrics_path().is_some() => 3,
             _ => 0,
         };
         MODE.store(m, Ordering::Relaxed);
@@ -71,6 +86,7 @@ pub fn mode() -> Mode {
     match MODE.load(Ordering::Relaxed) {
         1 => Mode::Text,
         2 => Mode::Json,
+        3 => Mode::Metrics,
         _ => Mode::Off,
     }
 }
@@ -82,6 +98,7 @@ pub fn set_mode(m: Mode) {
         Mode::Off => 0,
         Mode::Text => 1,
         Mode::Json => 2,
+        Mode::Metrics => 3,
     };
     MODE.store(v, Ordering::Relaxed);
 }
@@ -109,6 +126,16 @@ pub fn incr(name: &str, n: u64) {
 pub fn gauge_set(name: &str, v: f64) {
     if enabled() {
         Registry::global().gauge(name).set(v);
+    }
+}
+
+/// Set a labeled gauge when telemetry is enabled. The label set is encoded
+/// into the registry key (`name{k="v",...}`, values escaped), which the
+/// OpenMetrics renderer decodes back into one metric family per `name`.
+pub fn gauge_labeled(name: &str, labels: &[(&str, &str)], v: f64) {
+    if enabled() {
+        let key = format!("{name}{}", encode_labels(labels));
+        Registry::global().gauge(&key).set(v);
     }
 }
 
@@ -190,8 +217,12 @@ pub fn text_report() -> String {
 /// bounded journal silently evicted events.
 pub fn flush() {
     trace::flush();
+    if mode() == Mode::Off {
+        return;
+    }
+    flush_openmetrics();
     let body = match mode() {
-        Mode::Off => return,
+        Mode::Off | Mode::Metrics => return,
         Mode::Json => json_lines(),
         Mode::Text => text_report(),
     };
@@ -210,5 +241,22 @@ pub fn flush() {
             }
         }
         None => eprint!("{body}"),
+    }
+}
+
+fn metrics_path() -> Option<String> {
+    std::env::var("RESHAPE_METRICS").ok().filter(|p| !p.is_empty())
+}
+
+/// Write the registry in OpenMetrics text format to `RESHAPE_METRICS`, if
+/// that variable names a path. Called from [`flush`]; also callable
+/// directly by embedders that manage their own flush cadence.
+pub fn flush_openmetrics() {
+    let Some(path) = metrics_path() else {
+        return;
+    };
+    let body = render_openmetrics(&Registry::global().snapshot());
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("reshape-telemetry: cannot write {path}: {e}");
     }
 }

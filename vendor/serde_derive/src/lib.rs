@@ -479,7 +479,7 @@ fn gen_deserialize(item: &Item) -> String {
         ),
         Kind::Enum(variants) => match &item.tag {
             Some(tag) => gen_de_tagged_enum(item, variants, tag),
-            None => gen_de_untagged_enum(name, variants),
+            None => gen_de_untagged_enum(item, variants),
         },
     };
     format!(
@@ -535,13 +535,27 @@ fn gen_de_tagged_enum(item: &Item, variants: &[Variant], tag: &str) -> String {
     )
 }
 
-fn gen_de_untagged_enum(name: &str, variants: &[Variant]) -> String {
+fn gen_de_untagged_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
     let mut str_arms = String::new();
     let mut obj_arms = String::new();
     for v in variants {
         let vname = &v.ident;
         match &v.fields {
             VariantFields::Unit => {
+                // Match the wire spelling first (mirrors the serializer's
+                // rename_all handling), but keep accepting the raw ident so
+                // pre-rename payloads still load.
+                let wire = if item.rename_all_snake {
+                    snake_case(vname)
+                } else {
+                    vname.clone()
+                };
+                if wire != *vname {
+                    str_arms.push_str(&format!(
+                        "\"{wire}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
                 str_arms.push_str(&format!(
                     "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
                 ));
