@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run -p reshape-bench --bin simulate -- workload.json [--json out.json] [--summary-json out.json] [--top]
+//! cargo run -p reshape-bench --bin simulate -- --nodes 10000 --jobs 1000000 [--seed S] [--summary-json out.json]
 //! cargo run -p reshape-bench --bin simulate -- --print-example
 //! ```
 //!
@@ -107,6 +108,61 @@ fn summary_json_arg(args: &[String]) -> Option<std::path::PathBuf> {
         .map(std::path::PathBuf::from)
 }
 
+/// Parse a `--flag <value>` numeric option.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let raw = args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("simulate: {flag} expects a number, got `{raw}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The scale sweep (`--nodes N --jobs M`): a synthetic seeded job stream
+/// through the DES core — no workload file, no per-rank threads, sized for
+/// thousands of nodes and millions of jobs in one process.
+fn run_scale_sweep(args: &[String], nodes: usize) {
+    let jobs: u64 = flag_value(args, "--jobs").unwrap_or(10_000);
+    let mut cfg = reshape_clustersim::ScaleConfig::new(nodes, jobs);
+    if let Some(seed) = flag_value(args, "--seed") {
+        cfg.seed = seed;
+    }
+    if let Some(pct) = flag_value(args, "--resizable") {
+        cfg.resizable_percent = pct;
+    }
+    if let Some(iters) = flag_value(args, "--iters") {
+        cfg.max_iterations = iters;
+    }
+    let r = reshape_clustersim::run_scale(&cfg);
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["nodes".into(), r.nodes.to_string()]);
+    table.row(vec!["jobs".into(), r.jobs.to_string()]);
+    table.row(vec!["seed".into(), r.seed.to_string()]);
+    table.row(vec![
+        "finished / failed / cancelled".into(),
+        format!("{} / {} / {}", r.jobs_finished, r.jobs_failed, r.jobs_cancelled),
+    ]);
+    table.row(vec![
+        "expansions / shrinks".into(),
+        format!("{} / {}", r.expansions, r.shrinks),
+    ]);
+    table.row(vec!["makespan (virtual s)".into(), format!("{:.0}", r.makespan)]);
+    table.row(vec!["utilization".into(), format!("{:.1}%", r.utilization * 100.0)]);
+    table.row(vec!["peak queue depth".into(), r.peak_queue_depth.to_string()]);
+    table.row(vec!["records pruned".into(), r.records_pruned.to_string()]);
+    table.row(vec!["events processed".into(), r.events_processed.to_string()]);
+    table.row(vec![
+        "wall (s) / events per sec".into(),
+        format!("{:.2} / {:.0}", r.wall_seconds, r.events_per_sec),
+    ]);
+    table.print();
+    if let Some(out) = summary_json_arg(args) {
+        write_json(&out, &r);
+    }
+}
+
 fn main() {
     reshape_bench::telemetry_from_args();
     let args: Vec<String> = std::env::args().collect();
@@ -119,11 +175,20 @@ fn main() {
         // The dashboard's decision feed reads the telemetry journal.
         reshape_telemetry::set_mode(reshape_telemetry::Mode::Text);
     }
+    // Scale mode bypasses the workload file entirely: the job stream is
+    // derived from the seed inside the DES core.
+    if let Some(nodes) = flag_value(&args, "--nodes") {
+        run_scale_sweep(&args, nodes);
+        return;
+    }
     let path = args
         .get(1)
         .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| {
-            eprintln!("usage: simulate <workload.json> [--json out.json] [--top] | --print-example");
+            eprintln!(
+                "usage: simulate <workload.json> [--json out.json] [--top] | --print-example\n\
+                 \x20      simulate --nodes N --jobs M [--seed S] [--resizable PCT] [--iters K] [--summary-json out.json]"
+            );
             std::process::exit(2);
         });
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {

@@ -15,6 +15,7 @@ use reshape_core::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::des::{LatencyModel, MachineLatency};
 use crate::perfmodel::{AppModel, MachineParams, RedistProfile};
 
 /// How resizing redistributions are priced (the three bars of Figure 3(b)).
@@ -334,6 +335,8 @@ impl SimResult {
     }
 }
 
+/// Legacy-loop heap entry: `(time, seq)` min-heap, the ordering the DES
+/// queue reproduces with its FIFO tie-break.
 #[derive(Debug)]
 struct Event {
     time: f64,
@@ -341,6 +344,9 @@ struct Event {
     kind: Ev,
 }
 
+/// Simulator event payloads, shared by the legacy step loop and the DES
+/// engine (which routes arrivals/cancels/failures to the arrival-source
+/// component and iteration ends to the job-driver component).
 #[derive(Debug)]
 enum Ev {
     Arrival(usize),
@@ -416,6 +422,9 @@ pub struct ClusterSim {
     slot_speeds: Vec<f64>,
     /// Ignore speeds when allocating (placement ablation).
     naive_placement: bool,
+    /// Pluggable spawn/redistribution pricing; `None` = the default
+    /// [`MachineLatency`] model (bitwise-identical to the pre-DES engine).
+    latency: Option<Box<dyn LatencyModel>>,
 }
 
 impl ClusterSim {
@@ -429,6 +438,7 @@ impl ClusterSim {
             reservations: Vec::new(),
             slot_speeds: Vec::new(),
             naive_placement: false,
+            latency: None,
         }
     }
 
@@ -469,6 +479,15 @@ impl ClusterSim {
         self
     }
 
+    /// Replace the default spawn/redistribution pricing with a custom
+    /// [`LatencyModel`] (see `crate::des`). The default — redistribution
+    /// priced from the machine's communication schedules, spawn free — is
+    /// what every paper experiment uses.
+    pub fn with_latency_model(mut self, latency: Box<dyn LatencyModel>) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
     /// Price a resize, with the phase decomposition when the message-based
     /// path is in use (the checkpoint baseline has no pack/transfer/unpack
     /// schedule to decompose).
@@ -478,279 +497,444 @@ impl ClusterSim {
         from: reshape_core::ProcessorConfig,
         to: reshape_core::ProcessorConfig,
     ) -> (f64, Option<RedistProfile>) {
-        match self.redist_mode {
-            RedistMode::Reshape => {
-                let prof = model.redist_profile(from, to, &self.machine);
-                (prof.total_seconds, Some(prof))
+        match &self.latency {
+            Some(l) => l.redistribution(model, from, to),
+            None => MachineLatency {
+                machine: self.machine,
+                mode: self.redist_mode,
             }
-            RedistMode::Checkpoint => {
-                (model.checkpoint_redist_cost(from, to, &self.machine), None)
-            }
+            .redistribution(model, from, to),
+        }
+    }
+
+    /// Process-startup overhead charged before an expansion's
+    /// redistribution. Zero under the default model, which keeps default
+    /// runs bitwise-identical to the pre-DES engine.
+    fn spawn_cost(
+        &self,
+        from: reshape_core::ProcessorConfig,
+        to: reshape_core::ProcessorConfig,
+    ) -> f64 {
+        match &self.latency {
+            Some(l) => l.spawn_overhead(from, to),
+            None => 0.0,
         }
     }
 
     /// Run the workload to completion and report outcomes.
+    ///
+    /// Since the DES rewrite this drives the event-queue engine in
+    /// [`crate::des`]; [`ClusterSim::run_legacy`] keeps the original inline
+    /// step loop alive as the reference implementation. Both execute the
+    /// same `ClusterEngine` transition code in the same order, so their
+    /// results are bitwise-equal — re-proved over 256 seeded workloads by
+    /// `tests/des_equivalence.rs`.
     pub fn run(&self, workload: &[SimJob]) -> SimResult {
-        let mut core = SchedulerCore::new(self.total_procs, self.policy)
-            .with_remap_policy(self.remap_policy);
-        if !self.slot_speeds.is_empty() {
-            core = core.with_slot_speeds(self.slot_speeds.clone());
+        self.run_des(workload)
+    }
+
+    /// Run the workload on the DES engine: an arrival-source component
+    /// (submissions, cancellations, failure injections) and a job-driver
+    /// component (iteration ends / resize points) exchange events through
+    /// the global queue, both mutating the shared `ClusterEngine`. The
+    /// queue's FIFO tie-break reproduces the legacy loop's `(time, seq)`
+    /// order exactly, because events are scheduled in the same program
+    /// order the legacy loop pushed them.
+    fn run_des(&self, workload: &[SimJob]) -> SimResult {
+        use crate::des::{ComponentId, EventHandler, SimCtx, Simulation};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        const ARRIVALS: ComponentId = 0;
+        const DRIVER: ComponentId = 1;
+
+        fn route(ev: &Ev) -> ComponentId {
+            match ev {
+                Ev::IterationEnd(_) => DRIVER,
+                _ => ARRIVALS,
+            }
         }
-        if self.naive_placement {
-            core = core.with_alloc_order(reshape_core::AllocOrder::LowestId);
+
+        struct ArrivalSource<'w> {
+            engine: Rc<RefCell<ClusterEngine<'w>>>,
         }
-        for &(start, end, procs) in &self.reservations {
-            core.reserve(start, end, procs);
+        impl<'w> EventHandler<Ev> for ArrivalSource<'w> {
+            fn handle(&mut self, ev: Ev, ctx: &mut SimCtx<'_, Ev>) {
+                let mut eng = self.engine.borrow_mut();
+                let now = ctx.now();
+                eng.note_now(now);
+                let mut push = |t: f64, e: Ev| {
+                    let c = route(&e);
+                    ctx.schedule(t, c, e);
+                };
+                match ev {
+                    Ev::Arrival(i) => eng.on_arrival(i, now, &mut push),
+                    Ev::Cancel(i) => eng.on_cancel(i, now, &mut push),
+                    Ev::Fail(i) => eng.on_fail(i, now, &mut push),
+                    Ev::IterationEnd(_) => unreachable!("routed to the job driver"),
+                }
+            }
         }
-        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: Ev| {
-            *seq += 1;
-            heap.push(Event {
-                time,
-                seq: *seq,
-                kind,
-            });
-        };
+
+        struct JobDriver<'w> {
+            engine: Rc<RefCell<ClusterEngine<'w>>>,
+        }
+        impl<'w> EventHandler<Ev> for JobDriver<'w> {
+            fn handle(&mut self, ev: Ev, ctx: &mut SimCtx<'_, Ev>) {
+                let mut eng = self.engine.borrow_mut();
+                let now = ctx.now();
+                eng.note_now(now);
+                let mut push = |t: f64, e: Ev| {
+                    let c = route(&e);
+                    ctx.schedule(t, c, e);
+                };
+                match ev {
+                    Ev::IterationEnd(id) => eng.on_iteration_end(id, now, &mut push),
+                    other => unreachable!("{other:?} routed to the arrival source"),
+                }
+            }
+        }
+
+        let engine = Rc::new(RefCell::new(ClusterEngine::new(self, workload)));
+        let mut sim: Simulation<'_, Ev> = Simulation::new();
+        let arrivals = sim.add_component(Rc::new(RefCell::new(ArrivalSource {
+            engine: engine.clone(),
+        })));
+        let driver = sim.add_component(Rc::new(RefCell::new(JobDriver {
+            engine: engine.clone(),
+        })));
+        assert_eq!((arrivals, driver), (ARRIVALS, DRIVER));
+        // Seed the initial events in the same program order as the legacy
+        // loop; the FIFO tie-break then reproduces its (time, seq) order.
         for (i, j) in workload.iter().enumerate() {
-            push(&mut heap, &mut seq, j.arrival, Ev::Arrival(i));
+            sim.schedule(j.arrival, ARRIVALS, Ev::Arrival(i));
             if let Some(t) = j.cancel_at {
                 assert!(t >= j.arrival, "cannot cancel before arrival");
-                push(&mut heap, &mut seq, t, Ev::Cancel(i));
+                sim.schedule(t, ARRIVALS, Ev::Cancel(i));
             }
             if let Some(t) = j.fail_at {
                 assert!(t >= j.arrival, "cannot fail before arrival");
-                push(&mut heap, &mut seq, t, Ev::Fail(i));
+                sim.schedule(t, ARRIVALS, Ev::Fail(i));
             }
         }
+        sim.run();
+        drop(sim);
+        Rc::try_unwrap(engine)
+            .unwrap_or_else(|_| unreachable!("simulation dropped its handler references"))
+            .into_inner()
+            .finish()
+    }
 
-        let mut sims: std::collections::HashMap<JobId, JobSim> = Default::default();
-        // Map workload index -> JobId once submitted.
-        let mut submitted: Vec<Option<JobId>> = vec![None; workload.len()];
-        let mut makespan: f64 = 0.0;
-        let mut bytes_redistributed = 0u64;
-
-        // Schedule the first iteration of every newly started job. On a
-        // heterogeneous cluster, iteration time stretches by the slowest
-        // assigned slot (synchronous SPMD pace).
-        let handle_starts =
-            |core: &SchedulerCore,
-             starts: Vec<StartAction>,
-             sims: &mut std::collections::HashMap<JobId, JobSim>,
-             heap: &mut BinaryHeap<Event>,
-             seq: &mut u64,
-             now: f64,
-             machine: &MachineParams| {
-                for s in starts {
-                    let js = sims.get_mut(&s.job).expect("started job was submitted");
-                    let t_iter = js.model.iter_time_at(0, s.config, machine) / core.job_speed(s.job);
-                    js.last_iter_time = t_iter;
-                    js.compute_total += t_iter;
-                    if reshape_telemetry::trace::enabled() {
-                        use reshape_telemetry::trace;
-                        let c = trace::complete(
-                            s.job.0,
-                            trace::head(s.job.0),
-                            "iter 0",
-                            "compute",
-                            "sim",
-                            now,
-                            now + t_iter,
-                        );
-                        trace::set_head(s.job.0, c);
-                    }
-                    push(heap, seq, now + t_iter, Ev::IterationEnd(s.job));
-                }
+    /// The original inline event loop, retained as the reference
+    /// implementation for the differential equivalence suite
+    /// (`tests/des_equivalence.rs`) — deleting it is gated on that suite
+    /// passing. Prefer [`ClusterSim::run`].
+    #[doc(hidden)]
+    pub fn run_legacy(&self, workload: &[SimJob]) -> SimResult {
+        let mut engine = ClusterEngine::new(self, workload);
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        {
+            let mut push = |time: f64, kind: Ev| {
+                seq += 1;
+                heap.push(Event { time, seq, kind });
             };
-
+            for (i, j) in workload.iter().enumerate() {
+                push(j.arrival, Ev::Arrival(i));
+                if let Some(t) = j.cancel_at {
+                    assert!(t >= j.arrival, "cannot cancel before arrival");
+                    push(t, Ev::Cancel(i));
+                }
+                if let Some(t) = j.fail_at {
+                    assert!(t >= j.arrival, "cannot fail before arrival");
+                    push(t, Ev::Fail(i));
+                }
+            }
+        }
         while let Some(ev) = heap.pop() {
             let now = ev.time;
-            makespan = makespan.max(now);
+            engine.note_now(now);
+            let mut push = |time: f64, kind: Ev| {
+                seq += 1;
+                heap.push(Event { time, seq, kind });
+            };
             match ev.kind {
-                Ev::Arrival(i) => {
-                    let j = &workload[i];
-                    let (id, starts) = core.submit(j.spec.clone(), now);
-                    submitted[i] = Some(id);
-                    sims.insert(
-                        id,
-                        JobSim {
-                            model: j.model.clone(),
-                            iterations: j.spec.iterations,
-                            done: 0,
-                            last_iter_time: 0.0,
-                            last_redist: 0.0,
-                            redist_total: 0.0,
-                            compute_total: 0.0,
-                        },
-                    );
-                    handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
-                }
-                Ev::Cancel(i) => {
-                    if let Some(id) = submitted[i] {
-                        let starts = core.cancel(id, now);
-                        handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
-                    }
-                }
-                Ev::Fail(i) => {
-                    if let Some(id) = submitted[i] {
-                        let starts = core.on_failed(id, "injected failure".into(), now);
-                        handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
-                    }
-                }
-                Ev::IterationEnd(id) => {
-                    let (iter_time, redist, done, iterations) = {
-                        let js = sims.get_mut(&id).expect("job exists");
-                        js.done += 1;
-                        (js.last_iter_time, js.last_redist, js.done, js.iterations)
-                    };
-                    if done >= iterations {
-                        let starts = core.on_finished(id, now);
-                        handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
-                        continue;
-                    }
-                    // Resize point: report the last iteration + the
-                    // redistribution paid before it. Capture the
-                    // configuration *before* the directive is applied — the
-                    // redistribution runs between it and the new one.
-                    let pre = match core.job(id).map(|r| &r.state) {
-                        Some(reshape_core::JobState::Running { config }) => *config,
-                        // Cancelled mid-iteration: the check-in consumes the
-                        // pending Terminate and the job simply stops.
-                        _ => {
-                            let (d, starts) =
-                                core.resize_point(id, iter_time, redist, now);
-                            debug_assert!(matches!(
-                                d,
-                                Directive::Terminate | Directive::NoChange
-                            ));
-                            handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
-                            continue;
-                        }
-                    };
-                    let (directive, starts) = core.resize_point(id, iter_time, redist, now);
-                    if directive == Directive::Terminate {
-                        handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
-                        continue;
-                    }
-                    let js = sims.get_mut(&id).expect("job exists");
-                    let expanded = matches!(directive, Directive::Expand { .. });
-                    let (next_cfg, redist_cost, profile) = match directive {
-                        Directive::NoChange => (pre, 0.0, None),
-                        Directive::Terminate => unreachable!("handled above"),
-                        Directive::Expand { to, .. } | Directive::Shrink { to } => {
-                            let (cost, prof) = self.redist_cost(&js.model, pre, to);
-                            (to, cost, prof)
-                        }
-                    };
-                    if redist_cost > 0.0 {
-                        core.note_redist_cost(id, pre, next_cfg, redist_cost);
-                    }
-                    if let Some(prof) = &profile {
-                        bytes_redistributed += prof.bytes;
-                        if reshape_telemetry::enabled() {
-                            reshape_telemetry::record(reshape_telemetry::Event::Redistribution {
-                                time: now,
-                                job: id.0,
-                                from: pre.to_string(),
-                                to: next_cfg.to_string(),
-                                bytes: prof.bytes,
-                                plan_steps: prof.plan_steps as usize,
-                                transfers: prof.transfers as usize,
-                                pack_seconds: prof.pack_seconds,
-                                transfer_seconds: prof.transfer_seconds,
-                                unpack_seconds: prof.unpack_seconds,
-                                total_seconds: prof.total_seconds,
-                            });
-                        }
-                    }
-                    // Phase boundary: the next iteration belongs to a new
-                    // computational phase, so the profiler's timing history
-                    // resets and the job re-probes its sweet spot.
-                    if js.model.phase_at(done).1 {
-                        core.phase_change(id, now);
-                    }
-                    let speed = {
-                        // js borrows sims mutably; job_speed only reads core.
-                        let s = core.job_speed(id);
-                        if s > 0.0 { s } else { 1.0 }
-                    };
-                    let t_iter = js.model.iter_time_at(done, next_cfg, &self.machine) / speed;
-                    js.last_iter_time = t_iter;
-                    js.last_redist = redist_cost;
-                    js.redist_total += redist_cost;
-                    js.compute_total += t_iter;
-                    if reshape_telemetry::trace::enabled() {
-                        // Resize span chain under the decision the core just
-                        // emitted (and set as the job's trace head):
-                        // decision → spawn → redist(+phases) → next compute,
-                        // all stamped with the deterministic sim clock.
-                        use reshape_telemetry::trace;
-                        let jid = id.0;
-                        if expanded {
-                            // Process startup is free in the sim; the
-                            // zero-duration mark keeps the causal chain
-                            // shaped like the threaded runtime's.
-                            let sp = trace::complete(
-                                jid,
-                                trace::head(jid),
-                                format!("spawn {pre}->{next_cfg}"),
-                                "spawn",
-                                "sim",
-                                now,
-                                now,
-                            );
-                            trace::set_head(jid, sp);
-                        }
-                        if redist_cost > 0.0 {
-                            let r = trace::complete(
-                                jid,
-                                trace::head(jid),
-                                format!("redist {pre}->{next_cfg}"),
-                                "redist",
-                                "sim",
-                                now,
-                                now + redist_cost,
-                            );
-                            if let Some(prof) = &profile {
-                                let t1 = now + prof.pack_seconds;
-                                let t2 = t1 + prof.transfer_seconds;
-                                let t3 = (t2 + prof.unpack_seconds).min(now + redist_cost);
-                                trace::complete(jid, r, "pack", "redist_pack", "sim", now, t1);
-                                trace::complete(jid, r, "transfer", "redist_transfer", "sim", t1, t2);
-                                trace::complete(jid, r, "unpack", "redist_unpack", "sim", t2, t3);
-                            }
-                            trace::set_head(jid, r);
-                        }
-                        let c = trace::complete(
-                            jid,
-                            trace::head(jid),
-                            format!("iter {done}"),
-                            "compute",
-                            "sim",
-                            now + redist_cost,
-                            now + redist_cost + t_iter,
-                        );
-                        trace::set_head(jid, c);
-                    }
-                    push(
-                        &mut heap,
-                        &mut seq,
-                        now + redist_cost + t_iter,
-                        Ev::IterationEnd(id),
-                    );
-                    handle_starts(&core, starts, &mut sims, &mut heap, &mut seq, now, &self.machine);
-                }
+                Ev::Arrival(i) => engine.on_arrival(i, now, &mut push),
+                Ev::Cancel(i) => engine.on_cancel(i, now, &mut push),
+                Ev::Fail(i) => engine.on_fail(i, now, &mut push),
+                Ev::IterationEnd(id) => engine.on_iteration_end(id, now, &mut push),
             }
         }
+        engine.finish()
+    }
+}
 
-        // Assemble outcomes. Draining keeps the core's bounded trace empty
-        // for any further use of the scheduler state.
-        let events = core.drain_events();
+/// The shared transition logic of the cluster simulator: scheduler calls,
+/// cost-model pricing, telemetry and trace emission, and end-of-run result
+/// assembly. Both drivers — [`ClusterSim::run_legacy`]'s inline heap loop
+/// and the DES component engine behind [`ClusterSim::run`] — execute
+/// exactly this code and emit follow-up events through the `push` sink in
+/// identical program order, so identical pop orders yield byte-identical
+/// results, floating point included.
+struct ClusterEngine<'w> {
+    cfg: &'w ClusterSim,
+    workload: &'w [SimJob],
+    core: SchedulerCore,
+    sims: std::collections::HashMap<JobId, JobSim>,
+    /// Map workload index -> JobId once submitted.
+    submitted: Vec<Option<JobId>>,
+    makespan: f64,
+    bytes_redistributed: u64,
+}
+
+impl<'w> ClusterEngine<'w> {
+    fn new(cfg: &'w ClusterSim, workload: &'w [SimJob]) -> Self {
+        let mut core =
+            SchedulerCore::new(cfg.total_procs, cfg.policy).with_remap_policy(cfg.remap_policy);
+        if !cfg.slot_speeds.is_empty() {
+            core = core.with_slot_speeds(cfg.slot_speeds.clone());
+        }
+        if cfg.naive_placement {
+            core = core.with_alloc_order(reshape_core::AllocOrder::LowestId);
+        }
+        for &(start, end, procs) in &cfg.reservations {
+            core.reserve(start, end, procs);
+        }
+        ClusterEngine {
+            cfg,
+            workload,
+            core,
+            sims: Default::default(),
+            submitted: vec![None; workload.len()],
+            makespan: 0.0,
+            bytes_redistributed: 0,
+        }
+    }
+
+    /// Every dispatched event advances the observed makespan.
+    fn note_now(&mut self, now: f64) {
+        self.makespan = self.makespan.max(now);
+    }
+
+    /// Schedule the first iteration of every newly started job. On a
+    /// heterogeneous cluster, iteration time stretches by the slowest
+    /// assigned slot (synchronous SPMD pace).
+    fn handle_starts(
+        &mut self,
+        starts: Vec<StartAction>,
+        now: f64,
+        push: &mut dyn FnMut(f64, Ev),
+    ) {
+        for s in starts {
+            let js = self.sims.get_mut(&s.job).expect("started job was submitted");
+            let t_iter =
+                js.model.iter_time_at(0, s.config, &self.cfg.machine) / self.core.job_speed(s.job);
+            js.last_iter_time = t_iter;
+            js.compute_total += t_iter;
+            if reshape_telemetry::trace::enabled() {
+                use reshape_telemetry::trace;
+                let c = trace::complete(
+                    s.job.0,
+                    trace::head(s.job.0),
+                    "iter 0",
+                    "compute",
+                    "sim",
+                    now,
+                    now + t_iter,
+                );
+                trace::set_head(s.job.0, c);
+            }
+            push(now + t_iter, Ev::IterationEnd(s.job));
+        }
+    }
+
+    fn on_arrival(&mut self, i: usize, now: f64, push: &mut dyn FnMut(f64, Ev)) {
+        let j = &self.workload[i];
+        let (id, starts) = self.core.submit(j.spec.clone(), now);
+        self.submitted[i] = Some(id);
+        self.sims.insert(
+            id,
+            JobSim {
+                model: j.model.clone(),
+                iterations: j.spec.iterations,
+                done: 0,
+                last_iter_time: 0.0,
+                last_redist: 0.0,
+                redist_total: 0.0,
+                compute_total: 0.0,
+            },
+        );
+        self.handle_starts(starts, now, push);
+    }
+
+    fn on_cancel(&mut self, i: usize, now: f64, push: &mut dyn FnMut(f64, Ev)) {
+        if let Some(id) = self.submitted[i] {
+            let starts = self.core.cancel(id, now);
+            self.handle_starts(starts, now, push);
+        }
+    }
+
+    fn on_fail(&mut self, i: usize, now: f64, push: &mut dyn FnMut(f64, Ev)) {
+        if let Some(id) = self.submitted[i] {
+            let starts = self.core.on_failed(id, "injected failure".into(), now);
+            self.handle_starts(starts, now, push);
+        }
+    }
+
+    fn on_iteration_end(&mut self, id: JobId, now: f64, push: &mut dyn FnMut(f64, Ev)) {
+        let (iter_time, redist, done, iterations) = {
+            let js = self.sims.get_mut(&id).expect("job exists");
+            js.done += 1;
+            (js.last_iter_time, js.last_redist, js.done, js.iterations)
+        };
+        if done >= iterations {
+            let starts = self.core.on_finished(id, now);
+            self.handle_starts(starts, now, push);
+            return;
+        }
+        // Resize point: report the last iteration + the redistribution paid
+        // before it. Capture the configuration *before* the directive is
+        // applied — the redistribution runs between it and the new one.
+        let pre = match self.core.job(id).map(|r| &r.state) {
+            Some(reshape_core::JobState::Running { config }) => *config,
+            // Cancelled mid-iteration: the check-in consumes the pending
+            // Terminate and the job simply stops.
+            _ => {
+                let (d, starts) = self.core.resize_point(id, iter_time, redist, now);
+                debug_assert!(matches!(d, Directive::Terminate | Directive::NoChange));
+                self.handle_starts(starts, now, push);
+                return;
+            }
+        };
+        let (directive, starts) = self.core.resize_point(id, iter_time, redist, now);
+        if directive == Directive::Terminate {
+            self.handle_starts(starts, now, push);
+            return;
+        }
+        let js = self.sims.get_mut(&id).expect("job exists");
+        let expanded = matches!(directive, Directive::Expand { .. });
+        let (next_cfg, redist_cost, profile) = match directive {
+            Directive::NoChange => (pre, 0.0, None),
+            Directive::Terminate => unreachable!("handled above"),
+            Directive::Expand { to, .. } | Directive::Shrink { to } => {
+                let (cost, prof) = self.cfg.redist_cost(&js.model, pre, to);
+                (to, cost, prof)
+            }
+        };
+        if redist_cost > 0.0 {
+            self.core.note_redist_cost(id, pre, next_cfg, redist_cost);
+        }
+        if let Some(prof) = &profile {
+            self.bytes_redistributed += prof.bytes;
+            if reshape_telemetry::enabled() {
+                reshape_telemetry::record(reshape_telemetry::Event::Redistribution {
+                    time: now,
+                    job: id.0,
+                    from: pre.to_string(),
+                    to: next_cfg.to_string(),
+                    bytes: prof.bytes,
+                    plan_steps: prof.plan_steps as usize,
+                    transfers: prof.transfers as usize,
+                    pack_seconds: prof.pack_seconds,
+                    transfer_seconds: prof.transfer_seconds,
+                    unpack_seconds: prof.unpack_seconds,
+                    total_seconds: prof.total_seconds,
+                });
+            }
+        }
+        // Phase boundary: the next iteration belongs to a new computational
+        // phase, so the profiler's timing history resets and the job
+        // re-probes its sweet spot.
+        if js.model.phase_at(done).1 {
+            self.core.phase_change(id, now);
+        }
+        let speed = {
+            // js borrows sims mutably; job_speed only reads core.
+            let s = self.core.job_speed(id);
+            if s > 0.0 {
+                s
+            } else {
+                1.0
+            }
+        };
+        // Spawn overhead is zero under the default latency model, keeping
+        // the pause (and every timestamp derived from it) bitwise-equal to
+        // the pre-DES engine; a custom model pays it before redistributing.
+        let spawn_cost = if expanded {
+            self.cfg.spawn_cost(pre, next_cfg)
+        } else {
+            0.0
+        };
+        let pause = spawn_cost + redist_cost;
+        let t_iter = js.model.iter_time_at(done, next_cfg, &self.cfg.machine) / speed;
+        js.last_iter_time = t_iter;
+        js.last_redist = pause;
+        js.redist_total += pause;
+        js.compute_total += t_iter;
+        if reshape_telemetry::trace::enabled() {
+            // Resize span chain under the decision the core just emitted
+            // (and set as the job's trace head): decision → spawn →
+            // redist(+phases) → next compute, all stamped with the
+            // deterministic sim clock.
+            use reshape_telemetry::trace;
+            let jid = id.0;
+            if expanded {
+                let sp = trace::complete(
+                    jid,
+                    trace::head(jid),
+                    format!("spawn {pre}->{next_cfg}"),
+                    "spawn",
+                    "sim",
+                    now,
+                    now + spawn_cost,
+                );
+                trace::set_head(jid, sp);
+            }
+            let redist_start = now + spawn_cost;
+            if redist_cost > 0.0 {
+                let r = trace::complete(
+                    jid,
+                    trace::head(jid),
+                    format!("redist {pre}->{next_cfg}"),
+                    "redist",
+                    "sim",
+                    redist_start,
+                    redist_start + redist_cost,
+                );
+                if let Some(prof) = &profile {
+                    let t1 = redist_start + prof.pack_seconds;
+                    let t2 = t1 + prof.transfer_seconds;
+                    let t3 = (t2 + prof.unpack_seconds).min(redist_start + redist_cost);
+                    trace::complete(jid, r, "pack", "redist_pack", "sim", redist_start, t1);
+                    trace::complete(jid, r, "transfer", "redist_transfer", "sim", t1, t2);
+                    trace::complete(jid, r, "unpack", "redist_unpack", "sim", t2, t3);
+                }
+                trace::set_head(jid, r);
+            }
+            let c = trace::complete(
+                jid,
+                trace::head(jid),
+                format!("iter {done}"),
+                "compute",
+                "sim",
+                now + pause,
+                now + pause + t_iter,
+            );
+            trace::set_head(jid, c);
+        }
+        push(now + pause + t_iter, Ev::IterationEnd(id));
+        self.handle_starts(starts, now, push);
+    }
+
+    /// Assemble the [`SimResult`]. Draining keeps the core's bounded trace
+    /// empty for any further use of the scheduler state.
+    fn finish(mut self) -> SimResult {
+        let events = self.core.drain_events();
         let mut jobs = Vec::new();
-        for (i, j) in workload.iter().enumerate() {
-            let id = submitted[i].expect("all workload jobs were submitted");
-            let rec = core.job(id).expect("job exists");
-            let js = &sims[&id];
+        for (i, j) in self.workload.iter().enumerate() {
+            let id = self.submitted[i].expect("all workload jobs were submitted");
+            let rec = self.core.job(id).expect("job exists");
+            let js = &self.sims[&id];
             let started = rec.started_at.unwrap_or(f64::NAN);
             let finished = rec.finished_at.unwrap_or(f64::NAN);
             let mut alloc: Vec<(f64, usize)> = Vec::new();
@@ -810,18 +994,19 @@ impl ClusterSim {
                 redist_total: js.redist_total,
                 compute_total: js.compute_total,
                 alloc_history: alloc,
-                iter_log: core
+                iter_log: self
+                    .core
                     .profiler()
                     .profile(id)
                     .map(|p| p.history().to_vec())
                     .unwrap_or_default(),
             });
         }
-        let utilization = core.utilization(makespan);
+        let utilization = self.core.utilization(self.makespan);
         let telemetry = {
             let mut t = SimTelemetry {
                 utilization,
-                bytes_redistributed,
+                bytes_redistributed: self.bytes_redistributed,
                 ..Default::default()
             };
             for e in &events {
@@ -853,9 +1038,9 @@ impl ClusterSim {
         SimResult {
             jobs,
             events,
-            makespan,
+            makespan: self.makespan,
             utilization,
-            total_procs: self.total_procs,
+            total_procs: self.cfg.total_procs,
             telemetry,
         }
     }

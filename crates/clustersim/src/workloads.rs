@@ -282,6 +282,28 @@ pub fn random_workload(seed: u64, n_jobs: usize, total_procs: usize) -> Workload
     }
 }
 
+/// [`random_workload`] plus a seeded fault schedule: roughly one job in
+/// five gets a scripted cancellation and one in six an injected failure,
+/// timed to land while the job is likely still active. This is the input
+/// of the DES-vs-legacy differential suite, which needs the cancellation
+/// and failure event paths exercised; `random_workload` itself is left
+/// untouched because the committed `BENCH_clustersim.json` baseline
+/// depends on its exact output.
+pub fn random_workload_with_faults(seed: u64, n_jobs: usize, total_procs: usize) -> Workload {
+    let mut w = random_workload(seed, n_jobs, total_procs);
+    // A separate stream so fault draws cannot perturb the job mix.
+    let mut rng = Rng::new(seed ^ 0xFA17_5EED);
+    for job in &mut w.jobs {
+        match rng.next() % 30 {
+            0..=5 => job.cancel_at = Some(job.arrival + 1.0 + rng.uniform() * 900.0),
+            6..=10 => job.fail_at = Some(job.arrival + 1.0 + rng.uniform() * 900.0),
+            _ => {}
+        }
+    }
+    w.name = "random+faults";
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

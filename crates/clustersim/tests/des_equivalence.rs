@@ -1,0 +1,155 @@
+//! Differential equivalence suite: the DES engine behind
+//! [`ClusterSim::run`] must reproduce the legacy inline step loop
+//! ([`ClusterSim::run_legacy`]) **bitwise** — `SimResult` (decision
+//! outcomes, event feed, makespan, utilization, telemetry snapshot), the
+//! telemetry journal, and the §3.1 decision records — across a 256-seed
+//! sweep of random workloads with scripted cancellations and failures.
+//!
+//! Deleting the legacy loop is gated on this suite passing. Comparison is
+//! by serialized JSON, so every `f64` must match to the last bit: the two
+//! engines share the `ClusterEngine` transition code and differ only in
+//! how the event queue is driven, and the DES queue's FIFO tie-break
+//! reproduces the legacy `(time, seq)` order exactly.
+
+use std::sync::Mutex;
+
+use reshape_clustersim::{
+    random_workload_with_faults, workload1, workload2, ClusterSim, MachineParams, RedistMode,
+    SimResult, Workload,
+};
+
+/// The telemetry journal is process-global; serialize tests that drain it.
+static JOURNAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn assert_bitwise_equal(des: &SimResult, legacy: &SimResult, label: &str) {
+    let a = serde_json::to_string(des).expect("serialize DES result");
+    let b = serde_json::to_string(legacy).expect("serialize legacy result");
+    if a != b {
+        // Narrow the diff before dumping the full JSON.
+        assert_eq!(
+            des.makespan, legacy.makespan,
+            "{label}: makespan diverged"
+        );
+        assert_eq!(
+            des.utilization, legacy.utilization,
+            "{label}: utilization diverged"
+        );
+        assert_eq!(
+            des.events.len(),
+            legacy.events.len(),
+            "{label}: event feed length diverged"
+        );
+        for (x, y) in des.jobs.iter().zip(&legacy.jobs) {
+            assert_eq!(
+                serde_json::to_string(x).unwrap(),
+                serde_json::to_string(y).unwrap(),
+                "{label}: job {} diverged",
+                x.name
+            );
+        }
+        panic!("{label}: results diverged (serialized forms differ)");
+    }
+}
+
+/// The full 256-seed workload+fault sweep (plus `TESTKIT_SEED`, so CI's
+/// fixed and per-run seeds also replay through both engines).
+#[test]
+fn des_matches_legacy_across_256_seed_sweep() {
+    let machine = MachineParams::system_x();
+    let mut seeds: Vec<u64> = (0..256).collect();
+    if let Ok(s) = std::env::var("TESTKIT_SEED") {
+        if let Ok(s) = s.parse::<u64>() {
+            seeds.push(s);
+        }
+    }
+    for seed in seeds {
+        // Size and cluster vary with the seed; faults (cancel/fail) ride on
+        // roughly a third of the workloads' jobs.
+        let n_jobs = 2 + (seed % 7) as usize;
+        let procs = 8 + (seed % 5) as usize * 8;
+        let w = random_workload_with_faults(seed, n_jobs, procs);
+        let sim = ClusterSim::new(w.total_procs, machine);
+        let des = sim.run(&w.jobs);
+        let legacy = sim.run_legacy(&w.jobs);
+        assert_bitwise_equal(&des, &legacy, &format!("seed {seed}"));
+        // The sweep must actually exercise the fault paths overall; checked
+        // per-seed cheaply here, aggregated below.
+        assert_eq!(
+            des.telemetry.jobs_finished
+                + des.telemetry.jobs_failed
+                + des.telemetry.jobs_cancelled,
+            n_jobs,
+            "seed {seed}: every job must reach a terminal state"
+        );
+    }
+}
+
+/// The sweep is only a proof if it covers the interesting transitions:
+/// cancellations, failures, expansions, and shrinks must all occur
+/// somewhere in the 256 seeds.
+#[test]
+fn sweep_exercises_fault_and_resize_paths() {
+    let machine = MachineParams::system_x();
+    let mut cancelled = 0usize;
+    let mut failed = 0usize;
+    let mut expanded = 0usize;
+    let mut shrunk = 0usize;
+    for seed in 0..256u64 {
+        let w = random_workload_with_faults(seed, 2 + (seed % 7) as usize, 8 + (seed % 5) as usize * 8);
+        let r = ClusterSim::new(w.total_procs, machine).run(&w.jobs);
+        cancelled += r.telemetry.jobs_cancelled;
+        failed += r.telemetry.jobs_failed;
+        expanded += r.telemetry.expansions;
+        shrunk += r.telemetry.shrinks;
+    }
+    assert!(cancelled > 10, "sweep must cancel jobs, got {cancelled}");
+    assert!(failed > 10, "sweep must fail jobs, got {failed}");
+    assert!(expanded > 100, "sweep must expand jobs, got {expanded}");
+    assert!(shrunk > 10, "sweep must shrink jobs, got {shrunk}");
+}
+
+/// The paper workloads, both redistribution pricings, and both queue
+/// policies — the configurations every experiment binary uses.
+#[test]
+fn des_matches_legacy_on_paper_workloads() {
+    let machine = MachineParams::system_x();
+    let runs: Vec<(&str, Workload, RedistMode)> = vec![
+        ("W1/reshape", workload1(), RedistMode::Reshape),
+        ("W1/checkpoint", workload1(), RedistMode::Checkpoint),
+        ("W2/reshape", workload2(), RedistMode::Reshape),
+        ("W1-static", workload1().as_static(), RedistMode::Reshape),
+    ];
+    for (label, w, mode) in runs {
+        let sim = ClusterSim::new(w.total_procs, machine).with_redist_mode(mode);
+        assert_bitwise_equal(&sim.run(&w.jobs), &sim.run_legacy(&w.jobs), label);
+    }
+}
+
+/// The telemetry journal — resize decisions, redistribution records, job
+/// turnarounds — must drain identically from both engines: same record
+/// kinds in the same order with the same payloads.
+#[test]
+fn telemetry_journal_is_identical_between_engines() {
+    let _guard = JOURNAL_LOCK.lock().unwrap();
+    let machine = MachineParams::system_x();
+    let before = reshape_telemetry::mode();
+    reshape_telemetry::set_mode(reshape_telemetry::Mode::Text);
+    let drain_for = |run: &dyn Fn(&ClusterSim) -> SimResult| -> Vec<String> {
+        let _ = reshape_telemetry::drain_journal(); // discard stale records
+        let sim = ClusterSim::new(36, machine);
+        let _ = run(&sim);
+        reshape_telemetry::drain_journal()
+            .into_iter()
+            .map(|e| serde_json::to_string(&e).expect("serialize journal record"))
+            .collect()
+    };
+    for seed in [3u64, 17, 99] {
+        let w = random_workload_with_faults(seed, 5, 36);
+        let jobs = w.jobs.clone();
+        let des = drain_for(&|sim| sim.run(&jobs));
+        let legacy = drain_for(&|sim| sim.run_legacy(&jobs));
+        assert!(!des.is_empty(), "telemetry must record something");
+        assert_eq!(des, legacy, "seed {seed}: journal records diverged");
+    }
+    reshape_telemetry::set_mode(before);
+}

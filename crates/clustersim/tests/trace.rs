@@ -142,3 +142,121 @@ fn chrome_export_round_trips_and_validates() {
         assert!(b.end >= b.start);
     }
 }
+
+/// Normalize span identity so two runs can be compared structurally:
+/// span ids come from a process-global counter that `trace::reset` leaves
+/// untouched, so raw ids differ between runs even when the traces are
+/// identical. Remap each id to its position in the drain order and rewrite
+/// parent edges through the same map (0 stays "root").
+fn normalize(spans: &[SpanRecord]) -> Vec<SpanRecord> {
+    let pos: std::collections::HashMap<u64, u64> = spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id, i as u64 + 1))
+        .collect();
+    spans
+        .iter()
+        .map(|s| {
+            let mut n = s.clone();
+            n.id = pos[&s.id];
+            n.parent = if s.parent == 0 { 0 } else { pos[&s.parent] };
+            n
+        })
+        .collect()
+}
+
+/// The DES engine must emit the *same causal trace* as the legacy step
+/// loop: same spans in the same drain order with the same bitwise
+/// timestamps, names, categories, tracks, and (structurally resolved)
+/// parent edges — on plain runs and on fault-heavy random workloads.
+#[test]
+fn des_traces_match_legacy_traces_structurally() {
+    let _g = lock();
+    let machine = MachineParams::system_x();
+    let mut workloads: Vec<(String, Vec<SimJob>, usize)> = vec![
+        ("lu-pair".into(), vec![lu_job(12000, 12, 0.0), lu_job(8000, 8, 5.0)], 16),
+    ];
+    for seed in [5u64, 23, 77] {
+        let w = reshape_clustersim::random_workload_with_faults(seed, 5, 36);
+        workloads.push((format!("random+faults seed {seed}"), w.jobs, w.total_procs));
+    }
+    for (label, jobs, procs) in workloads {
+        let drain = |legacy: bool| -> Vec<SpanRecord> {
+            trace::reset();
+            trace::set_enabled(true);
+            let sim = ClusterSim::new(procs, machine);
+            if legacy {
+                let _ = sim.run_legacy(&jobs);
+            } else {
+                let _ = sim.run(&jobs);
+            }
+            let spans = trace::drain_spans();
+            trace::set_enabled(false);
+            spans
+        };
+        let des = drain(false);
+        let legacy = drain(true);
+        assert!(!des.is_empty(), "{label}: traced run must record spans");
+        assert_eq!(des.len(), legacy.len(), "{label}: span counts diverged");
+        let (a, b) = (normalize(&des), normalize(&legacy));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y, "{label}: span diverged");
+        }
+    }
+}
+
+/// Acceptance on DES-emitted traces of a fault-heavy workload: every
+/// parent edge resolves inside its own trace (closure), and the per-job
+/// critical-path buckets sum exactly to the job's root makespan.
+#[test]
+fn des_trace_edges_close_and_critpath_buckets_sum_to_makespan() {
+    let _g = lock();
+    trace::reset();
+    trace::set_enabled(true);
+    let w = reshape_clustersim::random_workload_with_faults(11, 6, 36);
+    let result = ClusterSim::new(w.total_procs, MachineParams::system_x()).run(&w.jobs);
+    let spans = trace::drain_spans();
+    trace::set_enabled(false);
+
+    // Parent-edge closure: the validator demands every non-zero parent
+    // resolve to a recorded span and child intervals nest in their parent.
+    let violations = trace::validate(&spans);
+    assert!(violations.is_empty(), "DES trace violations: {violations:?}");
+    // ...and closure within the owning trace specifically: a cross-job
+    // parent edge would pass a pure id lookup but corrupts attribution.
+    let by_id: std::collections::HashMap<u64, &SpanRecord> =
+        spans.iter().map(|s| (s.id, s)).collect();
+    for s in &spans {
+        if s.parent != 0 {
+            let p = by_id[&s.parent];
+            assert_eq!(p.trace, s.trace, "span {} parented across traces", s.id);
+        }
+    }
+
+    let paths = critpath::analyze(&spans);
+    assert_eq!(paths.len(), result.jobs.len(), "one attribution per job");
+    for p in &paths {
+        let outcome = result
+            .jobs
+            .iter()
+            .find(|j| j.job.0 == p.trace)
+            .expect("attribution matches a job");
+        let expected = outcome.finished - outcome.submitted;
+        assert!(
+            (p.makespan - expected).abs() < 1e-6,
+            "{}: root span covers submit..finish ({} vs {expected})",
+            p.name,
+            p.makespan
+        );
+        // Exact accounting: the attribution buckets partition the root
+        // span, so their sum equals the makespan to float round-off even
+        // for cancelled and failed jobs.
+        assert!(
+            (p.total() - p.makespan).abs() < 1e-6,
+            "{}: buckets sum to {} but makespan is {}",
+            p.name,
+            p.total(),
+            p.makespan
+        );
+    }
+}

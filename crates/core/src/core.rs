@@ -1250,6 +1250,33 @@ impl SchedulerCore {
         self.events_dropped
     }
 
+    /// Drop the records, profiler history, and auxiliary per-job state of
+    /// every terminal job (finished / failed / cancelled); returns how many
+    /// records were pruned. Million-job simulations call this periodically
+    /// (after draining the event trace) so scheduler memory is bounded by
+    /// the *live* job count, not the full arrival history. Safe for
+    /// accounting: the busy-time integral behind
+    /// [`SchedulerCore::utilization`] is a running scalar, and terminal
+    /// jobs hold no pool slots. Prunes are not WAL-logged — recovery
+    /// replays the full history — so durable deployments should prune only
+    /// if they can tolerate a recovered core retaining terminal records.
+    pub fn prune_terminal(&mut self) -> usize {
+        let dead: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, r)| r.state.is_terminal())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &dead {
+            self.jobs.remove(id);
+            self.profiler.forget(*id);
+            self.bindings.remove(id);
+            self.pending_cancel.remove(id);
+            self.trace_ids.remove(id);
+        }
+        dead.len()
+    }
+
     /// Alias of [`SchedulerCore::dropped_events`] (original name).
     pub fn events_dropped(&self) -> u64 {
         self.events_dropped

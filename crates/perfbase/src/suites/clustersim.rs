@@ -2,8 +2,8 @@
 //! real SchedulerCore driven by calibrated models. Makespan, utilization,
 //! and turnaround are *virtual* (bit-deterministic for a fixed seed), so
 //! any drift is a genuine policy or cost-model change; the wall metric
-//! tracks how fast the simulator itself runs, which is what the
-//! discrete-event rewrite (ROADMAP item 1) must improve.
+//! tracks how fast the simulator itself runs (now the DES engine — the
+//! `des` area covers its event-queue and scale-path costs directly).
 
 use reshape_clustersim::{random_workload, ClusterSim, MachineParams};
 

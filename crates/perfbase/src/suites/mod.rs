@@ -10,6 +10,7 @@
 
 mod blockcyclic;
 mod clustersim;
+mod des;
 mod redist;
 mod spawn;
 mod wal;
@@ -42,7 +43,7 @@ impl Default for SuiteOpts {
 }
 
 /// Every area, in run order.
-pub const AREAS: [&str; 5] = ["blockcyclic", "redist", "wal", "spawn", "clustersim"];
+pub const AREAS: [&str; 6] = ["blockcyclic", "redist", "wal", "spawn", "clustersim", "des"];
 
 /// Run one area's suite.
 ///
@@ -58,6 +59,7 @@ pub fn run_area(area: &str, opts: SuiteOpts) -> BenchReport {
         "wal" => wal::run(&mut rec, opts),
         "spawn" => spawn::run(&mut rec, opts),
         "clustersim" => clustersim::run(&mut rec, opts),
+        "des" => des::run(&mut rec, opts),
         other => panic!("unknown perfbase area `{other}` (areas: {AREAS:?})"),
     }
     rec.finish()

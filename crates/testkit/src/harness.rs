@@ -42,7 +42,7 @@ pub struct RunStats {
 /// Virtual seconds a hung job sits silent before the modeled watchdog
 /// kills it (the deadline a real deployment derives from the profiled
 /// iteration time; a constant is fine for the virtual-time harness).
-const WATCHDOG_DEADLINE: f64 = 500.0;
+pub(crate) const WATCHDOG_DEADLINE: f64 = 500.0;
 
 /// Per-running-job bookkeeping of the simulated application side.
 struct Live {
@@ -58,7 +58,7 @@ struct Live {
 
 /// Upper bound on scheduler transitions per run; generated workloads use a
 /// few hundred, so hitting this means a livelock.
-const MAX_TRANSITIONS: usize = 100_000;
+pub(crate) const MAX_TRANSITIONS: usize = 100_000;
 
 /// Expand `seed` and drive it. See [`run_scenario`].
 pub fn run_seed(seed: u64) -> Result<RunStats, String> {
@@ -365,7 +365,7 @@ fn register(
     }
 }
 
-fn stats(transitions: usize, events: &[reshape_core::SchedEvent]) -> RunStats {
+pub(crate) fn stats(transitions: usize, events: &[reshape_core::SchedEvent]) -> RunStats {
     let mut st = RunStats {
         transitions,
         ..Default::default()

@@ -15,6 +15,10 @@
 //!   scenario, fires the faults, and runs the oracle after every
 //!   transition; the step-able [`harness::Driver`] lets drills stop and
 //!   splice in a different core mid-run.
+//! * [`des`] — the same scenarios and oracles driven by the
+//!   discrete-event queue from `reshape-clustersim`; `tests/des_sweep.rs`
+//!   proves it transition-equivalent to [`harness::Driver`] across the
+//!   full seed sweep.
 //! * [`crashrestart`] — kills the scheduler at a seeded transition,
 //!   recovers a fresh core from the write-ahead log's durable text form,
 //!   asserts exact snapshot equality, and finishes the run on the
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod crashrestart;
+pub mod des;
 pub mod differential;
 pub mod harness;
 pub mod oracle;
@@ -44,6 +49,7 @@ pub mod scenario;
 pub mod survival;
 
 pub use crashrestart::{run_crash_restart, CrashReport};
+pub use des::{run_seed_des, DesHarness};
 pub use harness::{run_scenario, run_scenario_on, run_seed, Driver, RunStats};
 pub use oracle::{check_invariants, check_trace};
 pub use rng::SplitMix64;

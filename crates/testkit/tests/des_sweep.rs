@@ -1,0 +1,75 @@
+//! Differential sweep: the DES-backed executor must be transition-
+//! equivalent to the legacy scan-based driver on every generated scenario.
+//! Both run the invariant oracle after every transition and the trace
+//! oracle at the end, so this sweep also proves the fault schedules and
+//! invariant checks hold on the new engine.
+
+use reshape_core::SchedulerCore;
+use reshape_testkit::{generate, des::DesHarness, harness::Driver};
+
+fn seeds() -> Vec<u64> {
+    let mut seeds: Vec<u64> = (0..256).collect();
+    if let Ok(s) = std::env::var("TESTKIT_SEED") {
+        if let Ok(s) = s.parse::<u64>() {
+            seeds.push(s);
+        }
+    }
+    seeds
+}
+
+/// The full 256-seed sweep: identical run statistics and bitwise-identical
+/// final scheduler snapshots from both executors.
+#[test]
+fn des_harness_matches_legacy_driver_across_sweep() {
+    for seed in seeds() {
+        let sc = generate(seed);
+        let (legacy_stats, legacy_core) =
+            Driver::new(&sc, SchedulerCore::new(sc.total_procs, sc.policy))
+                .finish()
+                .unwrap_or_else(|e| panic!("legacy driver failed: {e}"));
+        let (des_stats, des_core) =
+            DesHarness::new(&sc, SchedulerCore::new(sc.total_procs, sc.policy))
+                .finish()
+                .unwrap_or_else(|e| panic!("DES harness failed: {e}"));
+        assert_eq!(
+            format!("{legacy_stats:?}"),
+            format!("{des_stats:?}"),
+            "seed {seed}: run statistics diverged"
+        );
+        assert!(
+            legacy_core.snapshot() == des_core.snapshot(),
+            "seed {seed}: final core snapshots diverged"
+        );
+    }
+}
+
+/// The sweep must actually exercise every fault path on the DES engine —
+/// otherwise equivalence is vacuous for the untouched arms.
+#[test]
+fn des_sweep_covers_every_fault_path() {
+    let mut agg = reshape_testkit::RunStats::default();
+    for seed in seeds() {
+        let st = reshape_testkit::run_seed_des(seed)
+            .unwrap_or_else(|e| panic!("DES run failed: {e}"));
+        agg.starts += st.starts;
+        agg.expansions += st.expansions;
+        agg.shrinks += st.shrinks;
+        agg.expand_failures += st.expand_failures;
+        agg.job_failures += st.job_failures;
+        agg.cancellations += st.cancellations;
+        agg.hangs_injected += st.hangs_injected;
+        agg.watchdog_kills += st.watchdog_kills;
+        agg.node_losses_survived += st.node_losses_survived;
+    }
+    assert!(agg.expansions > 0, "sweep never expanded");
+    assert!(agg.shrinks > 0, "sweep never shrank");
+    assert!(agg.expand_failures > 0, "sweep never failed an expansion");
+    assert!(agg.job_failures > 0, "sweep never failed a job");
+    assert!(agg.cancellations > 0, "sweep never cancelled");
+    assert!(agg.hangs_injected > 0, "sweep never hung a job");
+    assert_eq!(
+        agg.hangs_injected, agg.watchdog_kills,
+        "every hang must be watchdog-killed and no healthy job killed"
+    );
+    assert!(agg.node_losses_survived > 0, "sweep never survived a node loss");
+}
