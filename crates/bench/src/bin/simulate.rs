@@ -7,6 +7,12 @@
 //! cargo run -p reshape-bench --bin simulate -- --print-example
 //! ```
 //!
+//! Both run modes accept `--tie-break fifo|seeded:N`, which selects the
+//! DES queue's ordering among simultaneous events: `fifo` (default)
+//! reproduces the recorded-snapshot order, `seeded:N` permutes
+//! same-timestamp events under seed `N` to flush order-dependent policy
+//! assumptions (still fully deterministic per seed).
+//!
 //! The input names the cluster size, queue/remap policies, redistribution
 //! mode, optional advance reservations, and the job list (arrival,
 //! topology, initial configuration, performance model, priority). Output is
@@ -71,6 +77,9 @@ struct JobFile {
     cancel_at: Option<f64>,
     #[serde(default)]
     fail_at: Option<f64>,
+    /// Owning tenant for federated/multi-tenant admission (0 = untenanted).
+    #[serde(default)]
+    tenant: u32,
 }
 
 const EXAMPLE: &str = r#"{
@@ -120,6 +129,30 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     }
 }
 
+/// Parse `--tie-break fifo|seeded:N`: the ordering of simultaneous DES
+/// events. `fifo` (the default) reproduces the recorded-snapshot order;
+/// `seeded:N` runs the same workload under a seeded permutation of
+/// same-timestamp events to flush order-dependent policy assumptions.
+fn tie_break_arg(args: &[String]) -> reshape_clustersim::TieBreak {
+    let Some(raw) = args
+        .iter()
+        .position(|a| a == "--tie-break")
+        .and_then(|i| args.get(i + 1))
+    else {
+        return reshape_clustersim::TieBreak::Fifo;
+    };
+    if raw == "fifo" {
+        return reshape_clustersim::TieBreak::Fifo;
+    }
+    if let Some(seed) = raw.strip_prefix("seeded:") {
+        if let Ok(s) = seed.parse() {
+            return reshape_clustersim::TieBreak::Seeded(s);
+        }
+    }
+    eprintln!("simulate: --tie-break expects `fifo` or `seeded:N`, got `{raw}`");
+    std::process::exit(2);
+}
+
 /// The scale sweep (`--nodes N --jobs M`): a synthetic seeded job stream
 /// through the DES core — no workload file, no per-rank threads, sized for
 /// thousands of nodes and millions of jobs in one process.
@@ -135,6 +168,7 @@ fn run_scale_sweep(args: &[String], nodes: usize) {
     if let Some(iters) = flag_value(args, "--iters") {
         cfg.max_iterations = iters;
     }
+    cfg.tie_break = tie_break_arg(args);
     let r = reshape_clustersim::run_scale(&cfg);
     let mut table = Table::new(vec!["metric", "value"]);
     table.row(vec!["nodes".into(), r.nodes.to_string()]);
@@ -186,8 +220,8 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| {
             eprintln!(
-                "usage: simulate <workload.json> [--json out.json] [--top] | --print-example\n\
-                 \x20      simulate --nodes N --jobs M [--seed S] [--resizable PCT] [--iters K] [--summary-json out.json]"
+                "usage: simulate <workload.json> [--json out.json] [--top] [--tie-break fifo|seeded:N] | --print-example\n\
+                 \x20      simulate --nodes N --jobs M [--seed S] [--resizable PCT] [--iters K] [--tie-break fifo|seeded:N] [--summary-json out.json]"
             );
             std::process::exit(2);
         });
@@ -232,6 +266,7 @@ fn main() {
                 arrival: j.arrival,
                 cancel_at: j.cancel_at,
                 fail_at: j.fail_at,
+                tenant: j.tenant,
             }
         })
         .collect();
@@ -239,7 +274,8 @@ fn main() {
     let mut sim = ClusterSim::new(wf.total_procs, MachineParams::system_x())
         .with_policy(wf.queue_policy)
         .with_remap_policy(wf.remap_policy)
-        .with_redist_mode(wf.redist_mode);
+        .with_redist_mode(wf.redist_mode)
+        .with_des_tie_break(tie_break_arg(&args));
     for (s, e, p) in wf.reservations {
         sim = sim.with_reservation(s, e, p);
     }

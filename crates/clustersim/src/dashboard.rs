@@ -174,6 +174,7 @@ mod tests {
             arrival: 0.0,
             cancel_at: None,
             fail_at: None,
+            tenant: 0,
         };
         ClusterSim::new(16, MachineParams::system_x()).run(&[job])
     }

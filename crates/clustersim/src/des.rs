@@ -257,6 +257,15 @@ pub struct ScaleConfig {
     /// Offered load: arrival gaps are paced so the stream demands about
     /// this fraction of the cluster's cpu-seconds.
     pub target_utilization: f64,
+    /// Ordering among simultaneous events. [`TieBreak::Fifo`] is the
+    /// recorded-baseline order; a seeded tie-break permutes same-timestamp
+    /// events to flush order-dependent policy assumptions at scale.
+    #[serde(default = "default_tie_break")]
+    pub tie_break: TieBreak,
+}
+
+fn default_tie_break() -> TieBreak {
+    TieBreak::Fifo
 }
 
 impl ScaleConfig {
@@ -268,11 +277,17 @@ impl ScaleConfig {
             resizable_percent: 10,
             max_iterations: 3,
             target_utilization: 0.7,
+            tie_break: TieBreak::Fifo,
         }
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    pub fn with_tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie_break = tie;
         self
     }
 }
@@ -552,7 +567,7 @@ impl EventHandler<ScaleEv> for ScaleDriver {
 pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
     assert!(cfg.nodes >= 8, "need at least 8 nodes");
     let wall_start = std::time::Instant::now();
-    let mut sim: Simulation<'_, ScaleEv> = Simulation::new();
+    let mut sim: Simulation<'_, ScaleEv> = Simulation::with_tie_break(cfg.tie_break);
     let driver = Rc::new(RefCell::new(ScaleDriver::new(*cfg)));
     let me = sim.add_component(driver.clone());
     driver.borrow_mut().me = me;

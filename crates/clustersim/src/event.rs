@@ -25,7 +25,7 @@
 use std::collections::BinaryHeap;
 
 /// Ordering policy among events with equal timestamps.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum TieBreak {
     /// Simultaneous events drain in insertion order (legacy-compatible).
     Fifo,

@@ -8,7 +8,6 @@
 //! milliseconds while exercising exactly the scheduling code a real cluster
 //! would.
 
-use std::collections::BinaryHeap;
 
 use reshape_core::{
     Directive, EventKind, JobId, JobSpec, QueuePolicy, SchedEvent, SchedulerCore, StartAction,
@@ -39,6 +38,10 @@ pub struct SimJob {
     /// Optional failure-injection time: the job dies with an application
     /// error (the System Monitor path — resources reclaimed immediately).
     pub fail_at: Option<f64>,
+    /// Owning tenant, consumed by the federation router when a workload is
+    /// fed through multi-tenant admission. The single-cluster simulator
+    /// ignores it entirely; `0` is the conventional "untenanted" id.
+    pub tenant: u32,
 }
 
 /// Per-job outcome of a simulation.
@@ -335,46 +338,18 @@ impl SimResult {
     }
 }
 
-/// Legacy-loop heap entry: `(time, seq)` min-heap, the ordering the DES
-/// queue reproduces with its FIFO tie-break.
-#[derive(Debug)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: Ev,
-}
-
-/// Simulator event payloads, shared by the legacy step loop and the DES
-/// engine (which routes arrivals/cancels/failures to the arrival-source
-/// component and iteration ends to the job-driver component).
+/// Simulator event payloads for the DES engine, which routes
+/// arrivals/cancels/failures to the arrival-source component and
+/// iteration ends to the job-driver component. The DES queue's FIFO
+/// tie-break preserves the `(time, seq)` order the deleted legacy step
+/// loop established, which is what keeps runs bitwise-stable against the
+/// recorded snapshots.
 #[derive(Debug)]
 enum Ev {
     Arrival(usize),
     IterationEnd(JobId),
     Cancel(usize),
     Fail(usize),
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by (time, seq) through BinaryHeap's max ordering.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("finite times")
-            .then(other.seq.cmp(&self.seq))
-    }
 }
 
 struct JobSim {
@@ -404,6 +379,7 @@ struct JobSim {
 ///     arrival: 0.0,
 ///     cancel_at: None,
 ///     fail_at: None,
+///     tenant: 0,
 /// };
 /// let result = ClusterSim::new(36, MachineParams::system_x()).run(&[job]);
 /// assert_eq!(result.jobs.len(), 1);
@@ -425,6 +401,11 @@ pub struct ClusterSim {
     /// Pluggable spawn/redistribution pricing; `None` = the default
     /// [`MachineLatency`] model (bitwise-identical to the pre-DES engine).
     latency: Option<Box<dyn LatencyModel>>,
+    /// Ordering of simultaneous events in the DES queue. [`TieBreak::Fifo`]
+    /// (the default) reproduces the recorded-snapshot order; seeded
+    /// tie-breaks permute simultaneous events to flush order-dependent
+    /// policy assumptions.
+    tie_break: crate::event::TieBreak,
 }
 
 impl ClusterSim {
@@ -439,7 +420,21 @@ impl ClusterSim {
             slot_speeds: Vec::new(),
             naive_placement: false,
             latency: None,
+            tie_break: crate::event::TieBreak::Fifo,
         }
+    }
+
+    /// Override the DES queue's tie-break among simultaneous events.
+    /// `TieBreak::Seeded(s)` runs the same workload under a seeded
+    /// permutation of same-timestamp events — the tool for proving a
+    /// policy result doesn't lean on incidental push order. Results under
+    /// different tie-breaks are *not* expected to be bitwise-identical
+    /// (event interleavings legitimately differ), but every job must still
+    /// reach the same terminal disposition and the run stays
+    /// deterministic for a fixed seed.
+    pub fn with_des_tie_break(mut self, tie: crate::event::TieBreak) -> Self {
+        self.tie_break = tie;
+        self
     }
 
     pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
@@ -524,11 +519,11 @@ impl ClusterSim {
     /// Run the workload to completion and report outcomes.
     ///
     /// Since the DES rewrite this drives the event-queue engine in
-    /// [`crate::des`]; [`ClusterSim::run_legacy`] keeps the original inline
-    /// step loop alive as the reference implementation. Both execute the
-    /// same `ClusterEngine` transition code in the same order, so their
-    /// results are bitwise-equal — re-proved over 256 seeded workloads by
-    /// `tests/des_equivalence.rs`.
+    /// [`crate::des`]. The original inline step loop (`run_legacy`) was
+    /// deleted after the 256-seed bitwise differential suite soaked in
+    /// CI; its behaviour is pinned as recorded result digests in
+    /// `tests/snapshots/des_results.txt`, re-checked by
+    /// `tests/des_equivalence.rs` on every run.
     pub fn run(&self, workload: &[SimJob]) -> SimResult {
         self.run_des(workload)
     }
@@ -596,7 +591,7 @@ impl ClusterSim {
         }
 
         let engine = Rc::new(RefCell::new(ClusterEngine::new(self, workload)));
-        let mut sim: Simulation<'_, Ev> = Simulation::new();
+        let mut sim: Simulation<'_, Ev> = Simulation::with_tie_break(self.tie_break);
         let arrivals = sim.add_component(Rc::new(RefCell::new(ArrivalSource {
             engine: engine.clone(),
         })));
@@ -625,57 +620,15 @@ impl ClusterSim {
             .finish()
     }
 
-    /// The original inline event loop, retained as the reference
-    /// implementation for the differential equivalence suite
-    /// (`tests/des_equivalence.rs`) — deleting it is gated on that suite
-    /// passing. Prefer [`ClusterSim::run`].
-    #[doc(hidden)]
-    pub fn run_legacy(&self, workload: &[SimJob]) -> SimResult {
-        let mut engine = ClusterEngine::new(self, workload);
-        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-        let mut seq = 0u64;
-        {
-            let mut push = |time: f64, kind: Ev| {
-                seq += 1;
-                heap.push(Event { time, seq, kind });
-            };
-            for (i, j) in workload.iter().enumerate() {
-                push(j.arrival, Ev::Arrival(i));
-                if let Some(t) = j.cancel_at {
-                    assert!(t >= j.arrival, "cannot cancel before arrival");
-                    push(t, Ev::Cancel(i));
-                }
-                if let Some(t) = j.fail_at {
-                    assert!(t >= j.arrival, "cannot fail before arrival");
-                    push(t, Ev::Fail(i));
-                }
-            }
-        }
-        while let Some(ev) = heap.pop() {
-            let now = ev.time;
-            engine.note_now(now);
-            let mut push = |time: f64, kind: Ev| {
-                seq += 1;
-                heap.push(Event { time, seq, kind });
-            };
-            match ev.kind {
-                Ev::Arrival(i) => engine.on_arrival(i, now, &mut push),
-                Ev::Cancel(i) => engine.on_cancel(i, now, &mut push),
-                Ev::Fail(i) => engine.on_fail(i, now, &mut push),
-                Ev::IterationEnd(id) => engine.on_iteration_end(id, now, &mut push),
-            }
-        }
-        engine.finish()
-    }
 }
 
 /// The shared transition logic of the cluster simulator: scheduler calls,
 /// cost-model pricing, telemetry and trace emission, and end-of-run result
-/// assembly. Both drivers — [`ClusterSim::run_legacy`]'s inline heap loop
-/// and the DES component engine behind [`ClusterSim::run`] — execute
-/// exactly this code and emit follow-up events through the `push` sink in
-/// identical program order, so identical pop orders yield byte-identical
-/// results, floating point included.
+/// assembly. The DES component engine behind [`ClusterSim::run`] executes
+/// exactly this code and emits follow-up events through the `push` sink in
+/// program order, so identical pop orders yield byte-identical results,
+/// floating point included — which is what lets the recorded snapshot
+/// suite pin every field of every run to the bit.
 struct ClusterEngine<'w> {
     cfg: &'w ClusterSim,
     workload: &'w [SimJob],
@@ -1063,6 +1016,7 @@ mod tests {
             arrival,
             cancel_at: None,
         fail_at: None,
+        tenant: 0,
         }
     }
 
@@ -1182,6 +1136,7 @@ mod tests {
                     arrival: 50.0,
                     cancel_at: None,
         fail_at: None,
+        tenant: 0,
                 },
             ]
         };
@@ -1283,6 +1238,7 @@ mod tests {
             arrival: 0.0,
             cancel_at: None,
         fail_at: None,
+        tenant: 0,
         };
         let result = ClusterSim::new(40, machine).run(&[job]);
         let lu = &result.jobs[0];

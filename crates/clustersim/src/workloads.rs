@@ -57,6 +57,7 @@ fn grid_job(
         arrival,
         cancel_at: None,
         fail_at: None,
+        tenant: 0,
     }
 }
 
@@ -81,6 +82,7 @@ fn linear_job(
         arrival,
         cancel_at: None,
         fail_at: None,
+        tenant: 0,
     }
 }
 
@@ -103,6 +105,7 @@ fn mw_job(initial: usize, unit_time: f64, arrival: f64) -> SimJob {
         arrival,
         cancel_at: None,
         fail_at: None,
+        tenant: 0,
     }
 }
 
@@ -187,6 +190,7 @@ pub fn fig3a_job() -> SimJob {
         arrival: 0.0,
         cancel_at: None,
         fail_at: None,
+        tenant: 0,
     }
 }
 
@@ -300,6 +304,16 @@ pub fn random_workload_with_faults(seed: u64, n_jobs: usize, total_procs: usize)
             _ => {}
         }
     }
+    // Tenant ids for the federation router come from their own third
+    // stream: consuming neither the job-mix nor the fault stream keeps
+    // every existing seed's workload bitwise-stable (the recorded DES
+    // snapshots predate multi-tenancy and still pass). 1–4 tenants,
+    // ids 1..=k — tenant 0 stays the "untenanted" convention.
+    let mut trng = Rng::new(seed ^ 0x7E4A_A247);
+    let n_tenants = 1 + (trng.next() % 4) as u32;
+    for job in &mut w.jobs {
+        job.tenant = 1 + (trng.next() % n_tenants as u64) as u32;
+    }
     w.name = "random+faults";
     w
 }
@@ -333,6 +347,37 @@ mod tests {
     fn as_static_marks_everything() {
         let w = workload1().as_static();
         assert!(w.jobs.iter().all(|j| !j.spec.resizable));
+    }
+
+    /// Tenant ids ride their own SplitMix64 stream: assigning them must
+    /// not perturb the job-mix or fault streams (the recorded DES
+    /// snapshots, blessed before tenancy existed, enforce the bitwise
+    /// half), must be deterministic per seed, and must spread jobs over
+    /// more than one tenant across the sweep so federated admission has
+    /// something to route.
+    #[test]
+    fn tenant_ids_come_from_their_own_stream() {
+        let a = random_workload_with_faults(42, 8, 36);
+        let b = random_workload_with_faults(42, 8, 36);
+        let tenants = |w: &Workload| w.jobs.iter().map(|j| j.tenant).collect::<Vec<_>>();
+        assert_eq!(tenants(&a), tenants(&b), "tenant draw must be seeded");
+        assert!(a.jobs.iter().all(|j| j.tenant >= 1), "0 is reserved for untenanted");
+
+        // Everything *except* the tenant field matches the tenant-free
+        // generator plus the fault stream it has always used.
+        let plain = random_workload(42, 8, 36);
+        assert_eq!(a.jobs.len(), plain.jobs.len());
+        for (f, p) in a.jobs.iter().zip(&plain.jobs) {
+            assert_eq!(f.spec.name, p.spec.name);
+            assert_eq!(f.arrival.to_bits(), p.arrival.to_bits());
+            assert_eq!(format!("{:?}", f.model), format!("{:?}", p.model));
+        }
+
+        let distinct: std::collections::BTreeSet<u32> = (0..16u64)
+            .flat_map(|s| random_workload_with_faults(s, 6, 36).jobs)
+            .map(|j| j.tenant)
+            .collect();
+        assert!(distinct.len() > 1, "sweep must produce multiple tenants");
     }
 
     #[test]

@@ -121,6 +121,29 @@ impl Reservation {
 /// [`SchedulerCore::with_event_cap`]).
 pub const DEFAULT_EVENT_CAP: usize = 65_536;
 
+/// A live borrowed lease on the borrower side: the foreign processors'
+/// federation-global ids and the local slot ids the pool minted for them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BorrowedLease {
+    /// Local slot ids (minted at the pool's high-water mark, `>= total`).
+    pub local: Vec<usize>,
+    /// Federation-global processor ids, as carried by the lease grant.
+    pub global: Vec<usize>,
+}
+
+/// What a lease eviction did: jobs force-shrunk off borrowed slots, jobs
+/// failed because nothing remained, and how many slots left the pool.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EvictOutcome {
+    /// `(job, from, to)` for every job shrunk off the lease's slots.
+    pub shrunk: Vec<(JobId, ProcessorConfig, ProcessorConfig)>,
+    /// Jobs that held only borrowed slots and failed outright.
+    pub failed: Vec<JobId>,
+    /// Borrowed slots detached (0 when the lease was unknown — a duplicate
+    /// eviction is a no-op).
+    pub detached: usize,
+}
+
 /// Everything a [`SchedulerCore`] knows, deep-copied into order-normalized
 /// containers so equality is well-defined. Produced by
 /// [`SchedulerCore::snapshot`]; the crash-restart testkit asserts the
@@ -144,6 +167,15 @@ pub struct CoreSnapshot {
     pub last_tick: f64,
     pub events: Vec<SchedEvent>,
     pub events_dropped: u64,
+    /// Lender-side leases: lease id → native slots away under it.
+    pub lent_leases: BTreeMap<u64, Vec<usize>>,
+    /// Borrower-side leases: lease id → attached foreign slots.
+    pub borrowed_leases: BTreeMap<u64, BorrowedLease>,
+    /// Foreign-slot ids ever minted (behavioral: recovery must mint the
+    /// same ids going forward).
+    pub foreign_minted: usize,
+    /// Brownout: expansion grants currently paused.
+    pub expand_paused: bool,
 }
 
 /// The combined scheduler state machine.
@@ -182,6 +214,13 @@ pub struct SchedulerCore {
     /// Runtime-only bookkeeping — not part of [`CoreSnapshot`] equality
     /// (traces are an observability layer, not scheduler state).
     trace_ids: HashMap<JobId, (u64, u64)>,
+    /// Lender-side lease ledger: lease id → native slots lent under it.
+    lent_leases: BTreeMap<u64, Vec<usize>>,
+    /// Borrower-side lease ledger: lease id → attached foreign slots.
+    borrowed_leases: BTreeMap<u64, BorrowedLease>,
+    /// Brownout: while set, `resize_point` downgrades every Expand decision
+    /// to NoChange (shrinks and completions proceed).
+    expand_paused: bool,
 }
 
 impl SchedulerCore {
@@ -206,6 +245,9 @@ impl SchedulerCore {
             chaos_leak_on_failure: false,
             wal: None,
             trace_ids: HashMap::new(),
+            lent_leases: BTreeMap::new(),
+            borrowed_leases: BTreeMap::new(),
+            expand_paused: false,
         }
     }
 
@@ -432,6 +474,31 @@ impl SchedulerCore {
             }
             WalRecord::CancelReservation { id } => self.cancel_reservation(id),
             WalRecord::Tick { now } => self.tick(now),
+            WalRecord::LendGrant { lease, slots, now } => {
+                let got = self.lend_grant(lease, slots.len(), now);
+                // The pool pick is deterministic, so replay must re-derive
+                // the logged slots exactly; anything else means the WAL and
+                // the state machine disagree and recovery cannot be trusted.
+                assert_eq!(
+                    got.as_deref(),
+                    Some(slots.as_slice()),
+                    "WAL replay diverged on lend_grant(lease {lease})"
+                );
+            }
+            WalRecord::LendReclaim { lease, now } => {
+                self.lend_reclaim(lease, now);
+            }
+            WalRecord::BorrowAttach {
+                lease,
+                global_slots,
+                now,
+            } => {
+                self.borrow_attach(lease, &global_slots, now);
+            }
+            WalRecord::BorrowEvict { lease, now } => {
+                self.borrow_evict(lease, now);
+            }
+            WalRecord::PauseExpansion { on, now } => self.set_expand_paused(on, now),
         }
     }
 
@@ -495,6 +562,10 @@ impl SchedulerCore {
             last_tick: self.last_tick,
             events: self.events.clone(),
             events_dropped: self.events_dropped,
+            lent_leases: self.lent_leases.clone(),
+            borrowed_leases: self.borrowed_leases.clone(),
+            foreign_minted: self.pool.foreign_minted(),
+            expand_paused: self.expand_paused,
         }
     }
 
@@ -788,7 +859,9 @@ impl SchedulerCore {
             queue_head_need,
             remaining_iters,
         };
-        let max_procs = self.pool.total();
+        // Expansion headroom is what the pool *currently* owns — borrowed
+        // slots expand a borrower's ceiling, lent slots lower a lender's.
+        let max_procs = self.pool.owned();
         let decision = decide_with(
             self.remap_policy,
             &spec,
@@ -797,6 +870,17 @@ impl SchedulerCore {
             &snapshot,
             max_procs,
         );
+        // Brownout: expansion grants pause, shrinks and completions proceed.
+        // Downgrade before recording so the audit trail shows what was
+        // actually granted. The profiler is untouched — the policy's history
+        // stays clean for when the brownout lifts.
+        let decision = match decision {
+            RemapDecision::Expand { .. } if self.expand_paused => {
+                reshape_telemetry::incr("core.expansions_browned_out", 1);
+                RemapDecision::NoChange
+            }
+            d => d,
+        };
         if reshape_telemetry::enabled() {
             let (decision_str, to_str) = match &decision {
                 RemapDecision::Expand { to } => ("expand", Some(to.to_string())),
@@ -1184,6 +1268,250 @@ impl SchedulerCore {
             }
             _ => Vec::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Federation leases: processor lending between scheduler shards
+    // ------------------------------------------------------------------
+
+    /// Lender side: detach `n` idle processors under lease `lease`. The
+    /// slots are picked exactly like an allocation (so the choice is
+    /// deterministic and WAL-replayable) but marked lent — they count
+    /// neither free nor busy here until [`SchedulerCore::lend_reclaim`].
+    ///
+    /// Returns `None` without side effects (and without logging) when the
+    /// lease id is already live, `n` is zero, or fewer than `n` processors
+    /// are idle after reservation withholding — a declined grant must leave
+    /// no trace.
+    pub fn lend_grant(&mut self, lease: u64, n: usize, now: f64) -> Option<Vec<usize>> {
+        let now = self.sane_now(now);
+        if n == 0 || self.lent_leases.contains_key(&lease) {
+            return None;
+        }
+        if self.available_for(now, None) < n {
+            return None;
+        }
+        self.tick(now);
+        let slots = self.pool.lend(n)?;
+        self.log(WalRecord::LendGrant {
+            lease,
+            slots: slots.clone(),
+            now,
+        });
+        self.lent_leases.insert(lease, slots.clone());
+        reshape_telemetry::incr("core.lease_grants", 1);
+        reshape_telemetry::gauge_set(
+            "core.procs_lent",
+            self.lent_leases.values().map(Vec::len).sum::<usize>() as f64,
+        );
+        Some(slots)
+    }
+
+    /// Lender side: the lease ended — the borrower released it, or its
+    /// reclaim timeout fired. The lent slots rejoin the pool and queued
+    /// work is started with them. Idempotent: an unknown lease id (already
+    /// reclaimed, or never granted) is a strict no-op and logs nothing.
+    pub fn lend_reclaim(&mut self, lease: u64, now: f64) -> Vec<StartAction> {
+        let now = self.sane_now(now);
+        if !self.lent_leases.contains_key(&lease) {
+            return Vec::new();
+        }
+        self.log(WalRecord::LendReclaim { lease, now });
+        self.tick(now);
+        let slots = self.lent_leases.remove(&lease).expect("checked above");
+        self.pool.reattach(&slots);
+        reshape_telemetry::incr("core.lease_reclaims", 1);
+        reshape_telemetry::gauge_set(
+            "core.procs_lent",
+            self.lent_leases.values().map(Vec::len).sum::<usize>() as f64,
+        );
+        self.schedule_now(now)
+    }
+
+    /// Borrower side: attach foreign processors granted under `lease`.
+    /// `global_slots` are federation-global processor ids (recorded in the
+    /// WAL for ledger audits); the pool mints fresh local ids for them and
+    /// queued work may start on the new capacity immediately. Idempotent:
+    /// re-attaching a live lease (a duplicated grant frame) is a strict
+    /// no-op.
+    pub fn borrow_attach(
+        &mut self,
+        lease: u64,
+        global_slots: &[usize],
+        now: f64,
+    ) -> Vec<StartAction> {
+        let now = self.sane_now(now);
+        if global_slots.is_empty() || self.borrowed_leases.contains_key(&lease) {
+            return Vec::new();
+        }
+        self.log(WalRecord::BorrowAttach {
+            lease,
+            global_slots: global_slots.to_vec(),
+            now,
+        });
+        self.tick(now);
+        let local = self.pool.attach_foreign(global_slots.len());
+        self.borrowed_leases.insert(
+            lease,
+            BorrowedLease {
+                local,
+                global: global_slots.to_vec(),
+            },
+        );
+        reshape_telemetry::incr("core.lease_borrows", 1);
+        reshape_telemetry::gauge_set(
+            "core.procs_borrowed",
+            self.borrowed_leases
+                .values()
+                .map(|b| b.local.len())
+                .sum::<usize>() as f64,
+        );
+        self.schedule_now(now)
+    }
+
+    /// Borrower side: the lease expired (or is being returned early) —
+    /// every one of its slots leaves this pool *now*, in one atomic
+    /// transition. Jobs still holding borrowed slots are force-shrunk off
+    /// them (the [`SchedulerCore::on_node_failed`] path: the degraded size
+    /// is recorded as a shrink so the policy can re-expand later); a job
+    /// left with zero processors fails. Idempotent: an unknown lease is a
+    /// strict no-op.
+    ///
+    /// Doing the eviction and the detach in one transition is what makes
+    /// the federation ledger sound: there is no window in which a freed
+    /// borrowed slot could be re-granted to a queued job between "evict"
+    /// and "detach".
+    pub fn borrow_evict(&mut self, lease: u64, now: f64) -> EvictOutcome {
+        let now = self.sane_now(now);
+        let mut outcome = EvictOutcome::default();
+        if !self.borrowed_leases.contains_key(&lease) {
+            return outcome;
+        }
+        self.log(WalRecord::BorrowEvict { lease, now });
+        self.tick(now);
+        let bl = self.borrowed_leases.remove(&lease).expect("checked above");
+        let dead: BTreeSet<usize> = bl.local.iter().copied().collect();
+        let mut affected: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, r)| {
+                matches!(r.state, JobState::Running { .. })
+                    && r.slots.iter().any(|s| dead.contains(s))
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        affected.sort();
+        for job in affected {
+            let (from, lost, remaining) = {
+                let rec = self.jobs.get_mut(&job).expect("selected above");
+                let JobState::Running { config: from } = rec.state else {
+                    unreachable!("selected running jobs only");
+                };
+                let lost = rec.slots.iter().filter(|s| dead.contains(s)).count();
+                rec.slots.retain(|s| !dead.contains(s));
+                (from, lost, rec.slots.len())
+            };
+            if remaining == 0 {
+                let reason = format!("lease {lease} expired: all processors evicted");
+                let rec = self.jobs.get_mut(&job).expect("selected above");
+                rec.state = JobState::Failed {
+                    at: now,
+                    reason: reason.clone(),
+                };
+                rec.finished_at = Some(now);
+                self.push_event(SchedEvent {
+                    time: now,
+                    job,
+                    kind: EventKind::Failed { reason },
+                });
+                self.trace_close(job, now);
+                outcome.failed.push(job);
+            } else {
+                let to = ProcessorConfig::linear(remaining);
+                self.jobs.get_mut(&job).expect("selected above").state =
+                    JobState::Running { config: to };
+                self.profiler
+                    .record_resize(job, Resize::Shrunk { from, to }, 0.0);
+                self.push_event(SchedEvent {
+                    time: now,
+                    job,
+                    kind: EventKind::NodeFailed { from, to, lost },
+                });
+                outcome.shrunk.push((job, from, to));
+            }
+        }
+        for &s in &bl.local {
+            self.pool.detach_foreign_slot(s);
+        }
+        outcome.detached = bl.local.len();
+        reshape_telemetry::incr("core.lease_evictions", 1);
+        reshape_telemetry::gauge_set(
+            "core.procs_borrowed",
+            self.borrowed_leases
+                .values()
+                .map(|b| b.local.len())
+                .sum::<usize>() as f64,
+        );
+        outcome
+    }
+
+    /// Brownout control: while paused, `resize_point` downgrades every
+    /// Expand decision to NoChange (shrinks, completions and new
+    /// admissions proceed — the cluster degrades, it does not stall).
+    /// Idempotent: setting the current value logs nothing.
+    pub fn set_expand_paused(&mut self, on: bool, now: f64) {
+        let now = self.sane_now(now);
+        if self.expand_paused == on {
+            return;
+        }
+        self.log(WalRecord::PauseExpansion { on, now });
+        self.tick(now);
+        self.expand_paused = on;
+        reshape_telemetry::gauge_set("core.expand_paused", if on { 1.0 } else { 0.0 });
+    }
+
+    /// Whether expansion grants are currently browned out.
+    pub fn expand_paused(&self) -> bool {
+        self.expand_paused
+    }
+
+    /// Lender-side lease ledger: lease id → native slots away under it.
+    pub fn lent_leases(&self) -> &BTreeMap<u64, Vec<usize>> {
+        &self.lent_leases
+    }
+
+    /// Borrower-side lease ledger: lease id → attached foreign slots.
+    pub fn borrowed_leases(&self) -> &BTreeMap<u64, BorrowedLease> {
+        &self.borrowed_leases
+    }
+
+    /// Native processors currently lent to other shards.
+    pub fn lent_procs(&self) -> usize {
+        self.lent_leases.values().map(Vec::len).sum()
+    }
+
+    /// Foreign processors currently borrowed from other shards.
+    pub fn borrowed_procs(&self) -> usize {
+        self.borrowed_leases.values().map(|b| b.local.len()).sum()
+    }
+
+    /// Capacity this core currently schedules over (native − lent +
+    /// borrowed); equals [`SchedulerCore::total_procs`] without leases.
+    pub fn owned_procs(&self) -> usize {
+        self.pool.owned()
+    }
+
+    /// Whether `slot` is currently owned by this core's pool.
+    pub fn slot_owned(&self, slot: usize) -> bool {
+        self.pool.is_owned(slot)
+    }
+
+    /// Initial processor need of the queue head, if any — what a starved
+    /// shard asks the federation to cover with a lease.
+    pub fn queue_head_need(&self) -> Option<usize> {
+        self.queue
+            .front()
+            .map(|j| self.jobs[j].spec.initial.procs())
     }
 
     // ------------------------------------------------------------------
@@ -1836,5 +2164,129 @@ mod tests {
         let again = core.on_finished(a, 11.0);
         assert!(again.is_empty());
         assert_eq!(core.idle_procs(), 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Federation leases
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn lend_grant_and_reclaim_roundtrip() {
+        let mut core = SchedulerCore::new(8, QueuePolicy::Fcfs);
+        let slots = core.lend_grant(1, 3, 0.0).unwrap();
+        assert_eq!(slots, vec![0, 1, 2]);
+        assert_eq!((core.owned_procs(), core.idle_procs(), core.lent_procs()), (5, 5, 3));
+        // A duplicate grant for the same lease id is refused.
+        assert!(core.lend_grant(1, 2, 1.0).is_none());
+        // Lending beyond idle is refused without side effects.
+        assert!(core.lend_grant(2, 6, 1.0).is_none());
+        assert_eq!(core.idle_procs(), 5);
+        // Reclaim brings them home and is idempotent.
+        core.lend_reclaim(1, 5.0);
+        assert_eq!((core.owned_procs(), core.idle_procs(), core.lent_procs()), (8, 8, 0));
+        assert!(core.lend_reclaim(1, 6.0).is_empty());
+        assert_eq!(core.idle_procs(), 8);
+    }
+
+    #[test]
+    fn reclaim_starts_queued_work() {
+        let mut core = SchedulerCore::new(4, QueuePolicy::Fcfs);
+        core.lend_grant(1, 2, 0.0).unwrap();
+        // Needs 4, only 2 owned-and-idle: queues.
+        let (b, s) = core.submit(lu(8000, 2, 2), 1.0);
+        assert!(s.is_empty());
+        let started = core.lend_reclaim(1, 2.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, b);
+    }
+
+    #[test]
+    fn borrow_attach_starts_queued_work_and_expands_ceiling() {
+        let mut core = SchedulerCore::new(2, QueuePolicy::Fcfs);
+        let (b, s) = core.submit(lu(8000, 2, 2), 0.0);
+        assert!(s.is_empty(), "needs 4 of 2");
+        let started = core.borrow_attach(9, &[100, 101], 1.0);
+        assert_eq!(started.len(), 1);
+        assert_eq!(started[0].job, b);
+        // Local ids are minted above the native range.
+        assert_eq!(started[0].slots, vec![0, 1, 2, 3]);
+        assert_eq!((core.owned_procs(), core.borrowed_procs()), (4, 2));
+        // Duplicate grant frame: strict no-op.
+        assert!(core.borrow_attach(9, &[100, 101], 2.0).is_empty());
+        assert_eq!(core.owned_procs(), 4);
+    }
+
+    #[test]
+    fn borrow_evict_shrinks_jobs_off_borrowed_slots() {
+        let mut core = SchedulerCore::new(2, QueuePolicy::Fcfs);
+        let (a, s) = core.submit(mw(4), 0.0);
+        assert!(s.is_empty());
+        core.borrow_attach(9, &[100, 101], 1.0);
+        assert!(matches!(core.job(a).unwrap().state, JobState::Running { .. }));
+        let out = core.borrow_evict(9, 10.0);
+        assert_eq!(out.detached, 2);
+        assert_eq!(out.shrunk.len(), 1);
+        let (job, from, to) = out.shrunk[0];
+        assert_eq!(job, a);
+        assert_eq!((from.procs(), to.procs()), (4, 2));
+        // The job survived on its native slots; the pool shrank back.
+        assert_eq!((core.owned_procs(), core.busy_procs(), core.borrowed_procs()), (2, 2, 0));
+        assert_eq!(core.job(a).unwrap().slots, vec![0, 1]);
+        // Duplicate eviction: strict no-op.
+        let out2 = core.borrow_evict(9, 11.0);
+        assert_eq!(out2, EvictOutcome::default());
+    }
+
+    #[test]
+    fn borrow_evict_fails_job_with_nothing_left() {
+        let mut core = SchedulerCore::new(2, QueuePolicy::Fcfs);
+        let (a, _) = core.submit(mw(2), 0.0); // takes both native slots
+        core.borrow_attach(9, &[100, 101], 1.0);
+        let (b, s) = core.submit(mw(2), 2.0);
+        assert_eq!(s.len(), 1, "second job runs entirely on borrowed slots");
+        let out = core.borrow_evict(9, 10.0);
+        assert_eq!(out.failed, vec![b]);
+        assert!(out.shrunk.is_empty());
+        assert!(matches!(core.job(b).unwrap().state, JobState::Failed { .. }));
+        assert!(matches!(core.job(a).unwrap().state, JobState::Running { .. }));
+        assert_eq!((core.owned_procs(), core.busy_procs()), (2, 2));
+    }
+
+    #[test]
+    fn brownout_pauses_expansion_but_not_shrink() {
+        let mut core = SchedulerCore::new(16, QueuePolicy::Fcfs);
+        let (a, _) = core.submit(lu(8000, 1, 2), 0.0);
+        core.set_expand_paused(true, 5.0);
+        assert!(core.expand_paused());
+        // This resize point would expand into the idle cluster (see
+        // resize_point_expands_into_idle_cluster); browned out it must not.
+        let (d, _) = core.resize_point(a, 100.0, 0.0, 10.0);
+        assert_eq!(d, Directive::NoChange);
+        assert_eq!(core.busy_procs(), 2);
+        // Release: the next resize point expands again.
+        core.set_expand_paused(false, 20.0);
+        let (d, _) = core.resize_point(a, 100.0, 0.0, 30.0);
+        assert!(matches!(d, Directive::Expand { .. }));
+    }
+
+    #[test]
+    fn lease_transitions_recover_from_wal() {
+        let mut core = SchedulerCore::new(8, QueuePolicy::Fcfs).with_wal(Wal::in_memory());
+        let (a, _) = core.submit(mw(2), 0.0);
+        core.lend_grant(1, 2, 1.0).unwrap();
+        core.borrow_attach(2, &[40, 41, 42], 2.0);
+        core.resize_point(a, 10.0, 0.0, 3.0);
+        core.set_expand_paused(true, 4.0);
+        core.borrow_evict(2, 5.0);
+        core.lend_reclaim(1, 6.0);
+        core.set_expand_paused(false, 7.0);
+        core.borrow_attach(3, &[50], 8.0);
+        let before = core.snapshot();
+        let wal = core.take_wal().unwrap();
+        let recovered = SchedulerCore::recover(Wal::decode(&wal.encode()).unwrap()).unwrap();
+        assert_eq!(recovered.snapshot(), before);
+        // Foreign-id high-water mark survives: the next attach on both
+        // cores mints identical local ids.
+        assert_eq!(before.foreign_minted, 4);
     }
 }

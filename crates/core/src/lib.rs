@@ -32,8 +32,8 @@ mod topology;
 pub mod wal;
 
 pub use crate::core::{
-    CoreSnapshot, Directive, EventKind, JobRecord, QueuePolicy, Reservation, ReservationId,
-    SchedEvent, SchedulerCore, StartAction,
+    BorrowedLease, CoreSnapshot, Directive, EventKind, EvictOutcome, JobRecord, QueuePolicy,
+    Reservation, ReservationId, SchedEvent, SchedulerCore, StartAction,
 };
 pub use wal::{Wal, WalError, WalRecord};
 pub use job::{JobId, JobSpec, JobState};

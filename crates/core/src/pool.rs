@@ -23,8 +23,21 @@ pub enum AllocOrder {
     FastestFirst,
 }
 
-/// A pool of processor slots, identified `0..total`. Slot `s` lives on
-/// cluster node `s / slots_per_node` (the paper's nodes host 2 CPUs each).
+/// A pool of processor slots. Native slots are identified `0..total`; slot
+/// `s` lives on cluster node `s / slots_per_node` (the paper's nodes host 2
+/// CPUs each).
+///
+/// Federated scheduling adds two cross-pool accounting states on top of
+/// free/busy:
+///
+/// * **lent** — a native slot handed to another pool under a lease
+///   ([`ResourcePool::lend`]). It counts neither free nor busy here until
+///   [`ResourcePool::reattach`] brings it home.
+/// * **borrowed** — a foreign processor attached under a lease
+///   ([`ResourcePool::attach_foreign`]). Borrowed slots get fresh local ids
+///   at a high-water mark `>= total` (ids are never reused, so a stale
+///   reference can never alias a later lease) and count toward
+///   [`ResourcePool::owned`] until detached.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ResourcePool {
     total: usize,
@@ -32,6 +45,13 @@ pub struct ResourcePool {
     /// Relative speed of each slot (1.0 = nominal).
     speeds: Vec<f64>,
     order: AllocOrder,
+    /// Native slots currently lent to another pool.
+    lent: BTreeSet<usize>,
+    /// Local ids of borrowed (foreign) slots currently attached.
+    foreign: BTreeSet<usize>,
+    /// Next local id minted for a borrowed slot; monotone, starts at
+    /// `total`.
+    next_foreign: usize,
 }
 
 impl ResourcePool {
@@ -42,6 +62,9 @@ impl ResourcePool {
             free: (0..total).collect(),
             speeds: vec![1.0; total],
             order: AllocOrder::LowestId,
+            lent: BTreeSet::new(),
+            foreign: BTreeSet::new(),
+            next_foreign: total,
         }
     }
 
@@ -53,11 +76,15 @@ impl ResourcePool {
             speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
             "speed factors must be positive and finite"
         );
+        let total = speeds.len();
         ResourcePool {
-            total: speeds.len(),
-            free: (0..speeds.len()).collect(),
+            total,
+            free: (0..total).collect(),
             speeds,
             order: AllocOrder::FastestFirst,
+            lent: BTreeSet::new(),
+            foreign: BTreeSet::new(),
+            next_foreign: total,
         }
     }
 
@@ -67,8 +94,16 @@ impl ResourcePool {
         self
     }
 
+    /// Native capacity (slots this pool was created with), regardless of
+    /// lending state.
     pub fn total(&self) -> usize {
         self.total
+    }
+
+    /// Capacity this pool currently schedules over: native minus lent plus
+    /// borrowed. Equal to [`ResourcePool::total`] when no leases are live.
+    pub fn owned(&self) -> usize {
+        self.total - self.lent.len() + self.foreign.len()
     }
 
     pub fn idle(&self) -> usize {
@@ -76,7 +111,34 @@ impl ResourcePool {
     }
 
     pub fn busy(&self) -> usize {
-        self.total - self.free.len()
+        self.owned() - self.free.len()
+    }
+
+    /// Native slots currently lent away, ascending.
+    pub fn lent_slots(&self) -> Vec<usize> {
+        self.lent.iter().copied().collect()
+    }
+
+    /// Local ids of borrowed slots currently attached, ascending.
+    pub fn borrowed_slots(&self) -> Vec<usize> {
+        self.foreign.iter().copied().collect()
+    }
+
+    /// How many foreign-slot local ids have ever been minted (the
+    /// high-water mark minus `total`). Part of behavioral state: a
+    /// recovered pool must mint the same ids the original would have.
+    pub fn foreign_minted(&self) -> usize {
+        self.next_foreign - self.total
+    }
+
+    /// Whether `slot` is currently owned by this pool (native and not
+    /// lent, or an attached borrowed slot).
+    pub fn is_owned(&self, slot: usize) -> bool {
+        if slot < self.total {
+            !self.lent.contains(&slot)
+        } else {
+            self.foreign.contains(&slot)
+        }
     }
 
     /// Speed factor of a slot.
@@ -131,13 +193,69 @@ impl ResourcePool {
     ///
     /// # Panics
     ///
-    /// Panics on double release or an out-of-range slot — both indicate
+    /// Panics on double release or a slot the pool does not currently own
+    /// (out of range, lent away, or a detached borrow) — all indicate
     /// scheduler bookkeeping bugs that must not be masked.
     pub fn release(&mut self, slots: &[usize]) {
         for &s in slots {
-            assert!(s < self.total, "slot {s} out of range");
+            assert!(self.is_owned(s), "slot {s} not owned by this pool");
             assert!(self.free.insert(s), "slot {s} double-released");
         }
+    }
+
+    /// Lend `n` idle slots to another pool: they are picked exactly like an
+    /// allocation but marked *lent* instead of busy, so they count neither
+    /// free nor busy until [`ResourcePool::reattach`]. Returns `None`
+    /// without side effects if fewer than `n` are free.
+    pub fn lend(&mut self, n: usize) -> Option<Vec<usize>> {
+        let slots = self.allocate(n)?;
+        for &s in &slots {
+            self.lent.insert(s);
+        }
+        Some(slots)
+    }
+
+    /// Bring lent native slots home; they rejoin the free set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is not currently lent — reclaiming a slot twice
+    /// (or one never lent) is a lease-protocol bug.
+    pub fn reattach(&mut self, slots: &[usize]) {
+        for &s in slots {
+            assert!(self.lent.remove(&s), "slot {s} not lent");
+            assert!(self.free.insert(s), "slot {s} double-released");
+        }
+    }
+
+    /// Attach `n` borrowed foreign slots, minting fresh local ids at the
+    /// high-water mark (speed 1.0 — the federation's lease protocol is
+    /// speed-agnostic). The new slots start free.
+    pub fn attach_foreign(&mut self, n: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = self.next_foreign;
+            self.next_foreign += 1;
+            if self.speeds.len() <= id {
+                self.speeds.resize(id + 1, 1.0);
+            }
+            self.foreign.insert(id);
+            self.free.insert(id);
+            out.push(id);
+        }
+        out
+    }
+
+    /// Detach one borrowed slot (lease expiry / release). The slot may be
+    /// free (graceful detach) or held by a job the caller just evicted —
+    /// either way it leaves the pool entirely. Returns whether it was free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not an attached borrowed slot.
+    pub fn detach_foreign_slot(&mut self, slot: usize) -> bool {
+        assert!(self.foreign.remove(&slot), "slot {slot} not borrowed");
+        self.free.remove(&slot)
     }
 }
 
@@ -179,10 +297,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
+    #[should_panic(expected = "not owned")]
     fn out_of_range_release_panics() {
         let mut p = ResourcePool::new(4);
         p.release(&[9]);
+    }
+
+    #[test]
+    fn lend_removes_slots_from_both_free_and_busy() {
+        let mut p = ResourcePool::new(8);
+        let lent = p.lend(3).unwrap();
+        assert_eq!(lent, vec![0, 1, 2]);
+        assert_eq!((p.total(), p.owned(), p.idle(), p.busy()), (8, 5, 5, 0));
+        assert!(!p.is_owned(0) && p.is_owned(3));
+        // A lent slot cannot be released back while away.
+        let a = p.allocate(5).unwrap();
+        assert_eq!(a, vec![3, 4, 5, 6, 7]);
+        assert!(p.allocate(1).is_none(), "lent slots are not allocatable");
+        p.reattach(&lent);
+        assert_eq!((p.owned(), p.idle(), p.busy()), (8, 3, 5));
+        assert_eq!(p.allocate(3).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not owned")]
+    fn releasing_a_lent_slot_panics() {
+        let mut p = ResourcePool::new(4);
+        p.lend(1).unwrap();
+        p.release(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not lent")]
+    fn double_reattach_panics() {
+        let mut p = ResourcePool::new(4);
+        let lent = p.lend(1).unwrap();
+        p.reattach(&lent);
+        p.reattach(&lent);
+    }
+
+    #[test]
+    fn borrowed_slots_mint_monotone_ids() {
+        let mut p = ResourcePool::new(4);
+        let b1 = p.attach_foreign(2);
+        assert_eq!(b1, vec![4, 5]);
+        assert_eq!((p.total(), p.owned(), p.idle()), (4, 6, 6));
+        assert!(p.is_owned(4));
+        assert_eq!(p.speed(5), 1.0);
+        // Detach one free, allocate across the native/borrowed boundary.
+        assert!(p.detach_foreign_slot(4), "slot was free");
+        assert_eq!(p.owned(), 5);
+        let a = p.allocate(5).unwrap();
+        assert_eq!(a, vec![0, 1, 2, 3, 5]);
+        // Detaching a held slot reports it was not free.
+        assert!(!p.detach_foreign_slot(5));
+        assert_eq!((p.owned(), p.busy()), (4, 4));
+        // Ids are never reused: the next attach mints fresh ones.
+        assert_eq!(p.attach_foreign(1), vec![6]);
+        assert_eq!(p.foreign_minted(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not borrowed")]
+    fn detaching_a_native_slot_panics() {
+        let mut p = ResourcePool::new(4);
+        p.detach_foreign_slot(2);
     }
 
     #[test]

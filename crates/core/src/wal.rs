@@ -124,6 +124,41 @@ pub enum WalRecord {
     Tick {
         now: f64,
     },
+    /// Federation lease, lender side: `slots` (picked deterministically by
+    /// the pool order) left this pool under lease `lease`. They count
+    /// neither free nor busy until the matching `lend_reclaim`.
+    LendGrant {
+        lease: u64,
+        slots: Vec<usize>,
+        now: f64,
+    },
+    /// Federation lease, lender side: the lease ended (borrower released it
+    /// or the reclaim timeout fired) and its slots rejoined the pool.
+    LendReclaim {
+        lease: u64,
+        now: f64,
+    },
+    /// Federation lease, borrower side: `global_slots` (federation-global
+    /// processor ids, recorded for ledger audits) were attached under lease
+    /// `lease`; the pool minted fresh local ids for them.
+    BorrowAttach {
+        lease: u64,
+        global_slots: Vec<usize>,
+        now: f64,
+    },
+    /// Federation lease, borrower side: the lease expired or was released —
+    /// jobs still holding its slots were force-shrunk off them (or failed
+    /// if nothing remained) and every slot of the lease detached.
+    BorrowEvict {
+        lease: u64,
+        now: f64,
+    },
+    /// Brownout control: expansion grants paused (`on = true`) or resumed.
+    /// Shrinks and completions proceed regardless.
+    PauseExpansion {
+        on: bool,
+        now: f64,
+    },
 }
 
 /// Why a WAL could not be loaded or replayed.
@@ -365,6 +400,11 @@ pub fn record_histogram(records: &[WalRecord]) -> BTreeMap<&'static str, usize> 
             WalRecord::Reserve { .. } => "reserve",
             WalRecord::CancelReservation { .. } => "cancel_reservation",
             WalRecord::Tick { .. } => "tick",
+            WalRecord::LendGrant { .. } => "lend_grant",
+            WalRecord::LendReclaim { .. } => "lend_reclaim",
+            WalRecord::BorrowAttach { .. } => "borrow_attach",
+            WalRecord::BorrowEvict { .. } => "borrow_evict",
+            WalRecord::PauseExpansion { .. } => "pause_expansion",
         };
         *h.entry(k).or_insert(0) += 1;
     }
@@ -402,6 +442,25 @@ mod tests {
                 end: 20.0,
                 procs: 4,
             },
+            WalRecord::LendGrant {
+                lease: 7,
+                slots: vec![0, 1],
+                now: 11.0,
+            },
+            WalRecord::BorrowAttach {
+                lease: 8,
+                global_slots: vec![12, 13],
+                now: 11.5,
+            },
+            WalRecord::BorrowEvict {
+                lease: 8,
+                now: 14.0,
+            },
+            WalRecord::LendReclaim {
+                lease: 7,
+                now: 15.0,
+            },
+            WalRecord::PauseExpansion { on: true, now: 16.0 },
         ]
     }
 

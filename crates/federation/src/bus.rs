@@ -1,0 +1,227 @@
+//! The lease bus: one sequenced, retransmitting link per directed shard
+//! pair, with optional seeded chaos (loss / duplication / reordering) on
+//! the wire.
+//!
+//! The bus owns only protocol state ([`SeqSender`]/[`SeqReceiver`] per
+//! link) — it has no clock and no queue. Every call returns the wire
+//! events the caller must schedule on its own timer wheel. Endpoints live
+//! at the federation layer, *not* inside shards, so they survive shard
+//! crashes: frames for a down shard still ack (the federation buffers the
+//! payloads for replay at recovery), which keeps retransmission bounded.
+
+use std::collections::BTreeMap;
+
+use reshape_core::ctrl::seq::{Frame, SeqReceiver, SeqSender};
+use reshape_core::ctrl::ChaosConfig;
+
+use crate::lease::LeaseMsg;
+
+/// Wire parameters for the lease bus.
+#[derive(Clone, Copy, Debug)]
+pub struct BusConfig {
+    /// One-way frame latency (virtual seconds).
+    pub latency: f64,
+    /// Retransmit timeout for unacked frames.
+    pub rto: f64,
+    /// Optional seeded wire chaos; `None` is a perfect wire.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            latency: 0.05,
+            rto: 1.0,
+            chaos: None,
+        }
+    }
+}
+
+/// A wire event for the federation's timer wheel.
+#[derive(Clone, Debug)]
+pub enum BusEvent {
+    /// Frame from `from`'s sender arriving at `to`'s receiver.
+    Deliver {
+        from: usize,
+        to: usize,
+        frame: Frame<LeaseMsg>,
+    },
+    /// Cumulative ack for link `from → to` arriving back at `from`.
+    AckDeliver { from: usize, to: usize, cum: u64 },
+    /// Poll link `from → to` for retransmissions.
+    Retransmit { from: usize, to: usize },
+}
+
+/// SplitMix64 — deterministic per-link chaos stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+}
+
+struct Link {
+    tx: SeqSender<LeaseMsg>,
+    rx: SeqReceiver<LeaseMsg>,
+    rng: Rng,
+    /// One retransmit poll is outstanding on the wheel (keeps the timer
+    /// population at ≤ 1 per link).
+    retx_scheduled: bool,
+}
+
+/// All directed links between shards.
+pub struct Bus {
+    cfg: BusConfig,
+    links: BTreeMap<(usize, usize), Link>,
+}
+
+impl Bus {
+    pub fn new(cfg: BusConfig) -> Self {
+        assert!(cfg.rto > 0.0, "bus rto must be positive");
+        assert!(cfg.latency >= 0.0, "bus latency must be non-negative");
+        Bus {
+            cfg,
+            links: BTreeMap::new(),
+        }
+    }
+
+    fn link(&mut self, from: usize, to: usize) -> &mut Link {
+        let cfg = self.cfg;
+        self.links.entry((from, to)).or_insert_with(|| Link {
+            tx: SeqSender::new(cfg.rto),
+            rx: SeqReceiver::new(),
+            rng: Rng(cfg.chaos.map(|c| c.seed).unwrap_or(0)
+                ^ ((from as u64) << 32 | to as u64)
+                ^ 0xB0_5EED),
+            retx_scheduled: false,
+        })
+    }
+
+    /// Chaos-mangle one frame onto the wire: returns 0, 1 or 2 deliveries.
+    fn wire_frame(
+        &mut self,
+        now: f64,
+        from: usize,
+        to: usize,
+        frame: Frame<LeaseMsg>,
+        out: &mut Vec<(f64, BusEvent)>,
+    ) {
+        let latency = self.cfg.latency;
+        let rto = self.cfg.rto;
+        let chaos = self.cfg.chaos;
+        let link = self.link(from, to);
+        let mut copies = 1;
+        if let Some(c) = chaos {
+            if link.rng.chance(c.loss) {
+                copies = 0;
+            } else if link.rng.chance(c.dup) {
+                copies = 2;
+            }
+        }
+        for i in 0..copies {
+            let mut at = now + latency * (1 + i) as f64;
+            if let Some(c) = chaos {
+                if link.rng.chance(c.reorder) {
+                    // Hold the frame back past the next send window.
+                    at += latency * 2.0 + rto * 0.5;
+                }
+            }
+            out.push((
+                at,
+                BusEvent::Deliver {
+                    from,
+                    to,
+                    frame: frame.clone(),
+                },
+            ));
+        }
+    }
+
+    /// Queue `msg` on link `from → to`. Returns wire events to schedule.
+    pub fn send(
+        &mut self,
+        now: f64,
+        from: usize,
+        to: usize,
+        msg: LeaseMsg,
+    ) -> Vec<(f64, BusEvent)> {
+        let frame = self.link(from, to).tx.send(now, msg);
+        let mut out = Vec::new();
+        self.wire_frame(now, from, to, frame, &mut out);
+        let link = self.link(from, to);
+        if !link.retx_scheduled {
+            if let Some(d) = link.tx.next_deadline() {
+                link.retx_scheduled = true;
+                out.push((d, BusEvent::Retransmit { from, to }));
+            }
+        }
+        out
+    }
+
+    /// A retransmit poll fired for link `from → to`.
+    pub fn on_retransmit(&mut self, now: f64, from: usize, to: usize) -> Vec<(f64, BusEvent)> {
+        let mut out = Vec::new();
+        let frames = {
+            let link = self.link(from, to);
+            link.retx_scheduled = false;
+            link.tx.due(now)
+        };
+        for f in frames {
+            self.wire_frame(now, from, to, f, &mut out);
+        }
+        let link = self.link(from, to);
+        if !link.retx_scheduled {
+            if let Some(d) = link.tx.next_deadline() {
+                link.retx_scheduled = true;
+                out.push((d, BusEvent::Retransmit { from, to }));
+            }
+        }
+        out
+    }
+
+    /// A frame arrived at `to`'s receiver for link `from → to`. Returns
+    /// the in-order payloads plus the ack's wire events (acks ride the
+    /// same chaotic wire; a lost ack is re-elicited by retransmission).
+    pub fn on_deliver(
+        &mut self,
+        now: f64,
+        from: usize,
+        to: usize,
+        frame: Frame<LeaseMsg>,
+    ) -> (Vec<LeaseMsg>, Vec<(f64, BusEvent)>) {
+        let latency = self.cfg.latency;
+        let chaos = self.cfg.chaos;
+        let link = self.link(from, to);
+        let (msgs, ack) = link.rx.on_frame(frame);
+        let mut evs = Vec::new();
+        if let Some(cum) = ack {
+            let lost = chaos.map(|c| link.rng.chance(c.loss)).unwrap_or(false);
+            if !lost {
+                evs.push((now + latency, BusEvent::AckDeliver { from, to, cum }));
+            }
+        }
+        (msgs, evs)
+    }
+
+    /// A cumulative ack for link `from → to` arrived back at the sender.
+    pub fn on_ack(&mut self, from: usize, to: usize, cum: u64) {
+        self.link(from, to).tx.on_ack(cum);
+    }
+
+    /// Unacked frames across all links — zero once the bus has drained.
+    pub fn pending(&self) -> usize {
+        self.links.values().map(|l| l.tx.pending()).sum()
+    }
+}

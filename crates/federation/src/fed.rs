@@ -1,0 +1,1463 @@
+//! The federation: N scheduler shards behind a multi-tenant router, glued
+//! by the lease bus and a shared virtual-time timer wheel.
+//!
+//! Every public mutator first pumps due timers (so bus deliveries, lease
+//! expiries and reclaims happen in timestamp order no matter how the
+//! caller interleaves its calls), applies the transition, then runs the
+//! reactive pipeline: brownout hysteresis → router drain → lending. All
+//! externally visible effects come back as [`Notice`]s.
+
+use std::collections::BTreeMap;
+
+use reshape_clustersim::EventQueue;
+use reshape_core::{
+    Directive, JobId, JobSpec, ProcessorConfig, QueuePolicy, SchedulerCore, StartAction, Wal,
+};
+use reshape_telemetry as telemetry;
+
+use crate::bus::{Bus, BusConfig, BusEvent};
+use crate::lease::{Lease, LeaseConfig, LeaseMsg};
+use crate::shard::{Deferred, RecoverReport, Shard, ShardState};
+use crate::tenant::{QueuedJob, TenantConfig, TenantState};
+
+/// Overload-control thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BrownoutConfig {
+    /// A shard whose scheduler queue reaches this depth enters brownout:
+    /// its core stops granting expansions (shrinks and completions
+    /// proceed).
+    pub queue_high: usize,
+    /// Brownout releases only once the queue drains back to this depth
+    /// (hysteresis; must be `< queue_high`).
+    pub queue_low: usize,
+    /// A shard recovering from an outage longer than this re-enters
+    /// service in brownout (it works through its backlog before grabbing
+    /// processors for expansions).
+    pub heartbeat_lag: f64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            queue_high: 8,
+            queue_low: 2,
+            heartbeat_lag: 30.0,
+        }
+    }
+}
+
+/// Why a shard entered brownout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrownoutReason {
+    QueueDepth,
+    HeartbeatLag,
+}
+
+/// Federation construction parameters.
+#[derive(Clone, Debug)]
+pub struct FederationConfig {
+    /// Native pool size per shard; shard `i` owns global processors
+    /// `[sum(prev), sum(prev) + shard_procs[i])`.
+    pub shard_procs: Vec<usize>,
+    pub queue_policy: QueuePolicy,
+    /// Tenant id → admission policy.
+    pub tenants: BTreeMap<u32, TenantConfig>,
+    pub lease: LeaseConfig,
+    pub brownout: BrownoutConfig,
+    pub bus: BusConfig,
+}
+
+impl FederationConfig {
+    /// Tenants get ids `0..n` in order.
+    pub fn new(shard_procs: Vec<usize>, tenants: Vec<TenantConfig>) -> Self {
+        FederationConfig {
+            shard_procs,
+            queue_policy: QueuePolicy::Fcfs,
+            tenants: tenants
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (i as u32, t))
+                .collect(),
+            lease: LeaseConfig::default(),
+            brownout: BrownoutConfig::default(),
+            bus: BusConfig::default(),
+        }
+    }
+}
+
+/// Externally visible effect of a federation transition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Notice {
+    /// A submission was assigned to a shard.
+    Admitted {
+        shard: usize,
+        job: JobId,
+        tenant: u32,
+        tag: u64,
+    },
+    /// A submission is waiting at the router (quota exhausted or no live
+    /// shard).
+    RouterQueued { tenant: u32, tag: u64 },
+    /// A submission was dropped: the tenant's router queue is full.
+    Shed { tenant: u32, tag: u64 },
+    /// A job began (or re-began) executing on a shard.
+    Started {
+        shard: usize,
+        job: JobId,
+        tenant: u32,
+        tag: u64,
+        procs: usize,
+    },
+    /// A resize-point answer for a live job.
+    Directive {
+        shard: usize,
+        job: JobId,
+        directive: Directive,
+    },
+    /// A job was force-shrunk off a lease's processors at eviction.
+    Evicted {
+        shard: usize,
+        job: JobId,
+        from: ProcessorConfig,
+        to: ProcessorConfig,
+    },
+    /// A job failed at lease eviction because every one of its processors
+    /// was borrowed.
+    EvictFailed { shard: usize, job: JobId, tag: u64 },
+    LeaseGranted {
+        lease: u64,
+        lender: usize,
+        borrower: usize,
+        procs: usize,
+        expires: f64,
+    },
+    /// The borrower acked (attached) the lease.
+    LeaseActivated { lease: u64 },
+    /// The borrower is done with the lease (evicted, refused, or idle).
+    LeaseReleased { lease: u64 },
+    /// The lender reattached the lease's processors.
+    LeaseReclaimed { lease: u64 },
+    BrownoutEngaged {
+        shard: usize,
+        queue_depth: usize,
+        reason: BrownoutReason,
+    },
+    BrownoutReleased { shard: usize },
+    ShardKilled { shard: usize },
+    ShardRecovered {
+        shard: usize,
+        snapshot_match: bool,
+        wal_records: usize,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct JobMeta {
+    tenant: u32,
+    tag: u64,
+    procs: usize,
+}
+
+#[derive(Clone, Debug)]
+enum Timer {
+    Bus(BusEvent),
+    LeaseExpire(u64),
+    LeaseReclaim(u64),
+}
+
+pub struct Federation {
+    lease_cfg: LeaseConfig,
+    brownout_cfg: BrownoutConfig,
+    shards: Vec<Shard>,
+    tenants: BTreeMap<u32, TenantState>,
+    bus: Bus,
+    timers: EventQueue<Timer>,
+    leases: BTreeMap<u64, Lease>,
+    next_lease: u64,
+    /// `(shard, job id) → admission metadata`; an entry exists exactly
+    /// while the job is in flight.
+    job_meta: BTreeMap<(usize, u64), JobMeta>,
+    /// Last lend attempt per `(lender, borrower)` pair, for backoff.
+    lend_attempts: BTreeMap<(usize, usize), f64>,
+    now_hwm: f64,
+    transitions: u64,
+    /// Testing backdoor: the next lend also wires a *rogue* duplicate
+    /// grant of the same processors to a second borrower, without the
+    /// lender journaling it — a planted double-ownership the ledger
+    /// oracle must catch. Never enabled outside tests.
+    plant_double_grant: bool,
+}
+
+impl Federation {
+    pub fn new(cfg: FederationConfig) -> Self {
+        assert!(!cfg.shard_procs.is_empty(), "need at least one shard");
+        assert!(
+            cfg.brownout.queue_low < cfg.brownout.queue_high,
+            "brownout hysteresis requires queue_low < queue_high"
+        );
+        let mut shards = Vec::new();
+        let mut base = 0;
+        for (i, &n) in cfg.shard_procs.iter().enumerate() {
+            assert!(n > 0, "shard {i} has no processors");
+            let core = SchedulerCore::new(n, cfg.queue_policy).with_wal(Wal::in_memory());
+            shards.push(Shard::new(i, base, core));
+            base += n;
+        }
+        Federation {
+            lease_cfg: cfg.lease,
+            brownout_cfg: cfg.brownout,
+            shards,
+            tenants: cfg
+                .tenants
+                .into_iter()
+                .map(|(id, t)| (id, TenantState::new(t)))
+                .collect(),
+            bus: Bus::new(cfg.bus),
+            timers: EventQueue::new(),
+            leases: BTreeMap::new(),
+            next_lease: 1,
+            job_meta: BTreeMap::new(),
+            lend_attempts: BTreeMap::new(),
+            now_hwm: 0.0,
+            transitions: 0,
+            plant_double_grant: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    pub fn total_procs(&self) -> usize {
+        self.shards.iter().map(|s| s.native).sum()
+    }
+
+    pub fn leases(&self) -> impl Iterator<Item = &Lease> {
+        self.leases.values()
+    }
+
+    pub fn lease(&self, id: u64) -> Option<&Lease> {
+        self.leases.get(&id)
+    }
+
+    /// Leases not yet fully resolved (either side still holds something).
+    pub fn live_leases(&self) -> usize {
+        self.leases.values().filter(|l| !l.resolved()).count()
+    }
+
+    /// Unacked frames on the lease bus.
+    pub fn bus_pending(&self) -> usize {
+        self.bus.pending()
+    }
+
+    /// Public mutator calls so far (the fault injectors key shard kills
+    /// off this counter).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Latest virtual time observed.
+    pub fn now(&self) -> f64 {
+        self.now_hwm
+    }
+
+    /// Earliest pending timer (bus traffic, lease expiry/reclaim).
+    pub fn next_timer(&self) -> Option<f64> {
+        self.timers.peek_time()
+    }
+
+    pub fn tenant_in_flight(&self, tenant: u32) -> usize {
+        self.tenants.get(&tenant).map_or(0, |t| t.in_flight_procs)
+    }
+
+    pub fn tenant_queue_len(&self, tenant: u32) -> usize {
+        self.tenants.get(&tenant).map_or(0, |t| t.queued.len())
+    }
+
+    pub fn tenant_shed(&self, tenant: u32) -> u64 {
+        self.tenants.get(&tenant).map_or(0, |t| t.shed)
+    }
+
+    pub fn tenant_admitted(&self, tenant: u32) -> u64 {
+        self.tenants.get(&tenant).map_or(0, |t| t.admitted)
+    }
+
+    /// The tenant that owns an in-flight job.
+    pub fn job_tenant(&self, shard: usize, job: JobId) -> Option<u32> {
+        self.job_meta.get(&(shard, job.0)).map(|m| m.tenant)
+    }
+
+    /// Fully drained: every lease resolved, bus quiet, no router queue,
+    /// every shard live.
+    pub fn quiesced(&self) -> bool {
+        self.live_leases() == 0
+            && self.bus.pending() == 0
+            && self.tenants.values().all(|t| t.queued.is_empty())
+            && self.shards.iter().all(|s| s.is_live())
+    }
+
+    pub fn brownout_config(&self) -> &BrownoutConfig {
+        &self.brownout_cfg
+    }
+
+    pub fn lease_config(&self) -> &LeaseConfig {
+        &self.lease_cfg
+    }
+
+    #[doc(hidden)]
+    pub fn chaos_plant_double_grant(&mut self) {
+        self.plant_double_grant = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Public transitions
+    // ------------------------------------------------------------------
+
+    /// Submit a job for `tenant`. `tag` is an opaque caller token echoed
+    /// in every notice about this submission.
+    pub fn submit(&mut self, tenant: u32, tag: u64, spec: JobSpec, now: f64) -> Vec<Notice> {
+        let mut out = self.begin(now);
+        let need = spec.initial.procs();
+        {
+            let ts = self.tenants.get_mut(&tenant).expect("unknown tenant");
+            ts.submitted += 1;
+        }
+        let under_quota = {
+            let ts = &self.tenants[&tenant];
+            ts.in_flight_procs + need <= ts.cfg.quota_procs
+        };
+        if under_quota {
+            if let Some(shard) = self.route(need) {
+                self.assign(shard, tenant, tag, spec, now, &mut out);
+                self.maybe_lend(now, &mut out);
+                return out;
+            }
+        }
+        let ts = self.tenants.get_mut(&tenant).expect("unknown tenant");
+        if ts.queued.len() < ts.cfg.max_queue {
+            ts.queued.push_back(QueuedJob {
+                tag,
+                spec,
+                queued_at: now,
+            });
+            telemetry::incr("fed.router_queued", 1);
+            out.push(Notice::RouterQueued { tenant, tag });
+        } else {
+            ts.shed += 1;
+            telemetry::incr("fed.shed", 1);
+            out.push(Notice::Shed { tenant, tag });
+        }
+        out
+    }
+
+    /// A job hit its resize point. Down shards defer the checkin; it
+    /// replays (and re-answers) at recovery.
+    pub fn checkin(
+        &mut self,
+        shard: usize,
+        job: JobId,
+        iter_time: f64,
+        redist_time: f64,
+        now: f64,
+    ) -> Vec<Notice> {
+        let mut out = self.begin(now);
+        if !self.shards[shard].is_live() {
+            self.shards[shard].deferred.push_back(Deferred::Checkin {
+                job,
+                iter_time,
+                redist_time,
+            });
+            return out;
+        }
+        self.apply_checkin(shard, job, iter_time, redist_time, now, &mut out);
+        self.maybe_lend(now, &mut out);
+        out
+    }
+
+    pub fn finished(&mut self, shard: usize, job: JobId, now: f64) -> Vec<Notice> {
+        let mut out = self.begin(now);
+        if !self.shards[shard].is_live() {
+            self.shards[shard]
+                .deferred
+                .push_back(Deferred::Finished { job });
+            return out;
+        }
+        self.apply_finished(shard, job, now, &mut out);
+        self.maybe_lend(now, &mut out);
+        out
+    }
+
+    pub fn failed(&mut self, shard: usize, job: JobId, reason: String, now: f64) -> Vec<Notice> {
+        let mut out = self.begin(now);
+        if !self.shards[shard].is_live() {
+            self.shards[shard]
+                .deferred
+                .push_back(Deferred::Failed { job, reason });
+            return out;
+        }
+        self.apply_failed(shard, job, reason, now, &mut out);
+        self.maybe_lend(now, &mut out);
+        out
+    }
+
+    pub fn cancel(&mut self, shard: usize, job: JobId, now: f64) -> Vec<Notice> {
+        let mut out = self.begin(now);
+        if !self.shards[shard].is_live() {
+            self.shards[shard]
+                .deferred
+                .push_back(Deferred::Cancel { job });
+            return out;
+        }
+        self.apply_cancel(shard, job, now, &mut out);
+        self.maybe_lend(now, &mut out);
+        out
+    }
+
+    /// Crash a shard. Its core dies on the spot; only the WAL text and
+    /// the crash-instant snapshot survive. Leases it holds keep running
+    /// on federation timers; traffic addressed to it is buffered.
+    pub fn kill_shard(&mut self, shard: usize, now: f64) -> (bool, Vec<Notice>) {
+        let mut out = self.begin(now);
+        let sh = &mut self.shards[shard];
+        let ShardState::Live(core) = &mut sh.state else {
+            return (false, out);
+        };
+        let snap = core.snapshot();
+        let wal = core
+            .take_wal()
+            .expect("federation shards always journal to a WAL");
+        sh.state = ShardState::Down {
+            wal_text: wal.encode(),
+            crash: Box::new(snap),
+        };
+        sh.kills += 1;
+        telemetry::incr("fed.shard_kills", 1);
+        out.push(Notice::ShardKilled { shard });
+        (true, out)
+    }
+
+    /// Restart a down shard: decode its WAL, replay it, verify the replay
+    /// reproduces the crash snapshot, fix up expired leases, then replay
+    /// everything that was addressed to the shard while it was down.
+    pub fn recover_shard(&mut self, shard: usize, now: f64) -> (Option<RecoverReport>, Vec<Notice>) {
+        let mut out = self.begin(now);
+        let sh = &mut self.shards[shard];
+        let ShardState::Down { wal_text, crash } = &sh.state else {
+            return (None, out);
+        };
+        let wal_text = wal_text.clone();
+        let crash = crash.clone();
+        let outage = now - sh.last_seen;
+
+        let wal = Wal::decode(&wal_text).expect("shard WAL failed CRC/decode at recovery");
+        let wal_records = wal.records().len();
+        let core = SchedulerCore::recover(wal).expect("shard WAL replay failed");
+        let snapshot_match = core.snapshot() == *crash;
+        sh.state = ShardState::Live(core);
+        sh.last_seen = now;
+        telemetry::incr("fed.shard_recoveries", 1);
+
+        // Fixup 1: borrowed leases that expired during the outage are
+        // evicted before the shard schedules anything on them.
+        let borrowed: Vec<u64> = self.shards[shard]
+            .core()
+            .unwrap()
+            .borrowed_leases()
+            .keys()
+            .copied()
+            .collect();
+        for id in borrowed {
+            let due = {
+                let l = &self.leases[&id];
+                !l.borrower_done && now >= l.expires
+            };
+            if due {
+                self.evict_lease(shard, id, now, &mut out);
+            }
+        }
+        // Fixup 2: lent leases whose grace ran out during the outage are
+        // reclaimed (the borrower is long gone from them).
+        let lent: Vec<u64> = self.shards[shard]
+            .core()
+            .unwrap()
+            .lent_leases()
+            .keys()
+            .copied()
+            .collect();
+        for id in lent {
+            let due = {
+                let l = &self.leases[&id];
+                !l.reclaimed && now >= l.expires + self.lease_cfg.grace
+            };
+            if due {
+                self.reclaim_lease(shard, id, now, &mut out);
+            }
+        }
+        // Replay buffered traffic in arrival order.
+        while let Some(d) = self.shards[shard].deferred.pop_front() {
+            match d {
+                Deferred::Checkin {
+                    job,
+                    iter_time,
+                    redist_time,
+                } => self.apply_checkin(shard, job, iter_time, redist_time, now, &mut out),
+                Deferred::Finished { job } => self.apply_finished(shard, job, now, &mut out),
+                Deferred::Failed { job, reason } => {
+                    self.apply_failed(shard, job, reason, now, &mut out)
+                }
+                Deferred::Cancel { job } => self.apply_cancel(shard, job, now, &mut out),
+                Deferred::Msg { from, msg } => self.apply_msg(now, from, shard, msg, &mut out),
+            }
+        }
+        // A long outage re-enters service browned out (if the backlog
+        // doesn't immediately clear the hysteresis low-water mark).
+        if outage >= self.brownout_cfg.heartbeat_lag
+            && !self.shards[shard].brownout
+            && self.shards[shard].queue_len() > self.brownout_cfg.queue_low
+        {
+            self.engage_brownout(shard, now, BrownoutReason::HeartbeatLag, &mut out);
+        }
+        self.update_brownout(shard, now, &mut out);
+        self.drain_router(now, &mut out);
+        self.maybe_lend(now, &mut out);
+        out.push(Notice::ShardRecovered {
+            shard,
+            snapshot_match,
+            wal_records,
+        });
+        (
+            Some(RecoverReport {
+                snapshot_match,
+                wal_records,
+                wal_text,
+            }),
+            out,
+        )
+    }
+
+    /// Run every timer due at or before `now` (bus traffic, lease
+    /// expiries, reclaims), then react. Public mutators do this
+    /// implicitly; call it directly to drain the federation at the end of
+    /// a run.
+    pub fn run_timers(&mut self, now: f64) -> Vec<Notice> {
+        let mut out = self.begin(now);
+        self.maybe_lend(now, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Every transition starts here: advance the clock, count it, pump
+    /// due timers so effects happen in timestamp order.
+    fn begin(&mut self, now: f64) -> Vec<Notice> {
+        self.now_hwm = self.now_hwm.max(now);
+        self.transitions += 1;
+        let mut out = Vec::new();
+        while let Some(t) = self.timers.peek_time() {
+            if t > now {
+                break;
+            }
+            let (t, timer) = self.timers.pop().unwrap();
+            self.on_timer(t, timer, &mut out);
+        }
+        out
+    }
+
+    fn sched_bus(&mut self, evs: Vec<(f64, BusEvent)>) {
+        for (t, ev) in evs {
+            self.timers.push(t, Timer::Bus(ev));
+        }
+    }
+
+    fn on_timer(&mut self, now: f64, timer: Timer, out: &mut Vec<Notice>) {
+        match timer {
+            Timer::Bus(BusEvent::Deliver { from, to, frame }) => {
+                let (msgs, evs) = self.bus.on_deliver(now, from, to, frame);
+                self.sched_bus(evs);
+                for msg in msgs {
+                    if self.shards[to].is_live() {
+                        self.apply_msg(now, from, to, msg, out);
+                    } else {
+                        self.shards[to].deferred.push_back(Deferred::Msg { from, msg });
+                    }
+                }
+            }
+            Timer::Bus(BusEvent::AckDeliver { from, to, cum }) => self.bus.on_ack(from, to, cum),
+            Timer::Bus(BusEvent::Retransmit { from, to }) => {
+                let evs = self.bus.on_retransmit(now, from, to);
+                self.sched_bus(evs);
+            }
+            Timer::LeaseExpire(id) => {
+                let due = {
+                    let l = &self.leases[&id];
+                    !l.borrower_done && self.shards[l.borrower].is_live()
+                };
+                // A down borrower is handled by its recovery fixup; its
+                // frozen core cannot schedule anything in the meantime.
+                if due {
+                    let b = self.leases[&id].borrower;
+                    self.evict_lease(b, id, now, out);
+                    self.drain_router(now, out);
+                }
+            }
+            Timer::LeaseReclaim(id) => {
+                let l = &self.leases[&id];
+                if l.reclaimed {
+                    return;
+                }
+                let lender = l.lender;
+                if self.shards[lender].is_live() {
+                    self.reclaim_lease(lender, id, now, out);
+                } else {
+                    // Lender down: back off and retry; its recovery fixup
+                    // may beat this timer, which is fine (reclaim is
+                    // guarded).
+                    self.timers
+                        .push(now + self.lease_cfg.grace, Timer::LeaseReclaim(id));
+                }
+            }
+        }
+    }
+
+    /// Deliver one in-order lease message to a live shard.
+    fn apply_msg(&mut self, now: f64, from: usize, to: usize, msg: LeaseMsg, out: &mut Vec<Notice>) {
+        match msg {
+            LeaseMsg::Grant {
+                lease,
+                global,
+                expires,
+            } => {
+                let refuse = {
+                    let l = &self.leases[&lease];
+                    l.borrower_done || now >= expires
+                };
+                if refuse {
+                    let transitioned = {
+                        let l = self.leases.get_mut(&lease).unwrap();
+                        let t = !l.borrower_done;
+                        l.borrower_done = true;
+                        t
+                    };
+                    if transitioned {
+                        out.push(Notice::LeaseReleased { lease });
+                    }
+                    let evs = self.bus.send(now, to, from, LeaseMsg::Release { lease });
+                    self.sched_bus(evs);
+                    return;
+                }
+                self.shards[to].last_seen = now;
+                let starts = self.shards[to]
+                    .core_mut()
+                    .unwrap()
+                    .borrow_attach(lease, &global, now);
+                telemetry::incr("fed.lease_attaches", 1);
+                self.start_notices(to, &starts, out);
+                let evs = self.bus.send(now, to, from, LeaseMsg::Ack { lease });
+                self.sched_bus(evs);
+                self.update_brownout(to, now, out);
+            }
+            LeaseMsg::Ack { lease } => {
+                let first = {
+                    let l = self.leases.get_mut(&lease).unwrap();
+                    let f = !l.acked;
+                    l.acked = true;
+                    f
+                };
+                if first {
+                    out.push(Notice::LeaseActivated { lease });
+                }
+            }
+            LeaseMsg::Release { lease } => {
+                // Arrives at the lender (`to`).
+                self.leases.get_mut(&lease).unwrap().borrower_done = true;
+                if !self.leases[&lease].reclaimed {
+                    self.reclaim_lease(to, lease, now, out);
+                    self.drain_router(now, out);
+                }
+            }
+        }
+    }
+
+    /// Borrower-side eviction: force every job off the lease's slots,
+    /// detach them, tell the lender.
+    fn evict_lease(&mut self, borrower: usize, id: u64, now: f64, out: &mut Vec<Notice>) {
+        let outcome = self.shards[borrower]
+            .core_mut()
+            .expect("evict_lease needs a live borrower")
+            .borrow_evict(id, now);
+        self.shards[borrower].last_seen = now;
+        self.leases.get_mut(&id).unwrap().borrower_done = true;
+        telemetry::incr("fed.lease_evictions", 1);
+        for (job, from, to) in outcome.shrunk {
+            telemetry::incr("fed.evict_shrinks", 1);
+            out.push(Notice::Evicted {
+                shard: borrower,
+                job,
+                from,
+                to,
+            });
+        }
+        for job in outcome.failed {
+            let meta = self.job_terminal(borrower, job);
+            telemetry::incr("fed.evict_failures", 1);
+            out.push(Notice::EvictFailed {
+                shard: borrower,
+                job,
+                tag: meta.map(|m| m.tag).unwrap_or(u64::MAX),
+            });
+        }
+        out.push(Notice::LeaseReleased { lease: id });
+        let lender = self.leases[&id].lender;
+        let evs = self.bus.send(now, borrower, lender, LeaseMsg::Release { lease: id });
+        self.sched_bus(evs);
+        self.update_brownout(borrower, now, out);
+    }
+
+    /// Lender-side reclaim: reattach the slots, restart queued work.
+    fn reclaim_lease(&mut self, lender: usize, id: u64, now: f64, out: &mut Vec<Notice>) {
+        let starts = self.shards[lender]
+            .core_mut()
+            .expect("reclaim_lease needs a live lender")
+            .lend_reclaim(id, now);
+        self.shards[lender].last_seen = now;
+        let granted_at = {
+            let l = self.leases.get_mut(&id).unwrap();
+            l.reclaimed = true;
+            l.granted_at
+        };
+        telemetry::incr("fed.leases_reclaimed", 1);
+        telemetry::trace::complete(
+            0,
+            0,
+            format!("lease {id}"),
+            "lease",
+            "federation",
+            granted_at,
+            now,
+        );
+        out.push(Notice::LeaseReclaimed { lease: id });
+        self.start_notices(lender, &starts, out);
+        self.update_brownout(lender, now, out);
+    }
+
+    fn apply_checkin(
+        &mut self,
+        shard: usize,
+        job: JobId,
+        iter_time: f64,
+        redist_time: f64,
+        now: f64,
+        out: &mut Vec<Notice>,
+    ) {
+        self.shards[shard].last_seen = now;
+        let (directive, starts) = self.shards[shard]
+            .core_mut()
+            .unwrap()
+            .resize_point(job, iter_time, redist_time, now);
+        out.push(Notice::Directive {
+            shard,
+            job,
+            directive,
+        });
+        self.start_notices(shard, &starts, out);
+        self.update_brownout(shard, now, out);
+        self.maybe_release(shard, now, out);
+    }
+
+    fn apply_finished(&mut self, shard: usize, job: JobId, now: f64, out: &mut Vec<Notice>) {
+        self.shards[shard].last_seen = now;
+        let starts = self.shards[shard].core_mut().unwrap().on_finished(job, now);
+        if let Some(meta) = self.job_terminal(shard, job) {
+            let ts = self.tenants.get_mut(&meta.tenant).unwrap();
+            ts.finished += 1;
+        }
+        telemetry::incr("fed.finished", 1);
+        self.start_notices(shard, &starts, out);
+        self.update_brownout(shard, now, out);
+        self.drain_router(now, out);
+        self.maybe_release(shard, now, out);
+    }
+
+    fn apply_failed(
+        &mut self,
+        shard: usize,
+        job: JobId,
+        reason: String,
+        now: f64,
+        out: &mut Vec<Notice>,
+    ) {
+        self.shards[shard].last_seen = now;
+        let starts = self.shards[shard]
+            .core_mut()
+            .unwrap()
+            .on_failed(job, reason, now);
+        self.job_terminal(shard, job);
+        telemetry::incr("fed.failed", 1);
+        self.start_notices(shard, &starts, out);
+        self.update_brownout(shard, now, out);
+        self.drain_router(now, out);
+        self.maybe_release(shard, now, out);
+    }
+
+    fn apply_cancel(&mut self, shard: usize, job: JobId, now: f64, out: &mut Vec<Notice>) {
+        self.shards[shard].last_seen = now;
+        let starts = self.shards[shard].core_mut().unwrap().cancel(job, now);
+        self.job_terminal(shard, job);
+        telemetry::incr("fed.cancelled", 1);
+        self.start_notices(shard, &starts, out);
+        self.update_brownout(shard, now, out);
+        self.drain_router(now, out);
+        self.maybe_release(shard, now, out);
+    }
+
+    /// Remove a job's admission record and return its quota.
+    fn job_terminal(&mut self, shard: usize, job: JobId) -> Option<JobMeta> {
+        let meta = self.job_meta.remove(&(shard, job.0))?;
+        let ts = self.tenants.get_mut(&meta.tenant).unwrap();
+        ts.in_flight_procs = ts.in_flight_procs.saturating_sub(meta.procs);
+        Some(meta)
+    }
+
+    fn start_notices(&mut self, shard: usize, starts: &[StartAction], out: &mut Vec<Notice>) {
+        for s in starts {
+            let meta = self.job_meta.get(&(shard, s.job.0));
+            let (tenant, tag) = meta.map(|m| (m.tenant, m.tag)).unwrap_or((u32::MAX, u64::MAX));
+            out.push(Notice::Started {
+                shard,
+                job: s.job,
+                tenant,
+                tag,
+                procs: s.config.procs(),
+            });
+        }
+    }
+
+    /// Pick a shard for a `need`-processor job: prefer one that can start
+    /// it immediately (most idle wins), else the shortest queue (largest
+    /// pool, then lowest id, break ties).
+    fn route(&self, need: usize) -> Option<usize> {
+        let mut immediate: Option<(usize, usize)> = None; // (idle, id)
+        let mut queued: Option<(usize, usize, usize)> = None; // (queue, -idle, id)
+        for s in &self.shards {
+            let Some(core) = s.core() else { continue };
+            let idle = core.idle_procs();
+            if core.queue_len() == 0
+                && idle >= need
+                && immediate.is_none_or(|(best, _)| idle > best)
+            {
+                immediate = Some((idle, s.id));
+            }
+            // Queue placement: shortest queue first, then most idle
+            // processors — the smallest lending deficit if it comes to
+            // that — then lowest id.
+            let key = (core.queue_len(), usize::MAX - idle, s.id);
+            if queued.is_none_or(|q| key < q) {
+                queued = Some(key);
+            }
+        }
+        immediate.map(|(_, id)| id).or(queued.map(|(_, _, id)| id))
+    }
+
+    fn assign(
+        &mut self,
+        shard: usize,
+        tenant: u32,
+        tag: u64,
+        spec: JobSpec,
+        now: f64,
+        out: &mut Vec<Notice>,
+    ) {
+        let need = spec.initial.procs();
+        self.shards[shard].last_seen = now;
+        let (job, starts) = self.shards[shard].core_mut().unwrap().submit(spec, now);
+        self.job_meta.insert(
+            (shard, job.0),
+            JobMeta {
+                tenant,
+                tag,
+                procs: need,
+            },
+        );
+        {
+            let ts = self.tenants.get_mut(&tenant).unwrap();
+            ts.in_flight_procs += need;
+            ts.admitted += 1;
+        }
+        telemetry::incr("fed.admitted", 1);
+        out.push(Notice::Admitted {
+            shard,
+            job,
+            tenant,
+            tag,
+        });
+        self.start_notices(shard, &starts, out);
+        self.update_brownout(shard, now, out);
+    }
+
+    /// Admit from the router queue while quota and a live shard allow,
+    /// draining the tenant with the lowest `in_flight / weight` first.
+    fn drain_router(&mut self, now: f64, out: &mut Vec<Notice>) {
+        loop {
+            let mut order: Vec<(u64, u32)> = self
+                .tenants
+                .iter()
+                .filter(|(_, t)| !t.queued.is_empty())
+                .map(|(&id, t)| (t.share().to_bits(), id))
+                .collect();
+            order.sort();
+            let mut admitted = false;
+            for (_, tenant) in order {
+                let (need, ok) = {
+                    let ts = &self.tenants[&tenant];
+                    let need = ts.queued.front().unwrap().spec.initial.procs();
+                    (need, ts.in_flight_procs + need <= ts.cfg.quota_procs)
+                };
+                if !ok {
+                    continue;
+                }
+                let Some(shard) = self.route(need) else { continue };
+                let qj = self
+                    .tenants
+                    .get_mut(&tenant)
+                    .unwrap()
+                    .queued
+                    .pop_front()
+                    .unwrap();
+                telemetry::observe("fed.router_wait", now - qj.queued_at);
+                self.assign(shard, tenant, qj.tag, qj.spec, now, out);
+                admitted = true;
+                break;
+            }
+            if !admitted {
+                break;
+            }
+        }
+    }
+
+    /// Brownout hysteresis on scheduler queue depth. Runs after every
+    /// transition that can change a live shard's queue.
+    fn update_brownout(&mut self, shard: usize, now: f64, out: &mut Vec<Notice>) {
+        let Some(core) = self.shards[shard].core() else {
+            return;
+        };
+        let depth = core.queue_len();
+        let label = shard.to_string();
+        telemetry::gauge_labeled(
+            "fed.shard_queue_depth",
+            &[("shard", label.as_str())],
+            depth as f64,
+        );
+        if !self.shards[shard].brownout && depth >= self.brownout_cfg.queue_high {
+            self.engage_brownout(shard, now, BrownoutReason::QueueDepth, out);
+        } else if self.shards[shard].brownout && depth <= self.brownout_cfg.queue_low {
+            self.shards[shard].brownout = false;
+            self.shards[shard]
+                .core_mut()
+                .unwrap()
+                .set_expand_paused(false, now);
+            telemetry::incr("fed.brownout_released", 1);
+            out.push(Notice::BrownoutReleased { shard });
+        }
+    }
+
+    fn engage_brownout(
+        &mut self,
+        shard: usize,
+        now: f64,
+        reason: BrownoutReason,
+        out: &mut Vec<Notice>,
+    ) {
+        let depth = self.shards[shard].queue_len();
+        self.shards[shard].brownout = true;
+        self.shards[shard]
+            .core_mut()
+            .unwrap()
+            .set_expand_paused(true, now);
+        telemetry::incr("fed.brownout_engaged", 1);
+        out.push(Notice::BrownoutEngaged {
+            shard,
+            queue_depth: depth,
+            reason,
+        });
+    }
+
+    /// Borrower-side early release: once a shard's queue is empty and no
+    /// running job touches a borrowed lease, give it back rather than
+    /// sitting on it until expiry.
+    fn maybe_release(&mut self, shard: usize, now: f64, out: &mut Vec<Notice>) {
+        let ids: Vec<u64> = {
+            let Some(core) = self.shards[shard].core() else {
+                return;
+            };
+            if core.queue_len() > 0 {
+                return;
+            }
+            core.borrowed_leases()
+                .iter()
+                .filter(|(_, bl)| {
+                    !core.jobs().any(|(_, rec)| {
+                        rec.state.is_active() && rec.slots.iter().any(|s| bl.local.contains(s))
+                    })
+                })
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in ids {
+            if !self.leases[&id].borrower_done {
+                self.evict_lease(shard, id, now, out);
+            }
+        }
+    }
+
+    /// Lend idle processors to starved shards: for each live shard whose
+    /// queue head cannot start, find a donor with enough spare, escrow
+    /// the slots in the donor's WAL, and put a grant on the bus.
+    fn maybe_lend(&mut self, now: f64, out: &mut Vec<Notice>) {
+        for b in 0..self.shards.len() {
+            let deficit = {
+                let Some(core) = self.shards[b].core() else { continue };
+                let Some(need) = core.queue_head_need() else { continue };
+                need.saturating_sub(core.idle_procs())
+            };
+            if deficit == 0 {
+                continue;
+            }
+            for d in 0..self.shards.len() {
+                if d == b {
+                    continue;
+                }
+                let eligible = {
+                    let Some(core) = self.shards[d].core() else { continue };
+                    // A donor never re-lends borrowed processors (no
+                    // sublease chains), never lends while work is queued.
+                    core.queue_len() == 0
+                        && core.borrowed_procs() == 0
+                        && core.idle_procs().saturating_sub(self.lease_cfg.min_spare) >= deficit
+                };
+                if !eligible {
+                    continue;
+                }
+                if let Some(&last) = self.lend_attempts.get(&(d, b)) {
+                    if now - last < self.lease_cfg.retry_backoff {
+                        continue;
+                    }
+                }
+                if self.grant_lease(d, b, deficit, now, out) {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn grant_lease(
+        &mut self,
+        lender: usize,
+        borrower: usize,
+        n: usize,
+        now: f64,
+        out: &mut Vec<Notice>,
+    ) -> bool {
+        let id = self.next_lease;
+        // Escrow first: the lender journals `lend_grant` before anything
+        // touches the wire, so a lender crash after this point still
+        // reclaims the slots deterministically from its own WAL.
+        let Some(slots) = self.shards[lender]
+            .core_mut()
+            .unwrap()
+            .lend_grant(id, n, now)
+        else {
+            return false;
+        };
+        self.next_lease += 1;
+        self.shards[lender].last_seen = now;
+        let base = self.shards[lender].base;
+        let global: Vec<usize> = slots.iter().map(|&s| base + s).collect();
+        let expires = now + self.lease_cfg.term;
+        self.leases.insert(
+            id,
+            Lease {
+                id,
+                lender,
+                borrower,
+                global: global.clone(),
+                granted_at: now,
+                expires,
+                acked: false,
+                borrower_done: false,
+                reclaimed: false,
+            },
+        );
+        self.lend_attempts.insert((lender, borrower), now);
+        telemetry::incr("fed.leases_granted", 1);
+        let evs = self.bus.send(
+            now,
+            lender,
+            borrower,
+            LeaseMsg::Grant {
+                lease: id,
+                global: global.clone(),
+                expires,
+            },
+        );
+        self.sched_bus(evs);
+        self.timers.push(expires, Timer::LeaseExpire(id));
+        self.timers
+            .push(expires + self.lease_cfg.grace, Timer::LeaseReclaim(id));
+        out.push(Notice::LeaseGranted {
+            lease: id,
+            lender,
+            borrower,
+            procs: global.len(),
+            expires,
+        });
+
+        if self.plant_double_grant {
+            // Planted fault: wire the SAME processors to a second
+            // borrower under a rogue lease the lender never journaled.
+            self.plant_double_grant = false;
+            if let Some(rogue_to) = (0..self.shards.len())
+                .find(|&s| s != borrower && s != lender && self.shards[s].is_live())
+            {
+                let rogue = self.next_lease;
+                self.next_lease += 1;
+                self.leases.insert(
+                    rogue,
+                    Lease {
+                        id: rogue,
+                        lender,
+                        borrower: rogue_to,
+                        global: global.clone(),
+                        granted_at: now,
+                        expires,
+                        acked: false,
+                        borrower_done: false,
+                        reclaimed: true, // lender will never reclaim it
+                    },
+                );
+                let evs = self.bus.send(
+                    now,
+                    lender,
+                    rogue_to,
+                    LeaseMsg::Grant {
+                        lease: rogue,
+                        global,
+                        expires,
+                    },
+                );
+                self.sched_bus(evs);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshape_core::TopologyPref;
+
+    fn spec(name: &str, procs: usize, iters: usize) -> JobSpec {
+        JobSpec::new(
+            name,
+            TopologyPref::AnyCount {
+                min: 1,
+                max: 64,
+                step: 1,
+            },
+            ProcessorConfig::linear(procs),
+            iters,
+        )
+    }
+
+    fn two_shard_fed() -> Federation {
+        let mut cfg = FederationConfig::new(
+            vec![4, 4],
+            vec![TenantConfig::new(64, 1.0, 32)],
+        );
+        cfg.lease.min_spare = 0;
+        cfg.lease.term = 30.0;
+        cfg.lease.grace = 10.0;
+        Federation::new(cfg)
+    }
+
+    /// Process timers strictly before `horizon`, collecting notices.
+    fn drain_until(fed: &mut Federation, horizon: f64) -> Vec<Notice> {
+        let mut out = Vec::new();
+        while fed.next_timer().is_some_and(|t| t < horizon) {
+            let t = fed.next_timer().unwrap();
+            out.extend(fed.run_timers(t));
+        }
+        out
+    }
+
+    #[test]
+    fn lend_tops_up_a_starved_shard_and_reclaims_after_release() {
+        let mut fed = two_shard_fed();
+        // Occupy half of shard 0, then submit a 6-proc job: no shard can
+        // start it alone (4+4 pools, shard 0 half busy), so it queues on
+        // the idlest shard and lending covers the deficit.
+        let n0 = fed.submit(0, 0, spec("fill", 2, 4), 0.0);
+        assert_eq!(
+            n0.iter()
+                .filter(|n| matches!(n, Notice::Started { .. }))
+                .count(),
+            1
+        );
+        let n1 = fed.submit(0, 1, spec("big", 6, 1), 1.0);
+        assert!(
+            n1.iter().any(|n| matches!(n, Notice::LeaseGranted { .. })),
+            "starved shard should trigger a lease: {n1:?}"
+        );
+        // Let the grant cross the bus and the job start.
+        let drained = drain_until(&mut fed, 3.0);
+        assert!(
+            drained
+                .iter()
+                .any(|n| matches!(n, Notice::Started { tag: 1, procs: 6, .. })),
+            "big job should start on native+borrowed procs: {drained:?}"
+        );
+        // The big job finishes; the idle borrower releases the lease
+        // early and the lender reclaims on Release receipt.
+        let shard = fed
+            .leases()
+            .next()
+            .map(|l| l.borrower)
+            .expect("one lease exists");
+        let job = fed.shards()[shard]
+            .core()
+            .unwrap()
+            .jobs()
+            .find(|(_, r)| r.spec.name == "big")
+            .map(|(&id, _)| id)
+            .unwrap();
+        let n2 = fed.finished(shard, job, 5.0);
+        assert!(
+            n2.iter().any(|n| matches!(n, Notice::LeaseReleased { .. })),
+            "idle borrower should release early: {n2:?}"
+        );
+        let n3 = drain_until(&mut fed, 7.0);
+        assert!(
+            n2.iter()
+                .chain(n3.iter())
+                .any(|n| matches!(n, Notice::LeaseReclaimed { .. })),
+            "lender should reclaim: {n3:?}"
+        );
+        assert_eq!(fed.live_leases(), 0);
+        for s in fed.shards() {
+            let c = s.core().unwrap();
+            assert_eq!(c.owned_procs(), s.native());
+            assert_eq!(c.lent_procs(), 0);
+            assert_eq!(c.borrowed_procs(), 0);
+        }
+    }
+
+    #[test]
+    fn expired_lease_evicts_borrower_then_lender_reclaims() {
+        let mut cfg = FederationConfig::new(vec![4, 4], vec![TenantConfig::new(64, 1.0, 32)]);
+        cfg.lease.min_spare = 0;
+        cfg.lease.term = 10.0;
+        cfg.lease.grace = 5.0;
+        let mut fed = Federation::new(cfg);
+        // Long-running jobs: the lease is still in use at expiry, so the
+        // borrower is force-evicted (shrunk back to native processors).
+        fed.submit(0, 0, spec("fill", 2, 40), 0.0);
+        fed.submit(0, 1, spec("big", 6, 40), 1.0);
+        let lease = fed.leases().next().expect("lease granted").id;
+        let expires = fed.lease(lease).unwrap().expires;
+        drain_until(&mut fed, expires);
+        assert!(fed.lease(lease).unwrap().acked, "borrower should have acked");
+        // Expiry evicts the borrower's jobs off the borrowed slots.
+        let n = fed.run_timers(expires);
+        assert!(
+            n.iter().any(|x| matches!(x, Notice::Evicted { .. })),
+            "expiry must shrink the job off borrowed slots: {n:?}"
+        );
+        assert!(
+            n.iter().any(|x| matches!(x, Notice::LeaseReleased { .. })),
+            "expiry must release the lease: {n:?}"
+        );
+        let borrower = fed.lease(lease).unwrap().borrower;
+        assert_eq!(fed.shards()[borrower].core().unwrap().borrowed_procs(), 0);
+        // Reclaim happens by Release receipt or at the grace deadline.
+        let n2 = drain_until(&mut fed, expires + 6.0);
+        assert!(
+            n.iter()
+                .chain(n2.iter())
+                .any(|x| matches!(x, Notice::LeaseReclaimed { .. })),
+            "lender must reclaim: {n2:?}"
+        );
+        assert!(fed.lease(lease).unwrap().resolved());
+    }
+
+    #[test]
+    fn brownout_engages_at_high_water_and_releases_at_low_water() {
+        let mut cfg = FederationConfig::new(vec![2], vec![TenantConfig::new(64, 1.0, 32)]);
+        cfg.brownout.queue_high = 3;
+        cfg.brownout.queue_low = 1;
+        let mut fed = Federation::new(cfg);
+        // One running job, then queue up to the threshold.
+        fed.submit(0, 0, spec("run", 2, 100), 0.0);
+        let mut engaged_at = None;
+        for i in 1..=3u64 {
+            let n = fed.submit(0, i, spec(&format!("q{i}"), 2, 1), i as f64);
+            if n.iter().any(|x| matches!(x, Notice::BrownoutEngaged { .. })) {
+                engaged_at = Some(i);
+            }
+        }
+        assert_eq!(
+            engaged_at,
+            Some(3),
+            "brownout must engage exactly when depth hits queue_high"
+        );
+        assert!(fed.shards()[0].core().unwrap().expand_paused());
+        // Drain: finishing the runner starts queued jobs one at a time
+        // (each is 2 procs on a 2-proc shard).
+        let job = |fed: &Federation, name: &str| {
+            fed.shards()[0]
+                .core()
+                .unwrap()
+                .jobs()
+                .find(|(_, r)| r.spec.name == name && !r.state.is_terminal())
+                .map(|(&id, _)| id)
+        };
+        let mut released = false;
+        let mut t = 10.0;
+        for name in ["run", "q1", "q2", "q3"] {
+            if let Some(id) = job(&fed, name) {
+                let n = fed.finished(0, id, t);
+                t += 1.0;
+                let depth = fed.shards()[0].core().unwrap().queue_len();
+                if n.iter().any(|x| matches!(x, Notice::BrownoutReleased { .. })) {
+                    released = true;
+                    assert!(
+                        depth <= 1,
+                        "release only at or below queue_low, depth={depth}"
+                    );
+                }
+                // Hysteresis edges hold after every transition.
+                let s = &fed.shards()[0];
+                if depth >= 3 {
+                    assert!(s.brownout());
+                }
+                if depth <= 1 {
+                    assert!(!s.brownout());
+                }
+            }
+        }
+        assert!(released, "brownout must release once the queue drains");
+        assert!(!fed.shards()[0].core().unwrap().expand_paused());
+    }
+
+    #[test]
+    fn killed_borrower_recovers_evicts_overdue_lease_and_ledger_heals() {
+        let mut cfg = FederationConfig::new(
+            vec![4, 4],
+            vec![TenantConfig::new(64, 1.0, 32)],
+        );
+        cfg.lease.min_spare = 0;
+        cfg.lease.term = 10.0;
+        cfg.lease.grace = 5.0;
+        let mut fed = Federation::new(cfg);
+        fed.submit(0, 0, spec("fill", 2, 40), 0.0);
+        fed.submit(0, 1, spec("big", 6, 40), 1.0);
+        let lease = fed.leases().next().expect("lease granted").id;
+        // Deliver the grant, then crash the borrower mid-lease.
+        drain_until(&mut fed, 3.0);
+        let borrower = fed.lease(lease).unwrap().borrower;
+        assert!(fed.shards()[borrower].core().unwrap().borrowed_procs() > 0);
+        let (was_live, _) = fed.kill_shard(borrower, 3.0);
+        assert!(was_live);
+        // The lease expires and the grace deadline passes while the
+        // borrower is down: the lender reclaims unilaterally.
+        let n = fed.run_timers(16.0);
+        assert!(
+            n.iter().any(|x| matches!(x, Notice::LeaseReclaimed { .. })),
+            "lender reclaims at expires+grace with borrower down: {n:?}"
+        );
+        let lender = fed.lease(lease).unwrap().lender;
+        assert_eq!(fed.shards()[lender].core().unwrap().lent_procs(), 0);
+        // Recovery replays the WAL to the exact crash state, then the
+        // fixup evicts the overdue lease before anything can schedule.
+        let (report, notices) = fed.recover_shard(borrower, 20.0);
+        let report = report.expect("shard was down");
+        assert!(report.snapshot_match, "WAL replay must equal crash snapshot");
+        assert!(
+            notices.iter().any(|x| matches!(x, Notice::LeaseReleased { .. })),
+            "recovery fixup must evict the overdue lease: {notices:?}"
+        );
+        assert_eq!(fed.shards()[borrower].core().unwrap().borrowed_procs(), 0);
+        assert!(fed.lease(lease).unwrap().resolved());
+        drain_until(&mut fed, 30.0);
+        for s in fed.shards() {
+            let c = s.core().unwrap();
+            assert_eq!(c.owned_procs(), s.native(), "shard {}", s.id());
+        }
+    }
+
+    #[test]
+    fn deferred_traffic_replays_in_order_at_recovery() {
+        let mut fed = Federation::new(FederationConfig::new(
+            vec![2, 2],
+            vec![TenantConfig::new(64, 1.0, 32)],
+        ));
+        let n = fed.submit(0, 0, spec("a", 2, 10), 0.0);
+        let job = n
+            .iter()
+            .find_map(|x| match x {
+                Notice::Started { job, .. } => Some(*job),
+                _ => None,
+            })
+            .unwrap();
+        fed.kill_shard(0, 1.0);
+        // Checkin and finish arrive while the shard is down.
+        let n1 = fed.checkin(0, job, 0.5, 0.0, 2.0);
+        assert!(
+            !n1.iter().any(|x| matches!(x, Notice::Directive { .. })),
+            "down shard cannot answer a checkin"
+        );
+        let n2 = fed.finished(0, job, 3.0);
+        assert!(n2.is_empty());
+        // Survivor keeps working through the outage.
+        let n3 = fed.submit(0, 7, spec("b", 2, 10), 3.5);
+        assert!(
+            n3.iter()
+                .any(|x| matches!(x, Notice::Started { shard: 1, .. })),
+            "survivor must keep admitting: {n3:?}"
+        );
+        let (report, notices) = fed.recover_shard(0, 4.0);
+        assert!(report.unwrap().snapshot_match);
+        // Replay answered the checkin, then applied the finish.
+        assert!(
+            notices
+                .iter()
+                .any(|x| matches!(x, Notice::Directive { .. })),
+            "deferred checkin must replay: {notices:?}"
+        );
+        let core = fed.shards()[0].core().unwrap();
+        assert!(core.job(job).unwrap().state.is_terminal());
+        assert_eq!(core.idle_procs(), 2);
+    }
+
+    #[test]
+    fn shed_when_router_queue_full() {
+        let mut fed = Federation::new(FederationConfig::new(
+            vec![2],
+            vec![TenantConfig::new(2, 1.0, 1)],
+        ));
+        fed.submit(0, 0, spec("a", 2, 10), 0.0); // admitted (quota 2)
+        let n1 = fed.submit(0, 1, spec("b", 2, 10), 0.1); // over quota → queued
+        assert!(n1.iter().any(|x| matches!(x, Notice::RouterQueued { .. })));
+        let n2 = fed.submit(0, 2, spec("c", 2, 10), 0.2); // queue full → shed
+        assert!(
+            n2.iter().any(|x| matches!(x, Notice::Shed { tag: 2, .. })),
+            "router queue bound must shed: {n2:?}"
+        );
+        assert_eq!(fed.tenant_shed(0), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lease records and the grant/ack/release control messages.
+//!
+//! A lease moves processors from an idle *lender* shard to a starved
+//! *borrower* under an expiring term. Both sides journal their half into
+//! their own WAL (`lend_grant` / `borrow_attach` records in
+//! `reshape-core`); the federation keeps the cross-shard protocol state
+//! here. The safety argument is time-based and needs no coordination at
+//! the deadline:
+//!
+//! * the borrower evicts at `expires` (timer if live, recovery fixup if it
+//!   was down when the lease ran out);
+//! * the lender reclaims when it receives `Release`, or unconditionally at
+//!   `expires + grace` — strictly after every possible borrower eviction.
+//!
+//! So the intervals in which each side may schedule on the lease's
+//! processors are disjoint by construction, even across crash-restarts of
+//! either side.
+
+/// Federation-wide lease protocol parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeaseConfig {
+    /// Lease term: the borrower must evict at `granted_at + term`.
+    pub term: f64,
+    /// Reclaim slack: the lender force-reclaims at `expires + grace` even
+    /// if no `Release` ever arrived (crashed or hung borrower).
+    pub grace: f64,
+    /// Minimum interval between lend attempts for the same
+    /// (lender, borrower) pair.
+    pub retry_backoff: f64,
+    /// Idle processors a donor keeps for itself when lending.
+    pub min_spare: usize,
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        LeaseConfig {
+            term: 60.0,
+            grace: 15.0,
+            retry_backoff: 5.0,
+            min_spare: 1,
+        }
+    }
+}
+
+/// Messages on the shard-to-shard lease bus. Carried inside sequenced
+/// frames ([`reshape_core::ctrl::seq`]), so loss/duplication/reordering on
+/// the wire are masked.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LeaseMsg {
+    /// Lender → borrower: `global` processors are yours until `expires`.
+    /// The lender journaled the escrow *before* this was sent, so a lender
+    /// crash between journal and wire still reclaims deterministically.
+    Grant {
+        lease: u64,
+        global: Vec<usize>,
+        expires: f64,
+    },
+    /// Borrower → lender: the grant was attached.
+    Ack { lease: u64 },
+    /// Borrower → lender: the borrower no longer holds any of the lease's
+    /// processors (evicted or never attached); reclaim is safe now.
+    Release { lease: u64 },
+}
+
+/// Observable protocol phase, derived from the two authoritative bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeasePhase {
+    /// Granted, not yet acked by the borrower.
+    Offered,
+    /// Borrower acked (it attached the processors).
+    Active,
+    /// Borrower is done with it; lender has not reattached yet.
+    Released,
+    /// Both sides done — the processors are back home.
+    Reclaimed,
+}
+
+/// One lease's lifetime as the federation sees it.
+#[derive(Clone, Debug)]
+pub struct Lease {
+    pub id: u64,
+    pub lender: usize,
+    pub borrower: usize,
+    /// Federation-global processor ids lent.
+    pub global: Vec<usize>,
+    pub granted_at: f64,
+    pub expires: f64,
+    /// Borrower acked the grant at least once.
+    pub acked: bool,
+    /// Borrower side is finished: it evicted, refused, or released the
+    /// lease — no attachment exists or can ever be created.
+    pub borrower_done: bool,
+    /// Lender side reattached the processors.
+    pub reclaimed: bool,
+}
+
+impl Lease {
+    pub fn phase(&self) -> LeasePhase {
+        match (self.borrower_done, self.reclaimed, self.acked) {
+            (true, true, _) => LeasePhase::Reclaimed,
+            (true, false, _) => LeasePhase::Released,
+            (false, _, true) => LeasePhase::Active,
+            (false, _, false) => LeasePhase::Offered,
+        }
+    }
+
+    /// Both halves resolved; nothing in flight.
+    pub fn resolved(&self) -> bool {
+        self.borrower_done && self.reclaimed
+    }
+}

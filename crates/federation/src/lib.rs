@@ -1,0 +1,38 @@
+//! # reshape-federation — federated scheduler shards
+//!
+//! Scales the single [`reshape_core::SchedulerCore`] to a partitioned
+//! cluster: the node pool is split across N shards, each running its own
+//! deterministic core journaling to its own CRC-checked WAL, fronted by a
+//! router that admits jobs by tenant with quotas, fair-share weights and
+//! bounded queues. Three mechanisms make the federation robust:
+//!
+//! * **Leased lending** ([`lease`], [`bus`]) — an idle shard lends
+//!   processors to a starved one under an expiring lease. The lender
+//!   journals the escrow *before* the grant hits the wire; the borrower
+//!   evicts at the expiry and the lender force-reclaims a grace period
+//!   later, so a crashed or hung borrower can never strand capacity and
+//!   no processor is ever owned by two shards — even across a
+//!   crash-restart of either side.
+//! * **Per-shard recovery** ([`shard`], [`Federation::recover_shard`]) —
+//!   killing any shard at any transition and replaying its WAL restores
+//!   its exact pre-crash state (asserted snapshot-for-snapshot), while
+//!   surviving shards keep admitting and completing work and traffic for
+//!   the dead shard is buffered and replayed in order.
+//! * **Overload control** ([`Federation`] brownout) — per-tenant quotas
+//!   shed excess load at the router; a shard whose queue depth (or
+//!   recovery lag) crosses a threshold stops granting expansions until
+//!   the backlog drains below a low-water mark, with hysteresis.
+
+pub mod bus;
+pub mod fed;
+pub mod lease;
+pub mod shard;
+pub mod sim;
+pub mod tenant;
+
+pub use bus::{Bus, BusConfig, BusEvent};
+pub use fed::{BrownoutConfig, BrownoutReason, Federation, FederationConfig, Notice};
+pub use lease::{Lease, LeaseConfig, LeaseMsg, LeasePhase};
+pub use shard::{RecoverReport, Shard};
+pub use sim::{FedJob, FedReport, FedSimConfig, KillPlan, TenantReport};
+pub use tenant::TenantConfig;

@@ -1,0 +1,175 @@
+//! One scheduler shard: a deterministic [`SchedulerCore`] journaling every
+//! transition into its own WAL, plus the federation-side bookkeeping that
+//! must survive the core's death (global id range, crash image, deferred
+//! traffic).
+
+use std::collections::VecDeque;
+
+use reshape_core::{CoreSnapshot, JobId, SchedulerCore};
+
+use crate::lease::LeaseMsg;
+
+/// Traffic addressed to a shard while it was down, replayed in arrival
+/// order at recovery.
+#[derive(Clone, Debug)]
+pub(crate) enum Deferred {
+    Checkin {
+        job: JobId,
+        iter_time: f64,
+        redist_time: f64,
+    },
+    Finished {
+        job: JobId,
+    },
+    Failed {
+        job: JobId,
+        reason: String,
+    },
+    Cancel {
+        job: JobId,
+    },
+    Msg {
+        from: usize,
+        msg: LeaseMsg,
+    },
+}
+
+// One live core per shard and shards live in a small Vec — boxing the
+// core would add a pointer chase to every scheduling call for no win.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum ShardState {
+    Live(SchedulerCore),
+    /// Crashed: all that survives is the WAL text (what a restart would
+    /// read off disk) and the snapshot at the instant of death (what the
+    /// replay must reproduce field for field).
+    Down {
+        wal_text: String,
+        crash: Box<CoreSnapshot>,
+    },
+}
+
+/// What [`crate::Federation::recover_shard`] proved about a restart.
+#[derive(Clone, Debug)]
+pub struct RecoverReport {
+    /// Replaying the WAL reproduced the crash-instant snapshot exactly.
+    pub snapshot_match: bool,
+    /// Records replayed.
+    pub wal_records: usize,
+    /// The WAL text that was replayed (for failure artifacts).
+    pub wal_text: String,
+}
+
+pub struct Shard {
+    pub(crate) id: usize,
+    /// First federation-global processor id owned natively by this shard;
+    /// native slot `l` is global `base + l`.
+    pub(crate) base: usize,
+    pub(crate) native: usize,
+    pub(crate) state: ShardState,
+    /// Last virtual time the shard processed anything — its heartbeat.
+    pub(crate) last_seen: f64,
+    /// Brownout latch (hysteresis state); mirrors the core's
+    /// `expand_paused` while live.
+    pub(crate) brownout: bool,
+    pub(crate) deferred: VecDeque<Deferred>,
+    pub(crate) kills: u64,
+}
+
+impl Shard {
+    pub(crate) fn new(id: usize, base: usize, core: SchedulerCore) -> Self {
+        let native = core.total_procs();
+        Shard {
+            id,
+            base,
+            native,
+            state: ShardState::Live(core),
+            last_seen: 0.0,
+            brownout: false,
+            deferred: VecDeque::new(),
+            kills: 0,
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// First global processor id of the native range.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Native pool size (global ids `base .. base + native`).
+    pub fn native(&self) -> usize {
+        self.native
+    }
+
+    pub fn is_live(&self) -> bool {
+        matches!(self.state, ShardState::Live(_))
+    }
+
+    pub fn core(&self) -> Option<&SchedulerCore> {
+        match &self.state {
+            ShardState::Live(c) => Some(c),
+            ShardState::Down { .. } => None,
+        }
+    }
+
+    pub(crate) fn core_mut(&mut self) -> Option<&mut SchedulerCore> {
+        match &mut self.state {
+            ShardState::Live(c) => Some(c),
+            ShardState::Down { .. } => None,
+        }
+    }
+
+    /// The frozen snapshot taken at the instant of the crash (down only).
+    pub fn crash_snapshot(&self) -> Option<&CoreSnapshot> {
+        match &self.state {
+            ShardState::Down { crash, .. } => Some(crash),
+            ShardState::Live(_) => None,
+        }
+    }
+
+    /// The WAL a restart would replay (down only).
+    pub fn down_wal(&self) -> Option<&str> {
+        match &self.state {
+            ShardState::Down { wal_text, .. } => Some(wal_text),
+            ShardState::Live(_) => None,
+        }
+    }
+
+    /// Scheduler queue depth — live from the core, down from the frozen
+    /// snapshot.
+    pub fn queue_len(&self) -> usize {
+        match &self.state {
+            ShardState::Live(c) => c.queue_len(),
+            ShardState::Down { crash, .. } => crash.queue.len(),
+        }
+    }
+
+    /// Brownout latch: expansion grants paused.
+    pub fn brownout(&self) -> bool {
+        self.brownout
+    }
+
+    /// Times this shard has been killed.
+    pub fn kills(&self) -> u64 {
+        self.kills
+    }
+
+    /// Last virtual time the shard processed a transition.
+    pub fn last_seen(&self) -> f64 {
+        self.last_seen
+    }
+
+    /// Map a native local slot to its federation-global id. Panics on
+    /// foreign (borrowed) locals — those belong to another shard's range.
+    pub fn to_global(&self, local: usize) -> usize {
+        assert!(
+            local < self.native,
+            "slot {local} of shard {} is not native (borrowed slots map through their lease)",
+            self.id
+        );
+        self.base + local
+    }
+}

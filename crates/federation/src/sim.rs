@@ -1,0 +1,389 @@
+//! Discrete-event driver for a whole federation: thousands of jobs across
+//! tens of tenants, with scripted shard kills. This is the scale harness —
+//! the chaos sweeps in `reshape-testkit` drive the same [`Federation`]
+//! API with seeded faults and a ledger oracle after every transition.
+
+use std::collections::BTreeMap;
+
+use reshape_clustersim::EventQueue;
+use reshape_core::{Directive, JobSpec, QueuePolicy};
+
+use crate::bus::BusConfig;
+use crate::fed::{BrownoutConfig, Federation, FederationConfig, Notice};
+use crate::lease::LeaseConfig;
+use crate::tenant::TenantConfig;
+
+/// One job of the driven workload.
+#[derive(Clone, Debug)]
+pub struct FedJob {
+    pub tenant: u32,
+    pub spec: JobSpec,
+    pub arrival: f64,
+    /// Ideal processor-seconds per iteration; an iteration on `p`
+    /// processors takes `work / p` virtual seconds.
+    pub work: f64,
+    /// Inject a failure at this checkin ordinal.
+    pub fail_at: Option<u32>,
+    /// Cancel the job at this checkin ordinal.
+    pub cancel_at: Option<u32>,
+}
+
+/// Scripted shard crash: kill `shard` once the federation's transition
+/// counter reaches `at_transition`, restart it `down_for` later.
+#[derive(Clone, Copy, Debug)]
+pub struct KillPlan {
+    pub at_transition: u64,
+    pub shard: usize,
+    pub down_for: f64,
+}
+
+#[derive(Clone, Debug)]
+pub struct FedSimConfig {
+    pub shard_procs: Vec<usize>,
+    pub queue_policy: QueuePolicy,
+    pub tenants: Vec<TenantConfig>,
+    pub jobs: Vec<FedJob>,
+    pub lease: LeaseConfig,
+    pub brownout: BrownoutConfig,
+    pub bus: BusConfig,
+    pub kills: Vec<KillPlan>,
+}
+
+impl FedSimConfig {
+    pub fn new(shard_procs: Vec<usize>, tenants: Vec<TenantConfig>, jobs: Vec<FedJob>) -> Self {
+        FedSimConfig {
+            shard_procs,
+            queue_policy: QueuePolicy::Fcfs,
+            tenants,
+            jobs,
+            lease: LeaseConfig::default(),
+            brownout: BrownoutConfig::default(),
+            bus: BusConfig::default(),
+            kills: Vec::new(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantReport {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    pub finished: u64,
+}
+
+/// What a federation run did.
+#[derive(Clone, Debug, Default)]
+pub struct FedReport {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub router_queued: u64,
+    pub shed: u64,
+    pub finished: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub evict_failed: u64,
+    pub leases_granted: u64,
+    pub leases_reclaimed: u64,
+    pub evict_shrinks: u64,
+    pub brownout_engaged: u64,
+    pub brownout_released: u64,
+    pub shard_kills: u64,
+    pub shard_recoveries: u64,
+    /// Every recovery replayed its WAL to a snapshot equal to the crash
+    /// image.
+    pub recoveries_matched: bool,
+    pub makespan: f64,
+    pub transitions: u64,
+    pub per_tenant: BTreeMap<u32, TenantReport>,
+}
+
+enum Ev {
+    Submit(usize),
+    Checkin { shard: usize, job: u64 },
+    Recover { shard: usize },
+}
+
+struct LiveJob {
+    idx: usize,
+    procs: usize,
+    checkins: u32,
+}
+
+/// Run the workload to completion (all terminal, leases resolved, bus
+/// drained).
+pub fn run(cfg: FedSimConfig) -> FedReport {
+    run_with(cfg, |_, _| {})
+}
+
+/// Like [`run`], invoking `hook(&federation, now)` after every event —
+/// the testkit hangs its ledger oracle here.
+pub fn run_with(cfg: FedSimConfig, mut hook: impl FnMut(&Federation, f64)) -> FedReport {
+    let mut fcfg = FederationConfig::new(cfg.shard_procs, cfg.tenants);
+    fcfg.queue_policy = cfg.queue_policy;
+    fcfg.lease = cfg.lease;
+    fcfg.brownout = cfg.brownout;
+    fcfg.bus = cfg.bus;
+    let mut fed = Federation::new(fcfg);
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    for (i, j) in cfg.jobs.iter().enumerate() {
+        q.push(j.arrival, Ev::Submit(i));
+    }
+    let mut kills = cfg.kills.clone();
+    kills.sort_by_key(|k| k.at_transition);
+    let mut kill_idx = 0;
+
+    let mut live: BTreeMap<(usize, u64), LiveJob> = BTreeMap::new();
+    let mut report = FedReport {
+        recoveries_matched: true,
+        ..FedReport::default()
+    };
+    for j in &cfg.jobs {
+        report.per_tenant.entry(j.tenant).or_default();
+    }
+
+    loop {
+        let (t, notices) = if let Some((t, ev)) = q.pop() {
+            let notices = match ev {
+                Ev::Submit(i) => {
+                    report.submitted += 1;
+                    report.per_tenant.entry(cfg.jobs[i].tenant).or_default().submitted += 1;
+                    fed.submit(cfg.jobs[i].tenant, i as u64, cfg.jobs[i].spec.clone(), t)
+                }
+                Ev::Checkin { shard, job } => {
+                    let Some(lj) = live.get_mut(&(shard, job)) else {
+                        continue; // job left the system (evicted, failed)
+                    };
+                    lj.checkins += 1;
+                    let (idx, n) = (lj.idx, lj.checkins);
+                    let fj = &cfg.jobs[idx];
+                    let jid = reshape_core::JobId(job);
+                    if fj.cancel_at == Some(n) {
+                        live.remove(&(shard, job));
+                        report.cancelled += 1;
+                        fed.cancel(shard, jid, t)
+                    } else if fj.fail_at == Some(n) {
+                        live.remove(&(shard, job));
+                        report.failed += 1;
+                        fed.failed(shard, jid, "injected fault".into(), t)
+                    } else if n as usize >= fj.spec.iterations {
+                        live.remove(&(shard, job));
+                        report.finished += 1;
+                        report.per_tenant.entry(fj.tenant).or_default().finished += 1;
+                        fed.finished(shard, jid, t)
+                    } else {
+                        let procs = live[&(shard, job)].procs.max(1);
+                        fed.checkin(shard, jid, fj.work / procs as f64, 0.0, t)
+                    }
+                }
+                Ev::Recover { shard } => {
+                    let (rep, notices) = fed.recover_shard(shard, t);
+                    if let Some(r) = rep {
+                        report.shard_recoveries += 1;
+                        report.recoveries_matched &= r.snapshot_match;
+                    }
+                    notices
+                }
+            };
+            (t, notices)
+        } else if let Some(t) = fed.next_timer() {
+            // Workload done; drain lease expiries, reclaims, bus traffic.
+            (t, fed.run_timers(t))
+        } else {
+            break;
+        };
+
+        report.makespan = report.makespan.max(t);
+        for n in &notices {
+            match n {
+                Notice::Admitted { tenant, .. } => {
+                    report.admitted += 1;
+                    report.per_tenant.entry(*tenant).or_default().admitted += 1;
+                }
+                Notice::RouterQueued { .. } => report.router_queued += 1,
+                Notice::Shed { tenant, .. } => {
+                    report.shed += 1;
+                    report.per_tenant.entry(*tenant).or_default().shed += 1;
+                }
+                Notice::Started {
+                    shard, job, tag, procs, ..
+                } => {
+                    let idx = *tag as usize;
+                    let e = live.entry((*shard, job.0)).or_insert(LiveJob {
+                        idx,
+                        procs: *procs,
+                        checkins: 0,
+                    });
+                    e.procs = *procs;
+                    // First start schedules the checkin loop.
+                    if e.checkins == 0 {
+                        let work = cfg.jobs[idx].work;
+                        q.push(t + work / (*procs).max(1) as f64, Ev::Checkin {
+                            shard: *shard,
+                            job: job.0,
+                        });
+                    }
+                }
+                Notice::Directive {
+                    shard,
+                    job,
+                    directive,
+                } => {
+                    if let Some(lj) = live.get_mut(&(*shard, job.0)) {
+                        match directive {
+                            Directive::Terminate => {
+                                live.remove(&(*shard, job.0));
+                            }
+                            d => {
+                                if let Directive::Expand { to, .. } | Directive::Shrink { to } = d {
+                                    lj.procs = to.procs();
+                                }
+                                let procs = live[&(*shard, job.0)].procs.max(1);
+                                let work = cfg.jobs[live[&(*shard, job.0)].idx].work;
+                                q.push(t + work / procs as f64, Ev::Checkin {
+                                    shard: *shard,
+                                    job: job.0,
+                                });
+                            }
+                        }
+                    }
+                }
+                Notice::Evicted { shard, job, to, .. } => {
+                    if let Some(lj) = live.get_mut(&(*shard, job.0)) {
+                        lj.procs = to.procs();
+                    }
+                }
+                Notice::EvictFailed { shard, job, .. }
+                    if live.remove(&(*shard, job.0)).is_some() =>
+                {
+                    report.evict_failed += 1;
+                }
+                Notice::LeaseGranted { .. } => report.leases_granted += 1,
+                Notice::LeaseReclaimed { .. } => report.leases_reclaimed += 1,
+                Notice::BrownoutEngaged { .. } => report.brownout_engaged += 1,
+                Notice::BrownoutReleased { .. } => report.brownout_released += 1,
+                Notice::ShardKilled { .. } => {}
+                _ => {}
+            }
+            if let Notice::Evicted { .. } = n {
+                report.evict_shrinks += 1;
+            }
+        }
+
+        // Scripted kills keyed off the transition counter.
+        while kill_idx < kills.len() && fed.transitions() >= kills[kill_idx].at_transition {
+            let k = kills[kill_idx];
+            kill_idx += 1;
+            if fed.shards()[k.shard].is_live() {
+                let (was_live, _) = fed.kill_shard(k.shard, t);
+                if was_live {
+                    report.shard_kills += 1;
+                    q.push(t + k.down_for, Ev::Recover { shard: k.shard });
+                }
+            }
+        }
+
+        hook(&fed, t);
+    }
+
+    report.transitions = fed.transitions();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reshape_core::{ProcessorConfig, TopologyPref};
+
+    fn spec(name: &str, procs: usize, iters: usize) -> JobSpec {
+        JobSpec::new(
+            name,
+            TopologyPref::AnyCount {
+                min: 1,
+                max: 64,
+                step: 1,
+            },
+            ProcessorConfig::linear(procs),
+            iters,
+        )
+    }
+
+    fn small_workload(n: usize, tenants: u32) -> Vec<FedJob> {
+        (0..n)
+            .map(|i| FedJob {
+                tenant: i as u32 % tenants,
+                spec: spec(&format!("j{i}"), 1 + i % 4, 2 + i % 3),
+                arrival: i as f64 * 0.7,
+                work: 4.0,
+                fail_at: None,
+                cancel_at: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_tenant_run_completes_and_quiesces() {
+        let tenants = vec![
+            TenantConfig::new(16, 1.0, 8),
+            TenantConfig::new(16, 2.0, 8),
+            TenantConfig::new(8, 1.0, 4),
+        ];
+        let cfg = FedSimConfig::new(vec![6, 6, 4], tenants, small_workload(30, 3));
+        let mut quiesced = false;
+        let report = run_with(cfg, |fed, _| quiesced = fed.quiesced());
+        assert_eq!(report.submitted, 30);
+        assert_eq!(report.finished + report.shed, 30);
+        assert_eq!(report.admitted, report.finished);
+        assert!(quiesced, "federation should drain to quiescence");
+        assert_eq!(report.leases_granted, report.leases_reclaimed);
+    }
+
+    #[test]
+    fn kills_recover_to_equal_snapshots_and_work_completes() {
+        let tenants = vec![TenantConfig::new(32, 1.0, 16), TenantConfig::new(32, 1.0, 16)];
+        let mut cfg = FedSimConfig::new(vec![4, 4, 4], tenants, small_workload(24, 2));
+        cfg.kills = vec![
+            KillPlan {
+                at_transition: 10,
+                shard: 0,
+                down_for: 5.0,
+            },
+            KillPlan {
+                at_transition: 30,
+                shard: 2,
+                down_for: 9.0,
+            },
+        ];
+        let report = run(cfg);
+        assert_eq!(report.shard_kills, report.shard_recoveries);
+        assert!(report.shard_kills >= 1, "kill plan should fire");
+        assert!(report.recoveries_matched, "WAL replay must equal crash snapshot");
+        assert_eq!(
+            report.finished + report.failed + report.cancelled + report.evict_failed + report.shed,
+            report.submitted
+        );
+        assert_eq!(report.leases_granted, report.leases_reclaimed);
+    }
+
+    #[test]
+    fn quota_sheds_excess_load() {
+        // One tenant with a tiny queue bound and a quota of 2: the burst
+        // overflows the router queue and sheds.
+        let tenants = vec![TenantConfig::new(2, 1.0, 2)];
+        let jobs: Vec<FedJob> = (0..8)
+            .map(|i| FedJob {
+                tenant: 0,
+                spec: spec(&format!("b{i}"), 2, 20),
+                arrival: 0.1,
+                work: 50.0,
+                fail_at: None,
+                cancel_at: None,
+            })
+            .collect();
+        let cfg = FedSimConfig::new(vec![4], tenants, jobs);
+        let report = run(cfg);
+        assert!(report.shed > 0, "router queue bound must shed");
+        assert_eq!(report.finished + report.shed, report.submitted);
+    }
+}

@@ -1,0 +1,98 @@
+//! Area `federation`: the sharded multi-tenant control plane. The micro
+//! metric is the router's admit hot path — tenant quota check, fair-share
+//! bookkeeping, shard choice, core submission — the cost every job pays
+//! before any scheduling happens. The macro metric is the lease round
+//! trip: a job too wide for any single shard forces an escrowed lend
+//! (grant → bus → attach → expiry eviction → release → reclaim), and the
+//! virtual time of that full protocol cycle is bit-deterministic, so the
+//! gate holds it to the tight drift band.
+
+use reshape_core::{JobSpec, ProcessorConfig, TopologyPref};
+use reshape_federation::{Federation, FederationConfig, TenantConfig};
+
+use crate::report::MetricKind;
+use crate::runner::Recorder;
+use crate::suites::SuiteOpts;
+
+fn narrow_spec(i: u64) -> JobSpec {
+    JobSpec::new(
+        format!("j{i}"),
+        TopologyPref::AnyCount { min: 1, max: 8, step: 1 },
+        ProcessorConfig::linear(2),
+        3,
+    )
+}
+
+/// A federation whose quotas and queue bounds never bind: every
+/// submission exercises the pure admit path.
+fn admit_fed() -> Federation {
+    let tenants = (0..4).map(|_| TenantConfig::new(1 << 30, 1.0, 1 << 30)).collect();
+    Federation::new(FederationConfig::new(vec![32; 4], tenants))
+}
+
+/// One full lease protocol cycle: a 6-processor job fits no 4-wide shard,
+/// so admitting it requires a lend — escrowed grant, bus delivery, borrow
+/// attach, expiry eviction, release, reclaim. Pump timers to quiescence
+/// and return `(virtual end time, leases granted)`.
+fn lease_cycle() -> (f64, u64) {
+    let mut fcfg = FederationConfig::new(vec![4, 4, 4], vec![TenantConfig::new(64, 1.0, 16)]);
+    fcfg.lease.min_spare = 1;
+    let mut fed = Federation::new(fcfg);
+    let spec = JobSpec::new(
+        "wide",
+        TopologyPref::AnyCount { min: 1, max: 64, step: 1 },
+        ProcessorConfig::linear(6),
+        4,
+    );
+    fed.submit(0, 0, spec, 0.0);
+    let mut t = 0.0;
+    for _ in 0..256 {
+        let Some(next) = fed.next_timer() else { break };
+        t = next.max(t);
+        fed.run_timers(t);
+        if fed.quiesced() {
+            break;
+        }
+    }
+    let granted = fed.leases().count() as u64;
+    assert!(granted >= 1, "the wide job must force at least one lease");
+    assert_eq!(fed.live_leases(), 0, "the cycle must resolve every lease");
+    (fed.now(), granted)
+}
+
+pub fn run(rec: &mut Recorder, opts: SuiteOpts) {
+    // Router admit hot path: submissions spread over four tenants into a
+    // four-shard pool with unbound quotas — quota check, fair-share
+    // bookkeeping, shard choice, core submission, ledger update.
+    let admits = if opts.quick { 4_000u64 } else { 40_000u64 };
+    rec.wall_per_op("router_admit_ns_per_op", admits, || {
+        let mut fed = admit_fed();
+        for i in 0..admits {
+            let notices = fed.submit((i % 4) as u32, i, narrow_spec(i), i as f64 * 0.25);
+            std::hint::black_box(notices);
+        }
+    });
+
+    // Lease round trip, wall clock: fresh federation per cycle, the
+    // protocol's end-to-end CPU cost including WAL journaling. Allocator
+    // behaviour across many short-lived federations makes this jittery,
+    // hence the wide noise band — the virtual twin below is the tight
+    // gate on protocol behaviour.
+    let cycles = if opts.quick { 200u64 } else { 1_000u64 };
+    rec.wall_per_op("lease_round_trip_ns_per_op", cycles, || {
+        for _ in 0..cycles {
+            std::hint::black_box(lease_cycle());
+        }
+    });
+    rec.set_noise("lease_round_trip_ns_per_op", 0.6);
+
+    // Lease round trip, virtual: grant → attach → expiry evict → reclaim
+    // under the default LeaseConfig. Bit-deterministic.
+    let mut granted = 0u64;
+    rec.value("lease_round_trip_virtual_s", "s", MetricKind::Virtual, || {
+        let (end, g) = lease_cycle();
+        granted = g;
+        end
+    });
+    rec.single("lease_cycle_grants", "ops", MetricKind::Count, granted as f64);
+}

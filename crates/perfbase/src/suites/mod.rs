@@ -11,6 +11,7 @@
 mod blockcyclic;
 mod clustersim;
 mod des;
+mod federation;
 mod redist;
 mod spawn;
 mod wal;
@@ -43,7 +44,8 @@ impl Default for SuiteOpts {
 }
 
 /// Every area, in run order.
-pub const AREAS: [&str; 6] = ["blockcyclic", "redist", "wal", "spawn", "clustersim", "des"];
+pub const AREAS: [&str; 7] =
+    ["blockcyclic", "redist", "wal", "spawn", "clustersim", "des", "federation"];
 
 /// Run one area's suite.
 ///
@@ -60,6 +62,7 @@ pub fn run_area(area: &str, opts: SuiteOpts) -> BenchReport {
         "spawn" => spawn::run(&mut rec, opts),
         "clustersim" => clustersim::run(&mut rec, opts),
         "des" => des::run(&mut rec, opts),
+        "federation" => federation::run(&mut rec, opts),
         other => panic!("unknown perfbase area `{other}` (areas: {AREAS:?})"),
     }
     rec.finish()

@@ -27,6 +27,12 @@
 //!   / naive / general / checkpoint, 2-D and 1-D) on identical inputs and
 //!   demands bitwise-equal results; under a dead rank, all fault-checked
 //!   variants must abort without moving data.
+//! * [`federation`] — multi-shard chaos drills: seeded federations (shard
+//!   kills, lease expiries, wire chaos) checked after every transition by
+//!   a global ledger oracle — every processor owned by exactly one shard
+//!   or escrowed under exactly one lease, and every live lease journaled
+//!   in the WALs that must know it; `tests/federation.rs` sweeps 256
+//!   seeds and proves the oracle catches a planted double grant.
 //! * [`survival`] — end-to-end node-loss drills on the simulated cluster:
 //!   a seeded crash mid-iteration must be survived iff the victim's buddy
 //!   is intact (with the final matrix bitwise-equal to a fault-free run),
@@ -42,6 +48,7 @@
 pub mod crashrestart;
 pub mod des;
 pub mod differential;
+pub mod federation;
 pub mod harness;
 pub mod oracle;
 pub mod rng;
@@ -50,6 +57,10 @@ pub mod survival;
 
 pub use crashrestart::{run_crash_restart, CrashReport};
 pub use des::{run_seed_des, DesHarness};
+pub use federation::{
+    check_ledger, generate_federation, run_federation_chaos, run_planted_double_grant,
+    FedChaosReport,
+};
 pub use harness::{run_scenario, run_scenario_on, run_seed, Driver, RunStats};
 pub use oracle::{check_invariants, check_trace};
 pub use rng::SplitMix64;

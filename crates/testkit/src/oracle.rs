@@ -22,7 +22,11 @@ use reshape_core::{EventKind, JobId, JobState, QueuePolicy, SchedEvent, Schedule
 /// Structural invariants of the live scheduler state. Returns a
 /// description of the first violation found.
 pub fn check_invariants(core: &SchedulerCore) -> Result<(), String> {
-    let total = core.total_procs();
+    // Owned, not total: a federated core may have lent native slots away
+    // (they count neither idle nor busy) or borrowed foreign ones (minted
+    // at ids >= total). For a standalone core owned == total and the
+    // checks reduce to their classic forms.
+    let owned = core.owned_procs();
     let mut seen: BTreeSet<usize> = BTreeSet::new();
     for (id, rec) in core.jobs() {
         match rec.state {
@@ -35,8 +39,10 @@ pub fn check_invariants(core: &SchedulerCore) -> Result<(), String> {
                     ));
                 }
                 for &s in &rec.slots {
-                    if s >= total {
-                        return Err(format!("{id}: slot {s} out of range 0..{total}"));
+                    if !core.slot_owned(s) {
+                        return Err(format!(
+                            "{id}: slot {s} not owned by this pool (lent away or never minted)"
+                        ));
                     }
                     if !seen.insert(s) {
                         return Err(format!("{id}: slot {s} double-allocated"));
@@ -60,11 +66,15 @@ pub fn check_invariants(core: &SchedulerCore) -> Result<(), String> {
             core.busy_procs()
         ));
     }
-    if core.idle_procs() + core.busy_procs() != total {
+    if core.idle_procs() + core.busy_procs() != owned {
         return Err(format!(
-            "pool accounting broken: idle {} + busy {} != total {total}",
+            "pool accounting broken: idle {} + busy {} != owned {owned} \
+             (total {}, lent {}, borrowed {})",
             core.idle_procs(),
-            core.busy_procs()
+            core.busy_procs(),
+            core.total_procs(),
+            core.lent_procs(),
+            core.borrowed_procs()
         ));
     }
     Ok(())

@@ -28,6 +28,7 @@ fn lu(n: usize, initial: (usize, usize), iters: usize, arrival: f64) -> SimJob {
         arrival,
         cancel_at: None,
         fail_at: None,
+        tenant: 0,
     }
 }
 
