@@ -18,7 +18,7 @@ use crate::policy::{decide_with, RemapDecision, RemapPolicy, SystemSnapshot};
 use crate::pool::ResourcePool;
 use crate::profiler::{JobProfile, Profiler, Resize};
 use crate::topology::ProcessorConfig;
-use crate::wal::{Wal, WalError, WalRecord};
+use crate::wal::{HealAction, Wal, WalError, WalRecord};
 
 /// Queueing discipline for initial allocations (paper §3.1: "two basic
 /// resource allocation policies, First Come First Served (FCFS) and simple
@@ -129,6 +129,11 @@ pub struct BorrowedLease {
     pub local: Vec<usize>,
     /// Federation-global processor ids, as carried by the lease grant.
     pub global: Vec<usize>,
+    /// The lender's fencing epoch at grant time (0 in pre-epoch streams) —
+    /// the partition oracle audits attachments against the lender's current
+    /// epoch to prove no lease is honored across a fence.
+    #[serde(default)]
+    pub lender_epoch: u64,
 }
 
 /// What a lease eviction did: jobs force-shrunk off borrowed slots, jobs
@@ -176,6 +181,9 @@ pub struct CoreSnapshot {
     pub foreign_minted: usize,
     /// Brownout: expansion grants currently paused.
     pub expand_paused: bool,
+    /// Partition-fencing epoch (monotonic; see
+    /// [`SchedulerCore::bump_epoch`]).
+    pub epoch: u64,
 }
 
 /// The combined scheduler state machine.
@@ -221,6 +229,12 @@ pub struct SchedulerCore {
     /// Brownout: while set, `resize_point` downgrades every Expand decision
     /// to NoChange (shrinks and completions proceed).
     expand_paused: bool,
+    /// Partition-fencing epoch: a monotonic counter the federation bumps
+    /// when this shard, as a lender, loses contact with a borrower past the
+    /// suspicion timeout. Leases minted under an older epoch are fenced —
+    /// never honored or extended. Persisted via [`WalRecord::EpochBump`];
+    /// replay restores it exactly.
+    epoch: u64,
 }
 
 impl SchedulerCore {
@@ -248,6 +262,7 @@ impl SchedulerCore {
             lent_leases: BTreeMap::new(),
             borrowed_leases: BTreeMap::new(),
             expand_paused: false,
+            epoch: 0,
         }
     }
 
@@ -491,14 +506,27 @@ impl SchedulerCore {
             WalRecord::BorrowAttach {
                 lease,
                 global_slots,
+                lender_epoch,
                 now,
             } => {
-                self.borrow_attach(lease, &global_slots, now);
+                self.borrow_attach(lease, &global_slots, lender_epoch, now);
             }
             WalRecord::BorrowEvict { lease, now } => {
                 self.borrow_evict(lease, now);
             }
             WalRecord::PauseExpansion { on, now } => self.set_expand_paused(on, now),
+            WalRecord::EpochBump { epoch, now } => {
+                let got = self.bump_epoch(now);
+                // Epochs are logged as absolute values so replay can prove
+                // the restored counter matches the live one exactly.
+                assert_eq!(
+                    got, epoch,
+                    "WAL replay diverged on epoch bump (got {got}, logged {epoch})"
+                );
+            }
+            WalRecord::HealRepair { lease, action, now } => {
+                self.journal_heal_repair(lease, action, now);
+            }
         }
     }
 
@@ -566,6 +594,7 @@ impl SchedulerCore {
             borrowed_leases: self.borrowed_leases.clone(),
             foreign_minted: self.pool.foreign_minted(),
             expand_paused: self.expand_paused,
+            epoch: self.epoch,
         }
     }
 
@@ -1330,14 +1359,17 @@ impl SchedulerCore {
 
     /// Borrower side: attach foreign processors granted under `lease`.
     /// `global_slots` are federation-global processor ids (recorded in the
-    /// WAL for ledger audits); the pool mints fresh local ids for them and
-    /// queued work may start on the new capacity immediately. Idempotent:
-    /// re-attaching a live lease (a duplicated grant frame) is a strict
-    /// no-op.
+    /// WAL for ledger audits); `lender_epoch` is the lender's fencing epoch
+    /// at grant time, journaled alongside them so the partition oracle can
+    /// prove no attachment outlives a fence. The pool mints fresh local ids
+    /// for the slots and queued work may start on the new capacity
+    /// immediately. Idempotent: re-attaching a live lease (a duplicated
+    /// grant frame) is a strict no-op.
     pub fn borrow_attach(
         &mut self,
         lease: u64,
         global_slots: &[usize],
+        lender_epoch: u64,
         now: f64,
     ) -> Vec<StartAction> {
         let now = self.sane_now(now);
@@ -1347,6 +1379,7 @@ impl SchedulerCore {
         self.log(WalRecord::BorrowAttach {
             lease,
             global_slots: global_slots.to_vec(),
+            lender_epoch,
             now,
         });
         self.tick(now);
@@ -1356,6 +1389,7 @@ impl SchedulerCore {
             BorrowedLease {
                 local,
                 global: global_slots.to_vec(),
+                lender_epoch,
             },
         );
         reshape_telemetry::incr("core.lease_borrows", 1);
@@ -1473,6 +1507,40 @@ impl SchedulerCore {
     /// Whether expansion grants are currently browned out.
     pub fn expand_paused(&self) -> bool {
         self.expand_paused
+    }
+
+    /// The shard's current partition-fencing epoch (0 until first bump).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the fencing epoch by one and return the new value. Called by
+    /// the federation when this shard, lending, has lost contact with a
+    /// borrower past the suspicion timeout: leases minted under the old
+    /// epoch are fenced from here on. Journaled (with the absolute new
+    /// value) before taking effect, so WAL replay restores the counter
+    /// exactly.
+    pub fn bump_epoch(&mut self, now: f64) -> u64 {
+        let now = self.sane_now(now);
+        let next = self.epoch + 1;
+        self.log(WalRecord::EpochBump { epoch: next, now });
+        self.tick(now);
+        self.epoch = next;
+        reshape_telemetry::incr("core.epoch_bumps", 1);
+        reshape_telemetry::gauge_set("core.epoch", next as f64);
+        next
+    }
+
+    /// Journal an anti-entropy heal decision about `lease`. The record is
+    /// evidence only — the repairing transition itself
+    /// ([`SchedulerCore::borrow_evict`] or [`SchedulerCore::lend_reclaim`])
+    /// follows as its own journaled call, so no heal mutates state
+    /// silently and replay stays exact.
+    pub fn journal_heal_repair(&mut self, lease: u64, action: HealAction, now: f64) {
+        let now = self.sane_now(now);
+        self.log(WalRecord::HealRepair { lease, action, now });
+        self.tick(now);
+        reshape_telemetry::incr("core.heal_repairs", 1);
     }
 
     /// Lender-side lease ledger: lease id → native slots away under it.
@@ -2205,14 +2273,14 @@ mod tests {
         let mut core = SchedulerCore::new(2, QueuePolicy::Fcfs);
         let (b, s) = core.submit(lu(8000, 2, 2), 0.0);
         assert!(s.is_empty(), "needs 4 of 2");
-        let started = core.borrow_attach(9, &[100, 101], 1.0);
+        let started = core.borrow_attach(9, &[100, 101], 0, 1.0);
         assert_eq!(started.len(), 1);
         assert_eq!(started[0].job, b);
         // Local ids are minted above the native range.
         assert_eq!(started[0].slots, vec![0, 1, 2, 3]);
         assert_eq!((core.owned_procs(), core.borrowed_procs()), (4, 2));
         // Duplicate grant frame: strict no-op.
-        assert!(core.borrow_attach(9, &[100, 101], 2.0).is_empty());
+        assert!(core.borrow_attach(9, &[100, 101], 0, 2.0).is_empty());
         assert_eq!(core.owned_procs(), 4);
     }
 
@@ -2221,7 +2289,7 @@ mod tests {
         let mut core = SchedulerCore::new(2, QueuePolicy::Fcfs);
         let (a, s) = core.submit(mw(4), 0.0);
         assert!(s.is_empty());
-        core.borrow_attach(9, &[100, 101], 1.0);
+        core.borrow_attach(9, &[100, 101], 0, 1.0);
         assert!(matches!(core.job(a).unwrap().state, JobState::Running { .. }));
         let out = core.borrow_evict(9, 10.0);
         assert_eq!(out.detached, 2);
@@ -2241,7 +2309,7 @@ mod tests {
     fn borrow_evict_fails_job_with_nothing_left() {
         let mut core = SchedulerCore::new(2, QueuePolicy::Fcfs);
         let (a, _) = core.submit(mw(2), 0.0); // takes both native slots
-        core.borrow_attach(9, &[100, 101], 1.0);
+        core.borrow_attach(9, &[100, 101], 0, 1.0);
         let (b, s) = core.submit(mw(2), 2.0);
         assert_eq!(s.len(), 1, "second job runs entirely on borrowed slots");
         let out = core.borrow_evict(9, 10.0);
@@ -2274,13 +2342,13 @@ mod tests {
         let mut core = SchedulerCore::new(8, QueuePolicy::Fcfs).with_wal(Wal::in_memory());
         let (a, _) = core.submit(mw(2), 0.0);
         core.lend_grant(1, 2, 1.0).unwrap();
-        core.borrow_attach(2, &[40, 41, 42], 2.0);
+        core.borrow_attach(2, &[40, 41, 42], 1, 2.0);
         core.resize_point(a, 10.0, 0.0, 3.0);
         core.set_expand_paused(true, 4.0);
         core.borrow_evict(2, 5.0);
         core.lend_reclaim(1, 6.0);
         core.set_expand_paused(false, 7.0);
-        core.borrow_attach(3, &[50], 8.0);
+        core.borrow_attach(3, &[50], 2, 8.0);
         let before = core.snapshot();
         let wal = core.take_wal().unwrap();
         let recovered = SchedulerCore::recover(Wal::decode(&wal.encode()).unwrap()).unwrap();
@@ -2288,5 +2356,28 @@ mod tests {
         // Foreign-id high-water mark survives: the next attach on both
         // cores mints identical local ids.
         assert_eq!(before.foreign_minted, 4);
+    }
+
+    #[test]
+    fn epoch_bumps_and_heal_repairs_recover_exactly() {
+        let mut core = SchedulerCore::new(4, QueuePolicy::Fcfs).with_wal(Wal::in_memory());
+        assert_eq!(core.epoch(), 0);
+        assert_eq!(core.bump_epoch(1.0), 1);
+        core.borrow_attach(7, &[30, 31], 1, 2.0);
+        assert_eq!(core.bump_epoch(3.0), 2);
+        core.journal_heal_repair(7, HealAction::EvictStaleBorrow, 4.0);
+        core.borrow_evict(7, 4.0);
+        assert_eq!(core.epoch(), 2);
+        assert_eq!(
+            core.borrowed_leases().get(&7),
+            None,
+            "heal journaling must not itself mutate lease state"
+        );
+        let before = core.snapshot();
+        assert_eq!(before.epoch, 2);
+        let wal = core.take_wal().unwrap();
+        let recovered = SchedulerCore::recover(Wal::decode(&wal.encode()).unwrap()).unwrap();
+        assert_eq!(recovered.epoch(), 2, "replay must restore the epoch exactly");
+        assert_eq!(recovered.snapshot(), before);
     }
 }

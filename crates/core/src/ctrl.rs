@@ -319,6 +319,8 @@ pub mod seq {
 
     use std::collections::BTreeMap;
 
+    use crate::backoff::Backoff;
+
     /// One wire frame: a sequence number and the payload.
     #[derive(Clone, Debug, PartialEq)]
     pub struct Frame<T> {
@@ -327,22 +329,46 @@ pub mod seq {
     }
 
     /// Sending half: owns the unacked window and the retransmit deadline.
+    /// Retransmit pacing follows a [`Backoff`] schedule — [`SeqSender::new`]
+    /// uses the classic fixed RTO ([`Backoff::fixed`]), while
+    /// [`SeqSender::with_backoff`] spaces consecutive retransmits of the
+    /// same window exponentially (attempts reset whenever an ack makes
+    /// progress).
     #[derive(Clone, Debug)]
     pub struct SeqSender<T> {
         next_seq: u64,
         unacked: BTreeMap<u64, T>,
-        rto: f64,
+        backoff: Backoff,
+        /// Jitter key for the backoff schedule (e.g. a link id).
+        key: u64,
+        /// Retransmit attempt for the current window, 1-based; advances on
+        /// every timer fire, resets to 1 when an ack makes progress.
+        attempt: usize,
         deadline: Option<f64>,
     }
 
     impl<T: Clone> SeqSender<T> {
-        /// `rto`: virtual seconds before an unacked frame is retransmitted.
+        /// `rto`: virtual seconds before an unacked frame is retransmitted
+        /// (a fixed-interval schedule; see [`SeqSender::with_backoff`] for
+        /// exponential pacing).
         pub fn new(rto: f64) -> Self {
-            assert!(rto > 0.0 && rto.is_finite(), "rto must be positive");
+            Self::with_backoff(Backoff::fixed(rto), 0)
+        }
+
+        /// A sender whose retransmit timer follows `backoff`, jittered by
+        /// `key` (so parallel links with the same schedule de-synchronize
+        /// deterministically).
+        pub fn with_backoff(backoff: Backoff, key: u64) -> Self {
+            assert!(
+                backoff.base > 0.0 && backoff.base.is_finite(),
+                "backoff base must be positive"
+            );
             SeqSender {
                 next_seq: 0,
                 unacked: BTreeMap::new(),
-                rto,
+                backoff,
+                key,
+                attempt: 1,
                 deadline: None,
             }
         }
@@ -354,27 +380,34 @@ pub mod seq {
             self.next_seq += 1;
             self.unacked.insert(seq, payload.clone());
             if self.deadline.is_none() {
-                self.deadline = Some(now + self.rto);
+                self.attempt = 1;
+                self.deadline = Some(now + self.backoff.delay(self.key, 1));
             }
             Frame { seq, payload }
         }
 
         /// A cumulative ack arrived: everything `<= cum` is delivered.
         pub fn on_ack(&mut self, cum: u64) {
+            let before = self.unacked.len();
             self.unacked.retain(|&s, _| s > cum);
             if self.unacked.is_empty() {
                 self.deadline = None;
+            }
+            if self.unacked.len() < before {
+                // Progress: the wire works again, restart the schedule.
+                self.attempt = 1;
             }
         }
 
         /// Frames to retransmit at virtual time `now` (the whole unacked
         /// window once the deadline passes; empty otherwise). Advances the
-        /// deadline, so the caller just re-polls at
-        /// [`SeqSender::next_deadline`].
+        /// deadline along the backoff schedule, so the caller just re-polls
+        /// at [`SeqSender::next_deadline`].
         pub fn due(&mut self, now: f64) -> Vec<Frame<T>> {
             match self.deadline {
                 Some(d) if now >= d && !self.unacked.is_empty() => {
-                    self.deadline = Some(now + self.rto);
+                    self.attempt += 1;
+                    self.deadline = Some(now + self.backoff.delay(self.key, self.attempt));
                     self.unacked
                         .iter()
                         .map(|(&seq, payload)| Frame {
@@ -527,6 +560,41 @@ mod tests {
         assert_eq!(delivered, (0..50).collect::<Vec<u64>>());
         assert_eq!(rx.delivered(), 50);
         assert_eq!(tx.next_deadline(), None);
+    }
+
+    #[test]
+    fn seq_sender_backoff_spaces_retransmits_exponentially() {
+        use super::seq::SeqSender;
+        use crate::backoff::Backoff;
+        let schedule = Backoff {
+            base: 1.0,
+            factor: 2.0,
+            max: 8.0,
+            jitter_frac: 0.0,
+        };
+        let mut tx = SeqSender::with_backoff(schedule, 7);
+        tx.send(0.0, "x");
+        // First deadline is base; each unanswered fire doubles the spacing
+        // up to the cap.
+        let mut expected = 0.0;
+        for delay in [1.0, 2.0, 4.0, 8.0, 8.0] {
+            expected += delay;
+            assert_eq!(tx.next_deadline(), Some(expected));
+            assert_eq!(tx.due(expected).len(), 1);
+        }
+        // Ack progress resets the schedule for the next window.
+        tx.on_ack(0);
+        assert_eq!(tx.next_deadline(), None);
+        tx.send(100.0, "y");
+        assert_eq!(tx.next_deadline(), Some(101.0));
+        // The fixed-RTO constructor is the degenerate schedule: deadlines
+        // never stretch.
+        let mut fixed = SeqSender::new(1.5);
+        fixed.send(0.0, "z");
+        for i in 1..=4 {
+            assert_eq!(fixed.next_deadline(), Some(i as f64 * 1.5));
+            assert_eq!(fixed.due(i as f64 * 1.5).len(), 1);
+        }
     }
 
     #[test]

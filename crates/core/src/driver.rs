@@ -30,6 +30,7 @@ use reshape_mpisim::{Comm, NodeId, SpawnCtx};
 use reshape_redist::{plan_2d, redistribute_2d};
 use reshape_telemetry::trace::{self, TraceCtx};
 
+use crate::backoff::Backoff;
 use crate::core::Directive;
 use crate::job::JobId;
 use crate::topology::ProcessorConfig;
@@ -155,27 +156,24 @@ impl RetryPolicy {
         }
     }
 
+    /// The policy's schedule as the shared [`Backoff`] primitive (the bus
+    /// retransmit path composes the same type).
+    pub fn schedule(&self) -> Backoff {
+        Backoff {
+            base: self.base_backoff,
+            factor: self.backoff_factor,
+            max: self.max_backoff,
+            jitter_frac: self.jitter_frac,
+        }
+    }
+
     /// Backoff (virtual seconds) charged after failed attempt `attempt`
     /// (1-based). Pure function of the policy, job and attempt, so every
-    /// rank agrees on the delay without communicating.
+    /// rank agrees on the delay without communicating. Delegates to
+    /// [`Backoff::delay`] keyed by the job id — bit-identical to the
+    /// schedule the driver has always used.
     pub fn backoff_for(&self, job: JobId, attempt: usize) -> f64 {
-        let raw = (self.base_backoff * self.backoff_factor.powi(attempt as i32 - 1))
-            .min(self.max_backoff)
-            .max(0.0);
-        if self.jitter_frac <= 0.0 {
-            return raw;
-        }
-        // SplitMix64 over (job, attempt) for deterministic jitter.
-        let mut z = job
-            .0
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(attempt as u64)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let u = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        raw * (1.0 + self.jitter_frac * (2.0 * u - 1.0))
+        self.schedule().delay(job.0, attempt)
     }
 }
 

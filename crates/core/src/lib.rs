@@ -20,6 +20,7 @@
 //! policy code drives both the threaded real runtime here and the
 //! discrete-event simulator in `reshape-clustersim`.
 
+pub mod backoff;
 mod core;
 pub mod ctrl;
 pub mod driver;
@@ -35,7 +36,8 @@ pub use crate::core::{
     BorrowedLease, CoreSnapshot, Directive, EventKind, EvictOutcome, JobRecord, QueuePolicy,
     Reservation, ReservationId, SchedEvent, SchedulerCore, StartAction,
 };
-pub use wal::{Wal, WalError, WalRecord};
+pub use backoff::Backoff;
+pub use wal::{HealAction, Wal, WalError, WalRecord, WalSalvage};
 pub use job::{JobId, JobSpec, JobState};
 pub use policy::{decide, decide_with, RemapDecision, RemapPolicy, SystemSnapshot};
 pub use pool::{AllocOrder, ResourcePool};

@@ -23,6 +23,11 @@
 //! A torn final line (the crash landed mid-append) is tolerated and dropped
 //! on load; a checksum mismatch or garbage anywhere earlier is reported as
 //! corruption — a WAL with a damaged interior cannot be trusted for replay.
+//! The salvage loaders ([`Wal::load_salvage`], [`Wal::decode_salvage`])
+//! instead recover the last-good prefix, quarantine the damaged remainder
+//! (to `<path>.quarantine` for file-backed WALs), and report the truncation
+//! in a [`WalSalvage`] so recovery can proceed with a shorter history
+//! rather than none.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -140,10 +145,14 @@ pub enum WalRecord {
     },
     /// Federation lease, borrower side: `global_slots` (federation-global
     /// processor ids, recorded for ledger audits) were attached under lease
-    /// `lease`; the pool minted fresh local ids for them.
+    /// `lease`; the pool minted fresh local ids for them. `lender_epoch` is
+    /// the lender's fencing epoch at grant time (0 in pre-epoch streams) —
+    /// the partition oracle audits attaches against it.
     BorrowAttach {
         lease: u64,
         global_slots: Vec<usize>,
+        #[serde(default)]
+        lender_epoch: u64,
         now: f64,
     },
     /// Federation lease, borrower side: the lease expired or was released —
@@ -159,6 +168,32 @@ pub enum WalRecord {
         on: bool,
         now: f64,
     },
+    /// Partition fencing: the shard's monotonic fencing epoch advanced to
+    /// `epoch` (a lender that lost contact with a borrower past the
+    /// suspicion timeout bumps and refuses to honor leases minted under
+    /// older epochs). Replay must restore the epoch exactly.
+    EpochBump {
+        epoch: u64,
+        now: f64,
+    },
+    /// Anti-entropy heal: a post-partition reconciliation decision about
+    /// `lease`, journaled explicitly before the repairing transition — no
+    /// heal mutates state silently.
+    HealRepair {
+        lease: u64,
+        action: HealAction,
+        now: f64,
+    },
+}
+
+/// What a post-partition reconciliation did to one lease.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum HealAction {
+    /// The borrower evicted an attachment whose lease the lender fenced.
+    EvictStaleBorrow,
+    /// The lender reclaimed fenced escrow its borrower proved unattached.
+    ReturnEscrow,
 }
 
 /// Why a WAL could not be loaded or replayed.
@@ -309,6 +344,71 @@ impl Wal {
         })
     }
 
+    /// Parse an encoded stream, salvaging past interior corruption: the WAL
+    /// keeps the last-good prefix and the damaged remainder is returned in
+    /// the [`WalSalvage`] (`None` when the stream was clean). The torn-tail
+    /// tolerance of [`Wal::decode`] is unchanged — a torn final line is
+    /// dropped silently, not reported as salvage.
+    pub fn decode_salvage(text: &str) -> (Self, Option<WalSalvage>) {
+        let (records, clean_len, corrupt) = scan_stream(text);
+        let salvage = corrupt.map(|(line, reason)| WalSalvage {
+            line,
+            reason,
+            quarantined: text[clean_len..].to_string(),
+            quarantine_path: None,
+        });
+        (
+            Wal {
+                records,
+                file: None,
+                path: None,
+            },
+            salvage,
+        )
+    }
+
+    /// Load a file-backed WAL, salvaging past interior corruption: the
+    /// corrupt remainder is written verbatim to `<path>.quarantine`, the
+    /// WAL file is truncated to its last-good prefix (so future appends
+    /// start clean), and the truncation is reported in the [`WalSalvage`].
+    /// A clean stream (including one with only a torn tail) salvages
+    /// nothing and behaves exactly like [`Wal::load`].
+    pub fn load_salvage(path: impl AsRef<Path>) -> Result<(Self, Option<WalSalvage>), WalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+        let (records, clean_len, corrupt) = scan_stream(&text);
+        let salvage = match corrupt {
+            Some((line, reason)) => {
+                let quarantined = text[clean_len..].to_string();
+                let qpath = PathBuf::from(format!("{}.quarantine", path.display()));
+                std::fs::write(&qpath, &quarantined)?;
+                Some(WalSalvage {
+                    line,
+                    reason,
+                    quarantined,
+                    quarantine_path: Some(qpath),
+                })
+            }
+            None => None,
+        };
+        // Drop the quarantined remainder and/or torn tail from the file so
+        // future appends start clean.
+        if clean_len < text.len() {
+            file.set_len(clean_len as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Wal {
+                records,
+                file: Some(BufWriter::new(file)),
+                path: Some(path),
+            },
+            salvage,
+        ))
+    }
+
     /// The full stream in wire format (what a file-backed WAL would
     /// contain).
     pub fn encode(&self) -> String {
@@ -348,9 +448,13 @@ impl Wal {
     }
 }
 
-/// Parse `text` into records; returns the records and the byte length of
-/// the clean (fully parsed, newline-terminated) prefix.
-fn parse_stream(text: &str) -> Result<(Vec<WalRecord>, usize), WalError> {
+/// Scan `text` into records. Returns the records of the clean prefix, the
+/// byte length of that prefix (fully parsed, newline-terminated), and —
+/// when an *interior* line failed its checksum or did not parse — the
+/// 1-based line number and reason of the first corruption. A torn final
+/// line (unterminated: the crash landed mid-append) is dropped silently
+/// and is not corruption.
+fn scan_stream(text: &str) -> (Vec<WalRecord>, usize, Option<(usize, String)>) {
     let mut records = Vec::new();
     let mut clean_len = 0usize;
     let mut offset = 0usize;
@@ -369,15 +473,37 @@ fn parse_stream(text: &str) -> Result<(Vec<WalRecord>, usize), WalError> {
             }
             // Torn tail: the crash interrupted the final append. Drop it.
             Err(_) if !terminated => break,
-            Err(reason) => {
-                return Err(WalError::Corrupt {
-                    line: idx + 1,
-                    reason,
-                });
-            }
+            Err(reason) => return (records, clean_len, Some((idx + 1, reason))),
         }
     }
-    Ok((records, clean_len))
+    (records, clean_len, None)
+}
+
+/// Parse `text` into records; returns the records and the byte length of
+/// the clean (fully parsed, newline-terminated) prefix. Interior
+/// corruption is an error — use the salvage loaders to recover the prefix
+/// instead.
+fn parse_stream(text: &str) -> Result<(Vec<WalRecord>, usize), WalError> {
+    match scan_stream(text) {
+        (records, clean_len, None) => Ok((records, clean_len)),
+        (_, _, Some((line, reason))) => Err(WalError::Corrupt { line, reason }),
+    }
+}
+
+/// What a salvage load recovered from a WAL with a corrupt interior: the
+/// stream was truncated to its last-good prefix and the damaged remainder
+/// quarantined (to `<path>.quarantine` for file-backed loads).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalSalvage {
+    /// 1-based line number of the first corrupt record.
+    pub line: usize,
+    /// Why that line failed (checksum mismatch, unparseable record).
+    pub reason: String,
+    /// The corrupt remainder, verbatim — everything past the clean prefix.
+    pub quarantined: String,
+    /// Where the remainder was written (`<path>.quarantine`); `None` for
+    /// in-memory salvage.
+    pub quarantine_path: Option<PathBuf>,
 }
 
 /// A summary of WAL contents by record type, for diagnostics and tests.
@@ -405,6 +531,8 @@ pub fn record_histogram(records: &[WalRecord]) -> BTreeMap<&'static str, usize> 
             WalRecord::BorrowAttach { .. } => "borrow_attach",
             WalRecord::BorrowEvict { .. } => "borrow_evict",
             WalRecord::PauseExpansion { .. } => "pause_expansion",
+            WalRecord::EpochBump { .. } => "epoch_bump",
+            WalRecord::HealRepair { .. } => "heal_repair",
         };
         *h.entry(k).or_insert(0) += 1;
     }
@@ -450,6 +578,7 @@ mod tests {
             WalRecord::BorrowAttach {
                 lease: 8,
                 global_slots: vec![12, 13],
+                lender_epoch: 2,
                 now: 11.5,
             },
             WalRecord::BorrowEvict {
@@ -461,6 +590,12 @@ mod tests {
                 now: 15.0,
             },
             WalRecord::PauseExpansion { on: true, now: 16.0 },
+            WalRecord::EpochBump { epoch: 3, now: 17.0 },
+            WalRecord::HealRepair {
+                lease: 8,
+                action: HealAction::EvictStaleBorrow,
+                now: 18.0,
+            },
         ]
     }
 
@@ -556,6 +691,71 @@ mod tests {
                 _ => unreachable!(),
             }
         }
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_and_reports_remainder() {
+        let mut wal = Wal::in_memory();
+        for r in sample() {
+            wal.append(r);
+        }
+        let mut text = wal.encode();
+        // Bit-flip inside the fourth line's JSON payload.
+        let mut start = 0;
+        for _ in 0..3 {
+            start = text[start..].find('\n').unwrap() + start + 1;
+        }
+        unsafe { text.as_bytes_mut()[start + 15] ^= 0x40 };
+        let (back, salvage) = Wal::decode_salvage(&text);
+        let salvage = salvage.expect("corruption must be reported");
+        assert_eq!(salvage.line, 4);
+        assert!(salvage.reason.contains("checksum"), "{}", salvage.reason);
+        assert_eq!(back.records(), &wal.records()[..3]);
+        // Everything from the corrupt line onward is quarantined verbatim.
+        assert_eq!(salvage.quarantined, &text[text.len() - salvage.quarantined.len()..]);
+        assert!(salvage.quarantined.starts_with(&text[start..start + 8]));
+        // A clean stream salvages nothing.
+        let (clean, none) = Wal::decode_salvage(&wal.encode());
+        assert!(none.is_none());
+        assert_eq!(clean.records(), wal.records());
+    }
+
+    #[test]
+    fn file_salvage_quarantines_and_truncates() {
+        let dir =
+            std::env::temp_dir().join(format!("reshape-wal-salvage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sched.wal");
+        {
+            let mut wal = Wal::create(&path).unwrap();
+            for r in sample() {
+                wal.append(r);
+            }
+        }
+        // Flip one bit in the middle of the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict load refuses the damaged interior …
+        assert!(matches!(Wal::load(&path), Err(WalError::Corrupt { .. })));
+
+        // … salvage load recovers the prefix and quarantines the rest.
+        let (mut wal, salvage) = Wal::load_salvage(&path).unwrap();
+        let salvage = salvage.expect("bit flip must be reported");
+        assert!(wal.len() < sample().len());
+        assert_eq!(wal.records(), &sample()[..wal.len()]);
+        let qpath = salvage.quarantine_path.clone().expect("file-backed quarantine");
+        assert_eq!(std::fs::read_to_string(&qpath).unwrap(), salvage.quarantined);
+
+        // The WAL file itself was truncated to the clean prefix and appends
+        // continue from there; a strict reload now succeeds.
+        wal.append(WalRecord::Tick { now: 99.0 });
+        drop(wal);
+        let again = Wal::load(&path).unwrap();
+        assert_eq!(again.records().last(), Some(&WalRecord::Tick { now: 99.0 }));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

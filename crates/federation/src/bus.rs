@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use reshape_core::ctrl::seq::{Frame, SeqReceiver, SeqSender};
 use reshape_core::ctrl::ChaosConfig;
+use reshape_core::Backoff;
 
 use crate::lease::LeaseMsg;
 
@@ -25,6 +26,11 @@ pub struct BusConfig {
     pub rto: f64,
     /// Optional seeded wire chaos; `None` is a perfect wire.
     pub chaos: Option<ChaosConfig>,
+    /// Optional exponential retransmit pacing: when set, each link's
+    /// [`SeqSender`] follows this [`Backoff`] schedule (keyed by the link
+    /// id, so parallel links de-synchronize) instead of the fixed `rto` —
+    /// the same shared primitive the resize driver's retry policy uses.
+    pub retx_backoff: Option<Backoff>,
 }
 
 impl Default for BusConfig {
@@ -33,7 +39,69 @@ impl Default for BusConfig {
             latency: 0.05,
             rto: 1.0,
             chaos: None,
+            retx_backoff: None,
         }
+    }
+}
+
+/// One scripted partition: between `t_start` (inclusive) and `t_heal`
+/// (exclusive) every frame and ack crossing group boundaries is silently
+/// dropped; traffic within a group is untouched, so in-group sequencing is
+/// preserved. Shards not named in any group form one implicit group of
+/// their own — severed from every listed group but connected to each other.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionSchedule {
+    pub groups: Vec<Vec<usize>>,
+    pub t_start: f64,
+    pub t_heal: f64,
+}
+
+impl PartitionSchedule {
+    /// Group index of `shard` (`usize::MAX` = the implicit remainder
+    /// group).
+    fn group_of(&self, shard: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&shard))
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Whether this schedule separates `a` and `b` (ignoring time).
+    pub fn cuts(&self, a: usize, b: usize) -> bool {
+        a != b && self.group_of(a) != self.group_of(b)
+    }
+
+    /// Whether the partition is live at `now` and separates `a` and `b`.
+    pub fn severs(&self, now: f64, a: usize, b: usize) -> bool {
+        now >= self.t_start && now < self.t_heal && self.cuts(a, b)
+    }
+}
+
+/// All scripted partitions, queried per frame by the bus and scripted by
+/// the sim harness exactly like shard kills.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionState {
+    schedules: Vec<PartitionSchedule>,
+}
+
+impl PartitionState {
+    /// Register a schedule; returns its id (the index, for timer payloads).
+    pub fn inject(&mut self, schedule: PartitionSchedule) -> usize {
+        assert!(
+            schedule.t_heal > schedule.t_start,
+            "partition must heal after it starts"
+        );
+        self.schedules.push(schedule);
+        self.schedules.len() - 1
+    }
+
+    /// Whether any live partition separates `a` and `b` at `now`.
+    pub fn severed(&self, now: f64, a: usize, b: usize) -> bool {
+        self.schedules.iter().any(|s| s.severs(now, a, b))
+    }
+
+    pub fn schedules(&self) -> &[PartitionSchedule] {
+        &self.schedules
     }
 }
 
@@ -85,6 +153,9 @@ struct Link {
 pub struct Bus {
     cfg: BusConfig,
     links: BTreeMap<(usize, usize), Link>,
+    partitions: PartitionState,
+    /// Frames and acks silently dropped at partition boundaries.
+    partition_drops: u64,
 }
 
 impl Bus {
@@ -94,13 +165,39 @@ impl Bus {
         Bus {
             cfg,
             links: BTreeMap::new(),
+            partitions: PartitionState::default(),
+            partition_drops: 0,
         }
+    }
+
+    /// Register a scripted partition; returns its id. The bus starts
+    /// dropping cross-group traffic at `t_start` with no further calls —
+    /// severance is evaluated per frame against the virtual clock.
+    pub fn inject_partition(&mut self, schedule: PartitionSchedule) -> usize {
+        self.partitions.inject(schedule)
+    }
+
+    /// Whether any live partition separates `a` and `b` at `now`.
+    pub fn severed(&self, now: f64, a: usize, b: usize) -> bool {
+        self.partitions.severed(now, a, b)
+    }
+
+    pub fn partitions(&self) -> &PartitionState {
+        &self.partitions
+    }
+
+    /// Frames and acks dropped at partition boundaries so far.
+    pub fn partition_drops(&self) -> u64 {
+        self.partition_drops
     }
 
     fn link(&mut self, from: usize, to: usize) -> &mut Link {
         let cfg = self.cfg;
         self.links.entry((from, to)).or_insert_with(|| Link {
-            tx: SeqSender::new(cfg.rto),
+            tx: match cfg.retx_backoff {
+                Some(b) => SeqSender::with_backoff(b, (from as u64) << 32 | to as u64),
+                None => SeqSender::new(cfg.rto),
+            },
             rx: SeqReceiver::new(),
             rng: Rng(cfg.chaos.map(|c| c.seed).unwrap_or(0)
                 ^ ((from as u64) << 32 | to as u64)
@@ -118,6 +215,12 @@ impl Bus {
         frame: Frame<LeaseMsg>,
         out: &mut Vec<(f64, BusEvent)>,
     ) {
+        // Partition drops happen before any chaos draw, so runs without a
+        // partition schedule consume their RNG streams unperturbed.
+        if self.partitions.severed(now, from, to) {
+            self.partition_drops += 1;
+            return;
+        }
         let latency = self.cfg.latency;
         let rto = self.cfg.rto;
         let chaos = self.cfg.chaos;
@@ -201,6 +304,13 @@ impl Bus {
         to: usize,
         frame: Frame<LeaseMsg>,
     ) -> (Vec<LeaseMsg>, Vec<(f64, BusEvent)>) {
+        // A frame that was in flight when the partition started dies at the
+        // boundary: no delivery, no ack (retransmission redelivers it after
+        // the heal).
+        if self.partitions.severed(now, from, to) {
+            self.partition_drops += 1;
+            return (Vec::new(), Vec::new());
+        }
         let latency = self.cfg.latency;
         let chaos = self.cfg.chaos;
         let link = self.link(from, to);
@@ -215,8 +325,15 @@ impl Bus {
         (msgs, evs)
     }
 
-    /// A cumulative ack for link `from → to` arrived back at the sender.
-    pub fn on_ack(&mut self, from: usize, to: usize, cum: u64) {
+    /// A cumulative ack for link `from → to` arrived back at the sender
+    /// (dropped at the boundary if the pair is severed at `now` — the
+    /// sender keeps retransmitting into the partition and converges after
+    /// the heal).
+    pub fn on_ack(&mut self, now: f64, from: usize, to: usize, cum: u64) {
+        if self.partitions.severed(now, to, from) {
+            self.partition_drops += 1;
+            return;
+        }
         self.link(from, to).tx.on_ack(cum);
     }
 

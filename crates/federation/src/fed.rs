@@ -11,12 +11,13 @@ use std::collections::BTreeMap;
 
 use reshape_clustersim::EventQueue;
 use reshape_core::{
-    Directive, JobId, JobSpec, ProcessorConfig, QueuePolicy, SchedulerCore, StartAction, Wal,
+    Directive, HealAction, JobId, JobSpec, ProcessorConfig, QueuePolicy, SchedulerCore,
+    StartAction, Wal,
 };
 use reshape_telemetry as telemetry;
 
-use crate::bus::{Bus, BusConfig, BusEvent};
-use crate::lease::{Lease, LeaseConfig, LeaseMsg};
+use crate::bus::{Bus, BusConfig, BusEvent, PartitionSchedule};
+use crate::lease::{digest_hash, DigestEntry, Lease, LeaseConfig, LeaseMsg};
 use crate::shard::{Deferred, RecoverReport, Shard, ShardState};
 use crate::tenant::{QueuedJob, TenantConfig, TenantState};
 
@@ -149,6 +150,24 @@ pub enum Notice {
         snapshot_match: bool,
         wal_records: usize,
     },
+    /// A scripted partition began severing cross-group traffic.
+    PartitionStarted { id: usize },
+    /// A scripted partition healed; formerly-severed live pairs exchange
+    /// anti-entropy digests.
+    PartitionHealed { id: usize },
+    /// The lender's suspicion timeout fired: it bumped its epoch to
+    /// `epoch` and fenced this lease (never honored or extended again).
+    LeaseFenced {
+        lease: u64,
+        lender: usize,
+        epoch: u64,
+    },
+    /// An anti-entropy reconciliation journaled a repair on `shard`.
+    HealRepaired {
+        shard: usize,
+        lease: u64,
+        action: HealAction,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -163,6 +182,13 @@ enum Timer {
     Bus(BusEvent),
     LeaseExpire(u64),
     LeaseReclaim(u64),
+    /// A scripted partition crosses `t_start`.
+    PartitionStart(usize),
+    /// A scripted partition crosses `t_heal`.
+    PartitionHeal(usize),
+    /// Suspicion deadline for one lease: if the lender still cannot reach
+    /// the borrower, it bumps its epoch and fences.
+    Suspect(u64),
 }
 
 pub struct Federation {
@@ -181,11 +207,20 @@ pub struct Federation {
     lend_attempts: BTreeMap<(usize, usize), f64>,
     now_hwm: f64,
     transitions: u64,
+    /// Leases fenced by suspicion timeouts.
+    fences: u64,
+    /// Anti-entropy repairs journaled at heal or recovery.
+    heal_repairs: u64,
     /// Testing backdoor: the next lend also wires a *rogue* duplicate
     /// grant of the same processors to a second borrower, without the
     /// lender journaling it — a planted double-ownership the ledger
     /// oracle must catch. Never enabled outside tests.
     plant_double_grant: bool,
+    /// Testing backdoor: the next Grant delivery for a *fenced* lease
+    /// skips the fence refusal and attaches anyway — a planted stale-epoch
+    /// attach (split-brain) the partition oracle must catch. Never enabled
+    /// outside tests.
+    plant_stale_attach: bool,
 }
 
 impl Federation {
@@ -220,7 +255,10 @@ impl Federation {
             lend_attempts: BTreeMap::new(),
             now_hwm: 0.0,
             transitions: 0,
+            fences: 0,
+            heal_repairs: 0,
             plant_double_grant: false,
+            plant_stale_attach: false,
         }
     }
 
@@ -308,9 +346,82 @@ impl Federation {
         &self.lease_cfg
     }
 
+    /// Leases fenced by suspicion timeouts so far.
+    pub fn fences(&self) -> u64 {
+        self.fences
+    }
+
+    /// Anti-entropy repairs journaled so far (heal digests + recovery
+    /// fixups of fenced leases).
+    pub fn heal_repairs(&self) -> u64 {
+        self.heal_repairs
+    }
+
+    /// Frames and acks the bus dropped at partition boundaries.
+    pub fn partition_drops(&self) -> u64 {
+        self.bus.partition_drops()
+    }
+
+    /// Whether a live partition currently severs the (lender, borrower)
+    /// pair of `a` and `b`.
+    pub fn severed(&self, now: f64, a: usize, b: usize) -> bool {
+        self.bus.severed(now, a, b)
+    }
+
     #[doc(hidden)]
     pub fn chaos_plant_double_grant(&mut self) {
         self.plant_double_grant = true;
+    }
+
+    /// Plant a stale-epoch attach: the next Grant delivery for a fenced
+    /// lease bypasses the fence refusal and attaches anyway — split-brain
+    /// by construction, which the partition ledger oracle must catch.
+    /// Never enabled outside tests.
+    #[doc(hidden)]
+    pub fn chaos_plant_stale_epoch_attach(&mut self) {
+        self.plant_stale_attach = true;
+    }
+
+    /// Flip one byte in a down shard's WAL text (interior corruption), so
+    /// recovery exercises the salvage/quarantine path. Returns false if
+    /// the shard is live or `pos` is out of range. Never used outside
+    /// tests.
+    #[doc(hidden)]
+    pub fn chaos_corrupt_down_wal(&mut self, shard: usize, pos: usize) -> bool {
+        match &mut self.shards[shard].state {
+            ShardState::Down { wal_text, .. } => {
+                let mut bytes = wal_text.clone().into_bytes();
+                if pos >= bytes.len() {
+                    return false;
+                }
+                bytes[pos] ^= 0x20;
+                *wal_text = String::from_utf8_lossy(&bytes).into_owned();
+                true
+            }
+            ShardState::Live(_) => false,
+        }
+    }
+
+    /// Script a partition: between `t_start` and `t_heal` the bus silently
+    /// drops every frame and ack crossing the group boundaries (shards not
+    /// listed form one implicit group). Returns the partition id. The
+    /// federation arms suspicion timers at `t_start` and anti-entropy
+    /// digests at `t_heal`.
+    pub fn inject_partition(
+        &mut self,
+        groups: Vec<Vec<usize>>,
+        t_start: f64,
+        t_heal: f64,
+    ) -> usize {
+        let id = self.bus.inject_partition(PartitionSchedule {
+            groups,
+            t_start,
+            t_heal,
+        });
+        self.timers.push(t_start, Timer::PartitionStart(id));
+        self.timers.push(t_heal, Timer::PartitionHeal(id));
+        telemetry::incr("fed.partitions_injected", 1);
+        id
     }
 
     // ------------------------------------------------------------------
@@ -453,7 +564,15 @@ impl Federation {
         let crash = crash.clone();
         let outage = now - sh.last_seen;
 
-        let wal = Wal::decode(&wal_text).expect("shard WAL failed CRC/decode at recovery");
+        // Interior WAL corruption recovers to the last-good prefix; the
+        // damaged remainder is quarantined into the report instead of
+        // poisoning the replay. A salvaged replay cannot match the crash
+        // snapshot (records are missing) — the mismatch is the signal.
+        let (wal, salvage) = Wal::decode_salvage(&wal_text);
+        let quarantined = salvage.map(|s| s.quarantined);
+        if quarantined.is_some() {
+            telemetry::incr("fed.wal_quarantines", 1);
+        }
         let wal_records = wal.records().len();
         let core = SchedulerCore::recover(wal).expect("shard WAL replay failed");
         let snapshot_match = core.snapshot() == *crash;
@@ -461,8 +580,10 @@ impl Federation {
         sh.last_seen = now;
         telemetry::incr("fed.shard_recoveries", 1);
 
-        // Fixup 1: borrowed leases that expired during the outage are
-        // evicted before the shard schedules anything on them.
+        // Fixup 1: borrowed leases that expired — or were fenced by their
+        // lender — during the outage are evicted before the shard
+        // schedules anything on them. The fenced case is a heal repair and
+        // is journaled as one.
         let borrowed: Vec<u64> = self.shards[shard]
             .core()
             .unwrap()
@@ -471,11 +592,26 @@ impl Federation {
             .copied()
             .collect();
         for id in borrowed {
-            let due = {
+            let (due, fenced) = {
                 let l = &self.leases[&id];
-                !l.borrower_done && now >= l.expires
+                (
+                    !l.borrower_done && (now >= l.expires || l.fenced()),
+                    !l.borrower_done && l.fenced() && now < l.expires,
+                )
             };
             if due {
+                if fenced {
+                    if let Some(core) = self.shards[shard].core_mut() {
+                        core.journal_heal_repair(id, HealAction::EvictStaleBorrow, now);
+                    }
+                    self.heal_repairs += 1;
+                    telemetry::incr("fed.heal_repairs", 1);
+                    out.push(Notice::HealRepaired {
+                        shard,
+                        lease: id,
+                        action: HealAction::EvictStaleBorrow,
+                    });
+                }
                 self.evict_lease(shard, id, now, &mut out);
             }
         }
@@ -534,6 +670,7 @@ impl Federation {
                 snapshot_match,
                 wal_records,
                 wal_text,
+                quarantined,
             }),
             out,
         )
@@ -588,7 +725,9 @@ impl Federation {
                     }
                 }
             }
-            Timer::Bus(BusEvent::AckDeliver { from, to, cum }) => self.bus.on_ack(from, to, cum),
+            Timer::Bus(BusEvent::AckDeliver { from, to, cum }) => {
+                self.bus.on_ack(now, from, to, cum)
+            }
             Timer::Bus(BusEvent::Retransmit { from, to }) => {
                 let evs = self.bus.on_retransmit(now, from, to);
                 self.sched_bus(evs);
@@ -622,6 +761,95 @@ impl Federation {
                         .push(now + self.lease_cfg.grace, Timer::LeaseReclaim(id));
                 }
             }
+            Timer::PartitionStart(id) => {
+                telemetry::incr("fed.partitions_started", 1);
+                out.push(Notice::PartitionStarted { id });
+                // Arm a suspicion deadline for every outstanding lease the
+                // cut severs; leases granted *into* a live partition arm
+                // theirs at grant time.
+                let schedule = self.bus.partitions().schedules()[id].clone();
+                let suspects: Vec<u64> = self
+                    .leases
+                    .values()
+                    .filter(|l| !l.resolved() && !l.fenced() && schedule.cuts(l.lender, l.borrower))
+                    .map(|l| l.id)
+                    .collect();
+                for lease in suspects {
+                    self.timers
+                        .push(now + self.lease_cfg.suspicion, Timer::Suspect(lease));
+                }
+            }
+            Timer::PartitionHeal(id) => {
+                telemetry::incr("fed.partitions_healed", 1);
+                out.push(Notice::PartitionHealed { id });
+                // Anti-entropy: every formerly-severed ordered pair of live
+                // shards exchanges a ledger digest over the (now open) bus.
+                let schedule = self.bus.partitions().schedules()[id].clone();
+                for a in 0..self.shards.len() {
+                    for b in 0..self.shards.len() {
+                        if !schedule.cuts(a, b) || !self.shards[a].is_live() {
+                            continue;
+                        }
+                        let (from_epoch, hash, entries) = self.build_digest(a, b);
+                        let evs = self.bus.send(
+                            now,
+                            a,
+                            b,
+                            LeaseMsg::Digest {
+                                from_epoch,
+                                hash,
+                                entries,
+                            },
+                        );
+                        self.sched_bus(evs);
+                    }
+                }
+            }
+            Timer::Suspect(id) => {
+                let fence_due = {
+                    let l = &self.leases[&id];
+                    !l.resolved()
+                        && !l.fenced()
+                        && self.bus.severed(now, l.lender, l.borrower)
+                        && self.shards[l.lender].is_live()
+                };
+                // If the partition healed in time, the lease resolved, or
+                // the lender itself is down (the time-based expires+grace
+                // safety covers a dead lender), nothing to fence.
+                if fence_due {
+                    let lender = self.leases[&id].lender;
+                    let epoch = self.shards[lender]
+                        .core_mut()
+                        .unwrap()
+                        .bump_epoch(now);
+                    self.shards[lender].last_seen = now;
+                    // The bump fences every unresolved lease this lender
+                    // minted under an older epoch whose borrower is still
+                    // unreachable — not just the suspect.
+                    let fenced: Vec<u64> = self
+                        .leases
+                        .values()
+                        .filter(|l| {
+                            l.lender == lender
+                                && !l.resolved()
+                                && !l.fenced()
+                                && l.lender_epoch < epoch
+                                && self.bus.severed(now, lender, l.borrower)
+                        })
+                        .map(|l| l.id)
+                        .collect();
+                    for lease in fenced {
+                        self.leases.get_mut(&lease).unwrap().fenced_at = Some(now);
+                        self.fences += 1;
+                        telemetry::incr("fed.leases_fenced", 1);
+                        out.push(Notice::LeaseFenced {
+                            lease,
+                            lender,
+                            epoch,
+                        });
+                    }
+                }
+            }
         }
     }
 
@@ -632,11 +860,23 @@ impl Federation {
                 lease,
                 global,
                 expires,
+                lender_epoch,
             } => {
-                let refuse = {
+                let (stale, mut refuse) = {
                     let l = &self.leases[&lease];
-                    l.borrower_done || now >= expires
+                    // A fenced lease is never honored: the grant was minted
+                    // under an epoch the lender has bumped past.
+                    (
+                        l.fenced() && now < expires,
+                        l.borrower_done || now >= expires || l.fenced(),
+                    )
                 };
+                if stale && self.plant_stale_attach {
+                    // Planted split-brain: attach the stale-epoch grant
+                    // anyway; the partition oracle must flag it.
+                    self.plant_stale_attach = false;
+                    refuse = false;
+                }
                 if refuse {
                     let transitioned = {
                         let l = self.leases.get_mut(&lease).unwrap();
@@ -645,6 +885,9 @@ impl Federation {
                         t
                     };
                     if transitioned {
+                        if stale {
+                            telemetry::incr("fed.stale_grants_refused", 1);
+                        }
                         out.push(Notice::LeaseReleased { lease });
                     }
                     let evs = self.bus.send(now, to, from, LeaseMsg::Release { lease });
@@ -655,7 +898,13 @@ impl Federation {
                 let starts = self.shards[to]
                     .core_mut()
                     .unwrap()
-                    .borrow_attach(lease, &global, now);
+                    .borrow_attach(lease, &global, lender_epoch, now);
+                {
+                    let l = self.leases.get_mut(&lease).unwrap();
+                    if l.attached_at.is_none() {
+                        l.attached_at = Some(now);
+                    }
+                }
                 telemetry::incr("fed.lease_attaches", 1);
                 self.start_notices(to, &starts, out);
                 let evs = self.bus.send(now, to, from, LeaseMsg::Ack { lease });
@@ -681,7 +930,143 @@ impl Federation {
                     self.drain_router(now, out);
                 }
             }
+            LeaseMsg::Digest {
+                from_epoch,
+                hash,
+                entries,
+            } => {
+                self.apply_digest(now, from, to, from_epoch, hash, entries, out);
+            }
         }
+    }
+
+    /// Build shard `a`'s anti-entropy digest of every lease it shares with
+    /// peer `b`: its current epoch, the entries (ordered by lease id), and
+    /// their FNV-1a hash.
+    fn build_digest(&self, a: usize, b: usize) -> (u64, u64, Vec<DigestEntry>) {
+        let core = self.shards[a].core().expect("digest needs a live shard");
+        let mut entries = Vec::new();
+        for l in self.leases.values() {
+            if l.resolved() {
+                continue;
+            }
+            if l.lender == a && l.borrower == b {
+                entries.push(DigestEntry {
+                    lease: l.id,
+                    lent: true,
+                    lender_epoch: l.lender_epoch,
+                    attached: core.lent_leases().contains_key(&l.id),
+                    global: l.global.clone(),
+                });
+            } else if l.borrower == a && l.lender == b {
+                entries.push(DigestEntry {
+                    lease: l.id,
+                    lent: false,
+                    lender_epoch: l.lender_epoch,
+                    attached: core.borrowed_leases().contains_key(&l.id),
+                    global: l.global.clone(),
+                });
+            }
+        }
+        (core.epoch(), digest_hash(&entries), entries)
+    }
+
+    /// Deterministic reconciliation against a peer's digest, at the
+    /// receiver `to`. Every repair is journaled as an explicit
+    /// [`reshape_core::WalRecord::HealRepair`] before the repairing
+    /// transition — no silent state mutation.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_digest(
+        &mut self,
+        now: f64,
+        from: usize,
+        to: usize,
+        _from_epoch: u64,
+        hash: u64,
+        entries: Vec<DigestEntry>,
+        out: &mut Vec<Notice>,
+    ) {
+        if digest_hash(&entries) != hash {
+            // A mangled digest is ignored, never acted on; retransmission
+            // or the time-based expiry path converges instead.
+            telemetry::incr("fed.digests_rejected", 1);
+            return;
+        }
+        if !self.shards[to].is_live() {
+            return;
+        }
+        // Repair 1 — receiver as borrower: evict any attachment whose
+        // lease the lender (`from`) has fenced.
+        let stale_borrows: Vec<u64> = self.shards[to]
+            .core()
+            .unwrap()
+            .borrowed_leases()
+            .keys()
+            .copied()
+            .filter(|id| {
+                let l = &self.leases[id];
+                l.lender == from && l.fenced() && !l.borrower_done
+            })
+            .collect();
+        for id in stale_borrows {
+            self.shards[to]
+                .core_mut()
+                .unwrap()
+                .journal_heal_repair(id, HealAction::EvictStaleBorrow, now);
+            self.heal_repairs += 1;
+            telemetry::incr("fed.heal_repairs", 1);
+            out.push(Notice::HealRepaired {
+                shard: to,
+                lease: id,
+                action: HealAction::EvictStaleBorrow,
+            });
+            self.evict_lease(to, id, now, out);
+        }
+        // Repair 2 — receiver as lender: a fenced lease whose borrower
+        // (`from`) proves it holds no attachment can return its escrow
+        // immediately — the fence refusal guarantees no attachment can be
+        // created later, so waiting out expires+grace buys nothing.
+        let returnable: Vec<u64> = self.shards[to]
+            .core()
+            .unwrap()
+            .lent_leases()
+            .keys()
+            .copied()
+            .filter(|id| {
+                let l = &self.leases[id];
+                l.lender == to
+                    && l.borrower == from
+                    && l.fenced()
+                    && !l.reclaimed
+                    && !entries
+                        .iter()
+                        .any(|e| e.lease == *id && !e.lent && e.attached)
+            })
+            .collect();
+        for id in returnable {
+            let transitioned = {
+                let l = self.leases.get_mut(&id).unwrap();
+                let t = !l.borrower_done;
+                l.borrower_done = true;
+                t
+            };
+            if transitioned {
+                out.push(Notice::LeaseReleased { lease: id });
+            }
+            self.shards[to]
+                .core_mut()
+                .unwrap()
+                .journal_heal_repair(id, HealAction::ReturnEscrow, now);
+            self.heal_repairs += 1;
+            telemetry::incr("fed.heal_repairs", 1);
+            out.push(Notice::HealRepaired {
+                shard: to,
+                lease: id,
+                action: HealAction::ReturnEscrow,
+            });
+            self.reclaim_lease(to, id, now, out);
+        }
+        self.drain_router(now, out);
     }
 
     /// Borrower-side eviction: force every job off the lease's slots,
@@ -1077,6 +1462,7 @@ impl Federation {
         self.next_lease += 1;
         self.shards[lender].last_seen = now;
         let base = self.shards[lender].base;
+        let epoch = self.shards[lender].core().unwrap().epoch();
         let global: Vec<usize> = slots.iter().map(|&s| base + s).collect();
         let expires = now + self.lease_cfg.term;
         self.leases.insert(
@@ -1091,6 +1477,9 @@ impl Federation {
                 acked: false,
                 borrower_done: false,
                 reclaimed: false,
+                lender_epoch: epoch,
+                attached_at: None,
+                fenced_at: None,
             },
         );
         self.lend_attempts.insert((lender, borrower), now);
@@ -1103,12 +1492,20 @@ impl Federation {
                 lease: id,
                 global: global.clone(),
                 expires,
+                lender_epoch: epoch,
             },
         );
         self.sched_bus(evs);
         self.timers.push(expires, Timer::LeaseExpire(id));
         self.timers
             .push(expires + self.lease_cfg.grace, Timer::LeaseReclaim(id));
+        // A grant into a live partition starts its suspicion clock
+        // immediately (grants made before the cut arm theirs at
+        // `PartitionStart`).
+        if self.bus.severed(now, lender, borrower) {
+            self.timers
+                .push(now + self.lease_cfg.suspicion, Timer::Suspect(id));
+        }
         out.push(Notice::LeaseGranted {
             lease: id,
             lender,
@@ -1138,6 +1535,9 @@ impl Federation {
                         acked: false,
                         borrower_done: false,
                         reclaimed: true, // lender will never reclaim it
+                        lender_epoch: epoch,
+                        attached_at: None,
+                        fenced_at: None,
                     },
                 );
                 let evs = self.bus.send(
@@ -1148,6 +1548,7 @@ impl Federation {
                         lease: rogue,
                         global,
                         expires,
+                        lender_epoch: epoch,
                     },
                 );
                 self.sched_bus(evs);
@@ -1387,6 +1788,7 @@ mod tests {
         let (report, notices) = fed.recover_shard(borrower, 20.0);
         let report = report.expect("shard was down");
         assert!(report.snapshot_match, "WAL replay must equal crash snapshot");
+        assert!(report.quarantined.is_none(), "clean WAL quarantines nothing");
         assert!(
             notices.iter().any(|x| matches!(x, Notice::LeaseReleased { .. })),
             "recovery fixup must evict the overdue lease: {notices:?}"
@@ -1442,6 +1844,217 @@ mod tests {
         let core = fed.shards()[0].core().unwrap();
         assert!(core.job(job).unwrap().state.is_terminal());
         assert_eq!(core.idle_procs(), 2);
+    }
+
+    #[test]
+    fn duplicated_and_reordered_expiry_events_evict_exactly_once() {
+        use reshape_core::ctrl::ChaosConfig;
+        let mut cfg = FederationConfig::new(vec![4, 4], vec![TenantConfig::new(64, 1.0, 32)]);
+        cfg.lease.min_spare = 0;
+        cfg.lease.term = 10.0;
+        cfg.lease.grace = 5.0;
+        // Chaotic wire: the Release/Ack traffic around the expiry is
+        // duplicated and reordered under the federation.
+        cfg.bus.chaos = Some(ChaosConfig {
+            loss: 0.0,
+            dup: 0.5,
+            reorder: 0.5,
+            seed: 0xD0_5E,
+        });
+        let mut fed = Federation::new(cfg);
+        fed.submit(0, 0, spec("fill", 2, 40), 0.0);
+        fed.submit(0, 1, spec("big", 6, 40), 1.0);
+        let lease = fed.leases().next().expect("lease granted").id;
+        let expires = fed.lease(lease).unwrap().expires;
+        drain_until(&mut fed, expires);
+        // Plant duplicated and reordered copies of the expiry and reclaim
+        // deadlines — a crash-recovery re-arm or a timer-wheel bug looks
+        // exactly like this.
+        fed.timers.push(expires, Timer::LeaseExpire(lease));
+        fed.timers.push(expires + 0.25, Timer::LeaseExpire(lease));
+        fed.timers.push(expires + 5.0, Timer::LeaseReclaim(lease));
+        fed.timers.push(expires + 5.5, Timer::LeaseReclaim(lease));
+        fed.timers.push(expires + 6.0, Timer::LeaseExpire(lease));
+        let mut all = drain_until(&mut fed, expires + 20.0);
+        all.extend(fed.run_timers(expires + 20.0));
+        let released = all
+            .iter()
+            .filter(|x| matches!(x, Notice::LeaseReleased { lease: l } if *l == lease))
+            .count();
+        let reclaimed = all
+            .iter()
+            .filter(|x| matches!(x, Notice::LeaseReclaimed { lease: l } if *l == lease))
+            .count();
+        let evicted = all
+            .iter()
+            .filter(|x| matches!(x, Notice::Evicted { .. }))
+            .count();
+        assert_eq!(evicted, 1, "one eviction despite duplicate expiries: {all:?}");
+        assert_eq!(released, 1, "one release despite duplicate expiries: {all:?}");
+        assert_eq!(reclaimed, 1, "one reclaim despite duplicate deadlines: {all:?}");
+        assert!(fed.lease(lease).unwrap().resolved());
+        for s in fed.shards() {
+            let c = s.core().unwrap();
+            assert_eq!(c.owned_procs(), s.native());
+            assert_eq!(c.lent_procs(), 0);
+            assert_eq!(c.borrowed_procs(), 0);
+        }
+    }
+
+    #[test]
+    fn suspicion_fences_severed_lease_and_heal_evicts_the_stale_borrow() {
+        let mut cfg = FederationConfig::new(vec![4, 4], vec![TenantConfig::new(64, 1.0, 32)]);
+        cfg.lease.min_spare = 0;
+        cfg.lease.term = 60.0;
+        cfg.lease.grace = 10.0;
+        cfg.lease.suspicion = 5.0;
+        let mut fed = Federation::new(cfg);
+        fed.submit(0, 0, spec("fill", 2, 100), 0.0);
+        fed.submit(0, 1, spec("big", 6, 100), 1.0);
+        let lease = fed.leases().next().expect("lease granted").id;
+        drain_until(&mut fed, 3.0);
+        let (lender, borrower) = {
+            let l = fed.lease(lease).unwrap();
+            (l.lender, l.borrower)
+        };
+        assert!(fed.shards()[borrower].core().unwrap().borrowed_procs() > 0);
+        // Sever the pair at t=5; the suspicion timeout fires at t=10, long
+        // before the lease term.
+        fed.inject_partition(vec![vec![lender], vec![borrower]], 5.0, 25.0);
+        let n = drain_until(&mut fed, 24.0);
+        assert!(n.iter().any(|x| matches!(x, Notice::PartitionStarted { .. })));
+        assert!(
+            n.iter()
+                .any(|x| matches!(x, Notice::LeaseFenced { lease: l, epoch: 1, .. } if *l == lease)),
+            "suspicion must fence the severed lease: {n:?}"
+        );
+        assert_eq!(fed.shards()[lender].core().unwrap().epoch(), 1);
+        assert!(fed.lease(lease).unwrap().fenced());
+        assert_eq!(fed.fences(), 1);
+        // While fenced the borrower still holds the slots (it cannot know
+        // yet); the heal digest is what evicts it, as a journaled repair.
+        let mut all = drain_until(&mut fed, 40.0);
+        all.extend(fed.run_timers(40.0));
+        assert!(all.iter().any(|x| matches!(x, Notice::PartitionHealed { .. })));
+        assert!(
+            all.iter().any(|x| matches!(
+                x,
+                Notice::HealRepaired { lease: l, action: HealAction::EvictStaleBorrow, .. }
+                if *l == lease
+            )),
+            "heal must evict the stale borrow: {all:?}"
+        );
+        assert!(
+            all.iter()
+                .any(|x| matches!(x, Notice::LeaseReclaimed { lease: l } if *l == lease)),
+            "the eviction's release lets the fenced lender reclaim: {all:?}"
+        );
+        assert_eq!(fed.heal_repairs(), 1);
+        assert!(fed.lease(lease).unwrap().resolved());
+        for s in fed.shards() {
+            let c = s.core().unwrap();
+            assert_eq!(c.owned_procs(), s.native(), "shard {}", s.id());
+            assert_eq!(c.lent_procs(), 0);
+            assert_eq!(c.borrowed_procs(), 0);
+        }
+    }
+
+    #[test]
+    fn never_attached_grant_is_fenced_and_escrow_returned_by_heal_digest() {
+        let mut cfg = FederationConfig::new(vec![4, 4], vec![TenantConfig::new(64, 1.0, 32)]);
+        cfg.lease.min_spare = 0;
+        cfg.lease.term = 60.0;
+        cfg.lease.grace = 30.0;
+        cfg.lease.suspicion = 5.0;
+        // One lend attempt only, so the post-heal ledger shows exactly what
+        // the repair did (no fresh re-grant on the healed wire).
+        cfg.lease.retry_backoff = 1000.0;
+        let mut fed = Federation::new(cfg);
+        // The partition is already live when the grant is minted: the
+        // Grant frame dies on the wire and the borrower never attaches.
+        fed.inject_partition(vec![vec![0], vec![1]], 0.5, 20.0);
+        fed.run_timers(0.6);
+        fed.submit(0, 0, spec("fill", 2, 100), 0.7);
+        let n = fed.submit(0, 1, spec("big", 6, 100), 1.0);
+        assert!(
+            n.iter().any(|x| matches!(x, Notice::LeaseGranted { .. })),
+            "the lender cannot know the pair is severed at grant time: {n:?}"
+        );
+        let lease = fed.leases().next().unwrap().id;
+        let (lender, borrower) = {
+            let l = fed.lease(lease).unwrap();
+            (l.lender, l.borrower)
+        };
+        // Grant-time suspicion fences the lease; the grant never attached.
+        let n2 = drain_until(&mut fed, 19.0);
+        assert!(
+            n2.iter()
+                .any(|x| matches!(x, Notice::LeaseFenced { lease: l, .. } if *l == lease)),
+            "grant into a live partition must arm its own suspicion: {n2:?}"
+        );
+        assert!(fed.lease(lease).unwrap().attached_at.is_none());
+        assert_eq!(fed.shards()[borrower].core().unwrap().borrowed_procs(), 0);
+        assert!(fed.shards()[lender].core().unwrap().lent_procs() > 0);
+        assert!(
+            fed.partition_drops() > 0,
+            "the grant and its retransmits must die at the boundary"
+        );
+        // At heal the borrower's digest proves it never attached, so the
+        // lender returns the escrow without waiting out expires+grace.
+        let mut all = drain_until(&mut fed, 30.0);
+        all.extend(fed.run_timers(30.0));
+        assert!(
+            all.iter().any(|x| matches!(
+                x,
+                Notice::HealRepaired { lease: l, action: HealAction::ReturnEscrow, .. }
+                if *l == lease
+            )),
+            "unattached fenced escrow must return at heal: {all:?}"
+        );
+        let l = fed.lease(lease).unwrap();
+        assert!(l.resolved(), "lease must resolve well before expires+grace");
+        assert!(l.attached_at.is_none(), "the late grant redelivery must be refused");
+        assert_eq!(fed.shards()[lender].core().unwrap().lent_procs(), 0);
+        assert_eq!(fed.shards()[lender].core().unwrap().owned_procs(), 4);
+    }
+
+    #[test]
+    fn corrupt_down_wal_recovers_prefix_and_quarantines_remainder() {
+        let mut fed = Federation::new(FederationConfig::new(
+            vec![2],
+            vec![TenantConfig::new(64, 1.0, 32)],
+        ));
+        let n = fed.submit(0, 0, spec("a", 2, 10), 0.0);
+        let job = n
+            .iter()
+            .find_map(|x| match x {
+                Notice::Started { job, .. } => Some(*job),
+                _ => None,
+            })
+            .unwrap();
+        fed.submit(0, 1, spec("b", 2, 10), 0.5); // queued behind `a`
+        fed.finished(0, job, 1.0); // `a` done, `b` starts — more WAL history
+        fed.kill_shard(0, 2.0);
+        let mid = fed.shards()[0].down_wal().unwrap().len() / 2;
+        assert!(fed.chaos_corrupt_down_wal(0, mid), "byte must be in range");
+        let (report, _) = fed.recover_shard(0, 3.0);
+        let report = report.expect("shard was down");
+        assert!(
+            report.quarantined.is_some(),
+            "interior corruption must be quarantined, not replayed"
+        );
+        assert!(
+            !report.snapshot_match,
+            "a salvaged prefix cannot reproduce the crash snapshot"
+        );
+        // The shard is back in service on the last-good prefix.
+        assert!(fed.shards()[0].is_live());
+        let n2 = fed.submit(0, 2, spec("c", 1, 1), 4.0);
+        assert!(
+            n2.iter()
+                .any(|x| matches!(x, Notice::Admitted { .. } | Notice::Started { .. })),
+            "salvaged shard must keep scheduling: {n2:?}"
+        );
     }
 
     #[test]

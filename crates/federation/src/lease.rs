@@ -29,6 +29,10 @@ pub struct LeaseConfig {
     pub retry_backoff: f64,
     /// Idle processors a donor keeps for itself when lending.
     pub min_spare: usize,
+    /// Suspicion timeout: a lender whose link to a borrower stays severed
+    /// this long past the cut (or past a grant into the cut) bumps its
+    /// fencing epoch and fences every outstanding lease to that borrower.
+    pub suspicion: f64,
 }
 
 impl Default for LeaseConfig {
@@ -38,6 +42,7 @@ impl Default for LeaseConfig {
             grace: 15.0,
             retry_backoff: 5.0,
             min_spare: 1,
+            suspicion: 20.0,
         }
     }
 }
@@ -50,16 +55,68 @@ pub enum LeaseMsg {
     /// Lender → borrower: `global` processors are yours until `expires`.
     /// The lender journaled the escrow *before* this was sent, so a lender
     /// crash between journal and wire still reclaims deterministically.
+    /// `lender_epoch` is the lender's fencing epoch at grant time; the
+    /// borrower journals it with the attachment and the oracle audits it.
     Grant {
         lease: u64,
         global: Vec<usize>,
         expires: f64,
+        lender_epoch: u64,
     },
     /// Borrower → lender: the grant was attached.
     Ack { lease: u64 },
     /// Borrower → lender: the borrower no longer holds any of the lease's
     /// processors (evicted or never attached); reclaim is safe now.
     Release { lease: u64 },
+    /// Anti-entropy: a compact ledger digest sent to a formerly-severed
+    /// peer at partition heal. `entries` describe every lease the sender
+    /// shares with the receiver (and whether the sender still holds an
+    /// attachment for it); `hash` is [`digest_hash`] over them, so a
+    /// mangled digest is ignored rather than acted on.
+    Digest {
+        from_epoch: u64,
+        hash: u64,
+        entries: Vec<DigestEntry>,
+    },
+}
+
+/// One lease's line in an anti-entropy digest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DigestEntry {
+    pub lease: u64,
+    /// True when the sender is the lender of this lease (its slots are in
+    /// escrow there); false when the sender borrows it.
+    pub lent: bool,
+    /// The lender epoch the lease was minted under.
+    pub lender_epoch: u64,
+    /// Whether the sender currently holds a live attachment (borrower
+    /// side) or live escrow (lender side) for the lease.
+    pub attached: bool,
+    /// Federation-global processor ids under the lease.
+    pub global: Vec<usize>,
+}
+
+/// FNV-1a over the digest entries — cheap, deterministic, and sensitive to
+/// order, so both sides summarize the same ledger to the same 64 bits.
+pub fn digest_hash(entries: &[DigestEntry]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for e in entries {
+        eat(e.lease);
+        eat(e.lent as u64);
+        eat(e.lender_epoch);
+        eat(e.attached as u64);
+        eat(e.global.len() as u64);
+        for &g in &e.global {
+            eat(g as u64);
+        }
+    }
+    h
 }
 
 /// Observable protocol phase, derived from the two authoritative bits.
@@ -92,6 +149,14 @@ pub struct Lease {
     pub borrower_done: bool,
     /// Lender side reattached the processors.
     pub reclaimed: bool,
+    /// The lender's fencing epoch when the lease was minted.
+    pub lender_epoch: u64,
+    /// When the borrower attached the grant (first delivery only).
+    pub attached_at: Option<f64>,
+    /// When the lender fenced the lease (suspicion timeout fired during a
+    /// partition): from this point the lease is never honored or extended,
+    /// only repaired.
+    pub fenced_at: Option<f64>,
 }
 
 impl Lease {
@@ -107,5 +172,11 @@ impl Lease {
     /// Both halves resolved; nothing in flight.
     pub fn resolved(&self) -> bool {
         self.borrower_done && self.reclaimed
+    }
+
+    /// The lender fenced this lease (it was minted under an epoch the
+    /// lender has since bumped past).
+    pub fn fenced(&self) -> bool {
+        self.fenced_at.is_some()
     }
 }

@@ -22,6 +22,15 @@
 //!   shed excess load at the router; a shard whose queue depth (or
 //!   recovery lag) crosses a threshold stops granting expansions until
 //!   the backlog drains below a low-water mark, with hysteresis.
+//! * **Partition tolerance** ([`bus::PartitionSchedule`], epoch fencing,
+//!   anti-entropy heal) — scripted partitions silently drop cross-group
+//!   traffic; a lender that cannot reach a borrower past a suspicion
+//!   timeout bumps its monotonic, WAL-persisted epoch and *fences* every
+//!   lease minted under older epochs (never honored or extended again);
+//!   at heal, formerly-severed shards exchange FNV-1a-summarized ledger
+//!   digests and reconcile deterministically — stale borrows are evicted
+//!   and unattached escrow returned, every repair journaled as an
+//!   explicit WAL record.
 
 pub mod bus;
 pub mod fed;
@@ -30,9 +39,9 @@ pub mod shard;
 pub mod sim;
 pub mod tenant;
 
-pub use bus::{Bus, BusConfig, BusEvent};
+pub use bus::{Bus, BusConfig, BusEvent, PartitionSchedule, PartitionState};
 pub use fed::{BrownoutConfig, BrownoutReason, Federation, FederationConfig, Notice};
-pub use lease::{Lease, LeaseConfig, LeaseMsg, LeasePhase};
+pub use lease::{digest_hash, DigestEntry, Lease, LeaseConfig, LeaseMsg, LeasePhase};
 pub use shard::{RecoverReport, Shard};
-pub use sim::{FedJob, FedReport, FedSimConfig, KillPlan, TenantReport};
+pub use sim::{FedJob, FedReport, FedSimConfig, KillPlan, PartitionPlan, TenantReport};
 pub use tenant::TenantConfig;

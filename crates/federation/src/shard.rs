@@ -57,6 +57,10 @@ pub struct RecoverReport {
     pub wal_records: usize,
     /// The WAL text that was replayed (for failure artifacts).
     pub wal_text: String,
+    /// `Some(remainder)` when the WAL's interior was corrupt: replay
+    /// recovered the last-good prefix and this damaged suffix was
+    /// quarantined instead of replayed (the truncation is the report).
+    pub quarantined: Option<String>,
 }
 
 pub struct Shard {

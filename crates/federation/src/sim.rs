@@ -37,6 +37,16 @@ pub struct KillPlan {
     pub down_for: f64,
 }
 
+/// Scripted network partition: the named groups stop hearing each other
+/// between `t_start` and `t_heal` (shards in no group form one implicit
+/// remainder group). Injected before the run starts, exactly like kills.
+#[derive(Clone, Debug)]
+pub struct PartitionPlan {
+    pub groups: Vec<Vec<usize>>,
+    pub t_start: f64,
+    pub t_heal: f64,
+}
+
 #[derive(Clone, Debug)]
 pub struct FedSimConfig {
     pub shard_procs: Vec<usize>,
@@ -47,6 +57,7 @@ pub struct FedSimConfig {
     pub brownout: BrownoutConfig,
     pub bus: BusConfig,
     pub kills: Vec<KillPlan>,
+    pub partitions: Vec<PartitionPlan>,
 }
 
 impl FedSimConfig {
@@ -60,6 +71,7 @@ impl FedSimConfig {
             brownout: BrownoutConfig::default(),
             bus: BusConfig::default(),
             kills: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 }
@@ -90,6 +102,10 @@ pub struct FedReport {
     pub brownout_released: u64,
     pub shard_kills: u64,
     pub shard_recoveries: u64,
+    pub partitions_started: u64,
+    pub partitions_healed: u64,
+    pub leases_fenced: u64,
+    pub heal_repairs: u64,
     /// Every recovery replayed its WAL to a snapshot equal to the crash
     /// image.
     pub recoveries_matched: bool,
@@ -125,6 +141,9 @@ pub fn run_with(cfg: FedSimConfig, mut hook: impl FnMut(&Federation, f64)) -> Fe
     fcfg.brownout = cfg.brownout;
     fcfg.bus = cfg.bus;
     let mut fed = Federation::new(fcfg);
+    for p in &cfg.partitions {
+        fed.inject_partition(p.groups.clone(), p.t_start, p.t_heal);
+    }
 
     let mut q: EventQueue<Ev> = EventQueue::new();
     for (i, j) in cfg.jobs.iter().enumerate() {
@@ -263,6 +282,10 @@ pub fn run_with(cfg: FedSimConfig, mut hook: impl FnMut(&Federation, f64)) -> Fe
                 Notice::LeaseReclaimed { .. } => report.leases_reclaimed += 1,
                 Notice::BrownoutEngaged { .. } => report.brownout_engaged += 1,
                 Notice::BrownoutReleased { .. } => report.brownout_released += 1,
+                Notice::PartitionStarted { .. } => report.partitions_started += 1,
+                Notice::PartitionHealed { .. } => report.partitions_healed += 1,
+                Notice::LeaseFenced { .. } => report.leases_fenced += 1,
+                Notice::HealRepaired { .. } => report.heal_repairs += 1,
                 Notice::ShardKilled { .. } => {}
                 _ => {}
             }
@@ -364,6 +387,41 @@ mod tests {
             report.submitted
         );
         assert_eq!(report.leases_granted, report.leases_reclaimed);
+    }
+
+    #[test]
+    fn partition_fences_heals_and_work_still_completes() {
+        let tenants = vec![TenantConfig::new(32, 1.0, 16)];
+        let mk = |name: &str, procs, iters, arrival, work| FedJob {
+            tenant: 0,
+            spec: spec(name, procs, iters),
+            arrival,
+            work,
+            fail_at: None,
+            cancel_at: None,
+        };
+        // `big` borrows 2 procs from `fill`'s shard, then the pair is
+        // severed long enough for suspicion to fence the lease.
+        let jobs = vec![mk("fill", 2, 30, 0.0, 4.0), mk("big", 6, 30, 1.0, 6.0)];
+        let mut cfg = FedSimConfig::new(vec![4, 4], tenants, jobs);
+        cfg.lease.min_spare = 0;
+        cfg.lease.term = 60.0;
+        cfg.lease.grace = 10.0;
+        cfg.lease.suspicion = 5.0;
+        cfg.partitions = vec![PartitionPlan {
+            groups: vec![vec![0], vec![1]],
+            t_start: 5.0,
+            t_heal: 25.0,
+        }];
+        let mut quiesced = false;
+        let report = run_with(cfg, |fed, _| quiesced = fed.quiesced());
+        assert_eq!(report.partitions_started, 1);
+        assert_eq!(report.partitions_healed, 1);
+        assert!(report.leases_fenced >= 1, "suspicion must fence: {report:?}");
+        assert!(report.heal_repairs >= 1, "heal must repair: {report:?}");
+        assert_eq!(report.finished, report.submitted);
+        assert_eq!(report.leases_granted, report.leases_reclaimed);
+        assert!(quiesced, "federation must drain after the heal");
     }
 
     #[test]

@@ -12,6 +12,7 @@ mod blockcyclic;
 mod clustersim;
 mod des;
 mod federation;
+mod partition;
 mod redist;
 mod spawn;
 mod wal;
@@ -44,8 +45,16 @@ impl Default for SuiteOpts {
 }
 
 /// Every area, in run order.
-pub const AREAS: [&str; 7] =
-    ["blockcyclic", "redist", "wal", "spawn", "clustersim", "des", "federation"];
+pub const AREAS: [&str; 8] = [
+    "blockcyclic",
+    "redist",
+    "wal",
+    "spawn",
+    "clustersim",
+    "des",
+    "federation",
+    "federation-partition",
+];
 
 /// Run one area's suite.
 ///
@@ -63,6 +72,7 @@ pub fn run_area(area: &str, opts: SuiteOpts) -> BenchReport {
         "clustersim" => clustersim::run(&mut rec, opts),
         "des" => des::run(&mut rec, opts),
         "federation" => federation::run(&mut rec, opts),
+        "federation-partition" => partition::run(&mut rec, opts),
         other => panic!("unknown perfbase area `{other}` (areas: {AREAS:?})"),
     }
     rec.finish()

@@ -1,0 +1,99 @@
+//! Area `federation-partition`: the partition-tolerance machinery. The
+//! micro metric is the anti-entropy digest hash — the FNV-1a summary both
+//! sides of a heal compute over their shared-lease ledger. The macro
+//! metric is the full split-brain cycle: grant → attach → partition →
+//! suspicion fence (epoch bump, WAL-journaled) → heal → digest exchange →
+//! journaled stale-borrow eviction → release → reclaim. Its virtual end
+//! time is bit-deterministic, so the gate holds it to the tight drift
+//! band; fence and repair counts ride along as exact counts.
+
+use reshape_core::{JobSpec, ProcessorConfig, TopologyPref};
+use reshape_federation::{digest_hash, DigestEntry, Federation, FederationConfig, TenantConfig};
+
+use crate::report::MetricKind;
+use crate::runner::Recorder;
+use crate::suites::SuiteOpts;
+
+fn spec(name: &str, procs: usize) -> JobSpec {
+    JobSpec::new(
+        name,
+        TopologyPref::AnyCount { min: 1, max: 64, step: 1 },
+        ProcessorConfig::linear(procs),
+        100,
+    )
+}
+
+/// One full split-brain cycle on a two-shard federation. Returns
+/// `(virtual end time, fences, heal repairs)`.
+fn partition_cycle() -> (f64, u64, u64) {
+    let mut fcfg = FederationConfig::new(vec![4, 4], vec![TenantConfig::new(64, 1.0, 16)]);
+    fcfg.lease.min_spare = 0;
+    fcfg.lease.term = 60.0;
+    fcfg.lease.grace = 10.0;
+    fcfg.lease.suspicion = 5.0;
+    fcfg.lease.retry_backoff = 1000.0; // exactly one lease per cycle
+    let mut fed = Federation::new(fcfg);
+    fed.inject_partition(vec![vec![0], vec![1]], 5.0, 25.0);
+    // `big` borrows 2 procs across the soon-to-be-severed pair.
+    fed.submit(0, 0, spec("fill", 2), 0.0);
+    fed.submit(0, 1, spec("big", 6), 1.0);
+    let mut t = 0.0;
+    for _ in 0..512 {
+        let Some(next) = fed.next_timer() else { break };
+        t = next.max(t);
+        fed.run_timers(t);
+        if t >= 25.0 && fed.quiesced() {
+            break;
+        }
+    }
+    assert!(fed.fences() >= 1, "the suspicion timeout must fence");
+    assert!(fed.heal_repairs() >= 1, "the heal must repair the stale borrow");
+    assert_eq!(fed.live_leases(), 0, "the cycle must resolve every lease");
+    (fed.now(), fed.fences(), fed.heal_repairs())
+}
+
+pub fn run(rec: &mut Recorder, opts: SuiteOpts) {
+    // Anti-entropy digest hot path: FNV-1a over a 64-lease shared ledger
+    // (what each side of a heal computes before trusting a digest).
+    let entries: Vec<DigestEntry> = (0..64)
+        .map(|i| DigestEntry {
+            lease: i,
+            lent: i % 2 == 0,
+            lender_epoch: i / 7,
+            attached: i % 3 == 0,
+            global: (0..4).map(|g| (i as usize) * 4 + g).collect(),
+        })
+        .collect();
+    let hashes = if opts.quick { 50_000u64 } else { 500_000u64 };
+    rec.wall_per_op("digest_hash_ns_per_op", hashes, || {
+        for _ in 0..hashes {
+            std::hint::black_box(digest_hash(std::hint::black_box(&entries)));
+        }
+    });
+
+    // Split-brain cycle, wall clock: fresh federation per cycle — grant,
+    // partition, epoch bump + fence, heal digests, journaled repair,
+    // reclaim, including all WAL journaling. Allocator jitter across many
+    // short-lived federations warrants the wide noise band; the virtual
+    // twin below is the tight gate on protocol behaviour.
+    let cycles = if opts.quick { 100u64 } else { 500u64 };
+    rec.wall_per_op("split_brain_cycle_ns_per_op", cycles, || {
+        for _ in 0..cycles {
+            std::hint::black_box(partition_cycle());
+        }
+    });
+    rec.set_noise("split_brain_cycle_ns_per_op", 0.6);
+
+    // Split-brain cycle, virtual: bit-deterministic end-to-end time from
+    // first submission to post-heal quiescence.
+    let mut fences = 0u64;
+    let mut repairs = 0u64;
+    rec.value("split_brain_cycle_virtual_s", "s", MetricKind::Virtual, || {
+        let (end, f, r) = partition_cycle();
+        fences = f;
+        repairs = r;
+        end
+    });
+    rec.single("split_brain_fences", "ops", MetricKind::Count, fences as f64);
+    rec.single("split_brain_repairs", "ops", MetricKind::Count, repairs as f64);
+}

@@ -20,7 +20,12 @@
 //!   journaled is a forged grant
 //!   ([`reshape_federation::Federation::chaos_plant_double_grant`] plants
 //!   exactly this, and [`run_planted_double_grant`] proves the oracle
-//!   catches it).
+//!   catches it);
+//! * no lease is honored across an **epoch fence**: a lender's fencing
+//!   epoch never regresses below a lease it minted, the borrower journals
+//!   the mint epoch with its attachment, and an attachment created at or
+//!   after the lender fenced the lease is a violation (the partition
+//!   drills in [`crate::partition`] plant exactly that).
 //!
 //! On failure with `TESTKIT_FAULT_DIR` set, the generated scenario (the
 //! full fault schedule) and every shard's WAL are dumped under
@@ -121,6 +126,10 @@ pub fn generate_federation(seed: u64) -> FedSimConfig {
         grace: fault.f64_range(2.0, 6.0),
         retry_backoff: fault.f64_range(1.0, 4.0),
         min_spare: fault.usize_range(0, 1),
+        // Partition-free scenarios never hit the suspicion arm; the
+        // partition sweep (`crate::partition`) randomizes it from its own
+        // stream so these seeds stay bitwise stable.
+        suspicion: 20.0,
     };
     let queue_high = fault.usize_range(4, 10);
     cfg.brownout = BrownoutConfig {
@@ -141,6 +150,9 @@ pub fn generate_federation(seed: u64) -> FedSimConfig {
         } else {
             None
         },
+        // The partition sweep turns exponential retransmit pacing on from
+        // its own stream; these seeds keep the fixed-rto wire.
+        retx_backoff: None,
     };
     // Scripted kills: up to three, at seeded transition depths; down_for
     // straddles heartbeat_lag and the lease term so both the lag-brownout
@@ -282,12 +294,30 @@ pub fn check_ledger(fed: &Federation) -> Result<(), String> {
                     l.borrower
                 ));
             }
-            // A down borrower whose lease has expired is doomed: the
-            // recovery fixup evicts before its frozen core can schedule
-            // anything, so the lender's timed reclaim at expires + grace
-            // does not create double ownership — and its frozen attach is
+            // A down borrower whose lease has expired — or been fenced by
+            // its lender — is doomed: the recovery fixup evicts before its
+            // frozen core can schedule anything, so the lender's timed
+            // reclaim at expires + grace (or its post-fence repair) does
+            // not create double ownership — and its frozen attach is
             // allowed to lag the federation's lease table.
-            let doomed = sh.core().is_none() && now >= l.expires;
+            let doomed = sh.core().is_none() && (now >= l.expires || l.fenced());
+            // The fencing rule, checked first because it is the strongest
+            // claim: once the lender fences a lease, no attachment created
+            // at or after the fence may live. An attach that predates the
+            // fence is tolerated until the heal repair (or the
+            // doomed-borrower fixup) evicts it.
+            if !doomed {
+                if let (Some(f), Some(a)) = (l.fenced_at, l.attached_at) {
+                    if a >= f {
+                        return Err(format!(
+                            "lease {id}: attached on shard {} at t={a:.3}, at or after its \
+                             epoch fence at t={f:.3} — a lease must never be honored across \
+                             an epoch fence",
+                            sh.id()
+                        ));
+                    }
+                }
+            }
             if l.borrower_done && !doomed {
                 return Err(format!(
                     "lease {id} is borrower-done but still attached on shard {}",
@@ -308,6 +338,15 @@ pub fn check_ledger(fed: &Federation) -> Result<(), String> {
                     l.global
                 ));
             }
+            if bl.lender_epoch != l.lender_epoch {
+                return Err(format!(
+                    "lease {id}: borrower {} journaled lender epoch {} but the grant was \
+                     minted under {}",
+                    sh.id(),
+                    bl.lender_epoch,
+                    l.lender_epoch
+                ));
+            }
             if !doomed {
                 for &g in &bl.global {
                     if g >= total {
@@ -318,6 +357,36 @@ pub fn check_ledger(fed: &Federation) -> Result<(), String> {
                     owners[g].push(sh.id());
                 }
             }
+        }
+    }
+
+    // Epoch pass: a lender's current fencing epoch (live core, or the
+    // frozen crash image) must never regress below any lease it minted,
+    // and a fenced lease proves the lender actually advanced past the
+    // mint epoch.
+    for l in fed.leases() {
+        let sh = &fed.shards()[l.lender];
+        let cur = match sh.core() {
+            Some(c) => c.epoch(),
+            None => {
+                sh.crash_snapshot()
+                    .expect("down shard has a crash snapshot")
+                    .epoch
+            }
+        };
+        if cur < l.lender_epoch {
+            return Err(format!(
+                "lease {}: minted under epoch {} but lender {} is at epoch {cur} — \
+                 epochs must be monotonic",
+                l.id, l.lender_epoch, l.lender
+            ));
+        }
+        if l.fenced() && cur <= l.lender_epoch {
+            return Err(format!(
+                "lease {}: fenced, but lender {} epoch {cur} never advanced past the \
+                 mint epoch {}",
+                l.id, l.lender, l.lender_epoch
+            ));
         }
     }
 

@@ -33,6 +33,13 @@
 //!   or escrowed under exactly one lease, and every live lease journaled
 //!   in the WALs that must know it; `tests/federation.rs` sweeps 256
 //!   seeds and proves the oracle catches a planted double grant.
+//! * [`partition`] — the federation drills under seeded **network
+//!   partitions**: scripted splits sever the lease bus, suspicion
+//!   timeouts make lenders bump their WAL-persisted epochs and fence
+//!   outstanding leases, and anti-entropy digests reconcile the ledger at
+//!   heal; the oracle additionally proves no lease is honored across an
+//!   epoch fence, and `tests/partition.rs` proves it catches a planted
+//!   stale-epoch attach.
 //! * [`survival`] — end-to-end node-loss drills on the simulated cluster:
 //!   a seeded crash mid-iteration must be survived iff the victim's buddy
 //!   is intact (with the final matrix bitwise-equal to a fault-free run),
@@ -51,6 +58,7 @@ pub mod differential;
 pub mod federation;
 pub mod harness;
 pub mod oracle;
+pub mod partition;
 pub mod rng;
 pub mod scenario;
 pub mod survival;
@@ -62,6 +70,7 @@ pub use federation::{
     FedChaosReport,
 };
 pub use harness::{run_scenario, run_scenario_on, run_seed, Driver, RunStats};
+pub use partition::{generate_partition, run_partition_chaos, run_planted_stale_epoch_grant};
 pub use oracle::{check_invariants, check_trace};
 pub use rng::SplitMix64;
 pub use scenario::{generate, Fault, JobPlan, Scenario};
