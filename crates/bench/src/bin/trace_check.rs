@@ -12,10 +12,18 @@
 //! export's `<trace>.critpath.json` sidecar is present it is validated
 //! too: it must parse as the critical-path schema, every bucket must be
 //! non-negative, the buckets must sum to the job's makespan, and the rows
-//! must agree with an attribution recomputed from the trace itself. Exits
-//! 0 and prints a summary when everything is sound; prints every violation
-//! and exits 1 otherwise — CI runs this against a fixed-seed `simulate`
-//! export.
+//! must agree with an attribution recomputed from the trace itself.
+//!
+//! Federation exports (lease / shard-control traces, recognized by the
+//! trace-id bits of `reshape_telemetry::trace`) get three more checks:
+//! every parent chain closes transitively at a root span even where it
+//! crosses traces (lease → shard control and back); every lease span
+//! recorded on a shard's track nests inside that shard's control-root
+//! lifetime; and every fence span is parented to an epoch-bump span it
+//! never precedes. Exits 0 and prints a summary when everything is sound;
+//! prints every violation and exits 1 otherwise — CI runs this against a
+//! fixed-seed `simulate` export and against the `fedtop` federation
+//! trace-smoke scenario.
 
 use reshape_telemetry::trace;
 
@@ -47,6 +55,13 @@ fn main() {
         }
         std::process::exit(1);
     }
+    let problems = check_federation(&spans);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("trace_check: {path}: {p}");
+        }
+        std::process::exit(1);
+    }
     let traces: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.trace).collect();
     let parented = spans.iter().filter(|s| s.parent != 0).count();
     let t_max = spans.iter().map(|s| s.end).fold(0.0f64, f64::max);
@@ -55,6 +70,15 @@ fn main() {
         spans.len(),
         traces.len()
     );
+    let leases = traces.iter().filter(|&&t| trace::is_lease_trace(t)).count();
+    let shards = traces.iter().filter(|&&t| trace::is_shard_trace(t)).count();
+    if leases + shards > 0 {
+        let fences = spans.iter().filter(|s| s.cat == "fence").count();
+        println!(
+            "trace_check: {path}: federation OK — {leases} lease traces, {shards} shard \
+             control traces, {fences} fences (parent closure, shard nesting, fence-after-bump)"
+        );
+    }
     let paths = reshape_telemetry::critpath::analyze(&spans);
     if !paths.is_empty() {
         print!("{}", reshape_telemetry::critpath::render_table(&paths));
@@ -71,6 +95,90 @@ fn main() {
         }
         println!("trace_check: {sidecar}: OK — {} jobs, buckets sum to makespan", paths.len());
     }
+}
+
+/// Federation-specific causal checks on lease / shard-control traces.
+/// No-op (empty) for exports with no federation spans.
+fn check_federation(spans: &[trace::SpanRecord]) -> Vec<String> {
+    use std::collections::BTreeMap;
+
+    let mut problems = Vec::new();
+    let by_id: BTreeMap<u64, &trace::SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let fed = |s: &trace::SpanRecord| {
+        trace::is_lease_trace(s.trace) || trace::is_shard_trace(s.trace)
+    };
+    if !spans.iter().any(|s| fed(s)) {
+        return problems;
+    }
+
+    // 1. Cross-shard parent-edge closure: every federation span's parent
+    //    chain terminates at a root (parent 0), even where the edges
+    //    cross traces (lease → shard control and back).
+    for s in spans.iter().filter(|s| fed(s)) {
+        let mut cur = s;
+        let mut hops = 0usize;
+        while cur.parent != 0 {
+            match by_id.get(&cur.parent) {
+                Some(p) => cur = p,
+                None => {
+                    problems.push(format!(
+                        "span {} ({}) parent chain breaks at missing span {}",
+                        s.id, s.name, cur.parent
+                    ));
+                    break;
+                }
+            }
+            hops += 1;
+            if hops > spans.len() {
+                problems.push(format!("span {} ({}) parent chain cycles", s.id, s.name));
+                break;
+            }
+        }
+    }
+
+    // 2. Lease spans nest inside the lifetime of the shard they were
+    //    recorded on (the span's track names the acting shard; the shard
+    //    control trace's root span is that shard's lifetime).
+    let mut shard_roots: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for s in spans.iter().filter(|s| trace::is_shard_trace(s.trace) && s.parent == 0) {
+        shard_roots.insert(format!("shard {}", trace::shard_of(s.trace)), (s.start, s.end));
+    }
+    for s in spans.iter().filter(|s| trace::is_lease_trace(s.trace)) {
+        let Some(&(lo, hi)) = shard_roots.get(&s.track) else {
+            continue; // track is not a shard lifetime (e.g. the lease root)
+        };
+        if s.start < lo || s.end > hi {
+            problems.push(format!(
+                "lease span {} ({}) [{:.6}, {:.6}] outside its {} lifetime [{lo:.6}, {hi:.6}]",
+                s.id, s.name, s.start, s.end, s.track
+            ));
+        }
+    }
+
+    // 3. A fence span is always caused by — and never precedes — the
+    //    epoch bump that fenced it.
+    for s in spans.iter().filter(|s| s.cat == "fence") {
+        let Some(bump) = by_id.get(&s.parent) else {
+            problems.push(format!(
+                "fence span {} ({}) has no epoch-bump parent (parent {})",
+                s.id, s.name, s.parent
+            ));
+            continue;
+        };
+        if bump.cat != "epoch" {
+            problems.push(format!(
+                "fence span {} ({}) parented to {:?} (cat {:?}), not an epoch bump",
+                s.id, s.name, bump.name, bump.cat
+            ));
+        }
+        if s.start < bump.start {
+            problems.push(format!(
+                "fence span {} ({}) at {:.6} precedes its epoch bump at {:.6}",
+                s.id, s.name, s.start, bump.start
+            ));
+        }
+    }
+    problems
 }
 
 /// Validate the `.critpath.json` sidecar against the schema and against the

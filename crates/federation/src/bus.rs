@@ -15,7 +15,7 @@ use reshape_core::ctrl::seq::{Frame, SeqReceiver, SeqSender};
 use reshape_core::ctrl::ChaosConfig;
 use reshape_core::Backoff;
 
-use crate::lease::LeaseMsg;
+use crate::lease::TracedMsg;
 
 /// Wire parameters for the lease bus.
 #[derive(Clone, Copy, Debug)]
@@ -112,7 +112,7 @@ pub enum BusEvent {
     Deliver {
         from: usize,
         to: usize,
-        frame: Frame<LeaseMsg>,
+        frame: Frame<TracedMsg>,
     },
     /// Cumulative ack for link `from → to` arriving back at `from`.
     AckDeliver { from: usize, to: usize, cum: u64 },
@@ -141,8 +141,8 @@ impl Rng {
 }
 
 struct Link {
-    tx: SeqSender<LeaseMsg>,
-    rx: SeqReceiver<LeaseMsg>,
+    tx: SeqSender<TracedMsg>,
+    rx: SeqReceiver<TracedMsg>,
     rng: Rng,
     /// One retransmit poll is outstanding on the wheel (keeps the timer
     /// population at ≤ 1 per link).
@@ -212,7 +212,7 @@ impl Bus {
         now: f64,
         from: usize,
         to: usize,
-        frame: Frame<LeaseMsg>,
+        frame: Frame<TracedMsg>,
         out: &mut Vec<(f64, BusEvent)>,
     ) {
         // Partition drops happen before any chaos draw, so runs without a
@@ -258,7 +258,7 @@ impl Bus {
         now: f64,
         from: usize,
         to: usize,
-        msg: LeaseMsg,
+        msg: TracedMsg,
     ) -> Vec<(f64, BusEvent)> {
         let frame = self.link(from, to).tx.send(now, msg);
         let mut out = Vec::new();
@@ -302,8 +302,8 @@ impl Bus {
         now: f64,
         from: usize,
         to: usize,
-        frame: Frame<LeaseMsg>,
-    ) -> (Vec<LeaseMsg>, Vec<(f64, BusEvent)>) {
+        frame: Frame<TracedMsg>,
+    ) -> (Vec<TracedMsg>, Vec<(f64, BusEvent)>) {
         // A frame that was in flight when the partition started dies at the
         // boundary: no delivery, no ack (retransmission redelivers it after
         // the heal).

@@ -15,9 +15,12 @@ use reshape_core::{
     StartAction, Wal,
 };
 use reshape_telemetry as telemetry;
+use reshape_telemetry::trace;
+use reshape_telemetry::TraceCtx;
 
 use crate::bus::{Bus, BusConfig, BusEvent, PartitionSchedule};
-use crate::lease::{digest_hash, DigestEntry, Lease, LeaseConfig, LeaseMsg};
+use crate::flightrec::{FlightRecorder, DEFAULT_CAP};
+use crate::lease::{digest_hash, DigestEntry, Lease, LeaseConfig, LeaseMsg, TracedMsg};
 use crate::shard::{Deferred, RecoverReport, Shard, ShardState};
 use crate::tenant::{QueuedJob, TenantConfig, TenantState};
 
@@ -66,6 +69,9 @@ pub struct FederationConfig {
     pub lease: LeaseConfig,
     pub brownout: BrownoutConfig,
     pub bus: BusConfig,
+    /// Flight-recorder ring capacity (newest-N retention); see
+    /// [`crate::flightrec`].
+    pub flightrec_cap: usize,
 }
 
 impl FederationConfig {
@@ -82,7 +88,44 @@ impl FederationConfig {
             lease: LeaseConfig::default(),
             brownout: BrownoutConfig::default(),
             bus: BusConfig::default(),
+            flightrec_cap: DEFAULT_CAP,
         }
+    }
+}
+
+/// Which reconciliation path journaled a heal repair. The chaos sweeps
+/// assert exact per-kind counts, so every call site must stay labeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealRepairKind {
+    /// Recovery fixup: a fenced, unexpired borrow evicted when its
+    /// borrower restarted.
+    RecoveryFixup = 0,
+    /// Anti-entropy digest, borrower side: a stale (fenced) attachment
+    /// evicted.
+    EvictStaleBorrow = 1,
+    /// Anti-entropy digest, lender side: escrow of a never-attached fenced
+    /// lease returned early.
+    ReturnEscrow = 2,
+}
+
+impl HealRepairKind {
+    /// Stable label used in `fed.heal_repairs{kind=...}` and trace spans.
+    pub fn label(self) -> &'static str {
+        match self {
+            HealRepairKind::RecoveryFixup => "recovery_fixup",
+            HealRepairKind::EvictStaleBorrow => "evict_stale_borrow",
+            HealRepairKind::ReturnEscrow => "return_escrow",
+        }
+    }
+}
+
+/// Short span label for a bus delivery of `msg`.
+fn msg_name(msg: &LeaseMsg) -> &'static str {
+    match msg {
+        LeaseMsg::Grant { .. } => "grant",
+        LeaseMsg::Ack { .. } => "ack",
+        LeaseMsg::Release { .. } => "release",
+        LeaseMsg::Digest { .. } => "digest",
     }
 }
 
@@ -167,6 +210,7 @@ pub enum Notice {
         shard: usize,
         lease: u64,
         action: HealAction,
+        kind: HealRepairKind,
     },
 }
 
@@ -191,6 +235,32 @@ enum Timer {
     Suspect(u64),
 }
 
+/// Span ids of one lease trace's landmarks. Inert metadata: span ids are
+/// 0 when tracing is off and never feed control flow, so the table has no
+/// effect on scheduling.
+#[derive(Clone, Copy, Debug, Default)]
+struct LeaseTraceState {
+    /// The open root span `lease N` (grant → reclaim).
+    root: u64,
+    /// The instantaneous `grant` span — the head of the causal chain.
+    grant: u64,
+    /// The `partition:severed` marker, when a cut severed this lease.
+    severed: u64,
+    /// The `fenced` span, once the suspicion timeout fired.
+    fence: u64,
+}
+
+/// Span ids of one shard's control-plane trace landmarks.
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardTraceState {
+    /// The open root span `shard N` covering the whole run.
+    root: u64,
+    /// The open `down` span while the shard is crashed (0 while live).
+    down: u64,
+    /// The open `brownout` span while the latch is engaged (0 otherwise).
+    brownout: u64,
+}
+
 pub struct Federation {
     lease_cfg: LeaseConfig,
     brownout_cfg: BrownoutConfig,
@@ -211,6 +281,17 @@ pub struct Federation {
     fences: u64,
     /// Anti-entropy repairs journaled at heal or recovery.
     heal_repairs: u64,
+    /// Per-kind split of `heal_repairs`, indexed by [`HealRepairKind`]
+    /// discriminant; the components always sum to `heal_repairs`.
+    heal_repair_kinds: [u64; 3],
+    /// Bounded ring of structured control-plane events; dumped as JSONL
+    /// when the testkit ledger oracle fails.
+    flightrec: FlightRecorder,
+    /// Span bookkeeping for per-lease traces (inert; see
+    /// [`LeaseTraceState`]).
+    lease_traces: BTreeMap<u64, LeaseTraceState>,
+    /// Span bookkeeping for per-shard control-plane traces.
+    shard_traces: Vec<ShardTraceState>,
     /// Testing backdoor: the next lend also wires a *rogue* duplicate
     /// grant of the same processors to a second borrower, without the
     /// lender journaling it — a planted double-ownership the ledger
@@ -238,6 +319,23 @@ impl Federation {
             shards.push(Shard::new(i, base, core));
             base += n;
         }
+        // Each shard's control-plane trace opens with a root span covering
+        // the whole run (closed by `drain_spans` at export time), so every
+        // lease span recorded on a shard track nests inside the shard's
+        // lifetime by construction.
+        let shard_traces: Vec<ShardTraceState> = (0..shards.len())
+            .map(|i| ShardTraceState {
+                root: trace::begin(
+                    trace::shard_trace(i),
+                    0,
+                    format!("shard {i}"),
+                    "shard",
+                    "control",
+                    0.0,
+                ),
+                ..Default::default()
+            })
+            .collect();
         Federation {
             lease_cfg: cfg.lease,
             brownout_cfg: cfg.brownout,
@@ -257,6 +355,10 @@ impl Federation {
             transitions: 0,
             fences: 0,
             heal_repairs: 0,
+            heal_repair_kinds: [0; 3],
+            flightrec: FlightRecorder::new(cfg.flightrec_cap),
+            lease_traces: BTreeMap::new(),
+            shard_traces,
             plant_double_grant: false,
             plant_stale_attach: false,
         }
@@ -357,6 +459,28 @@ impl Federation {
         self.heal_repairs
     }
 
+    /// Heal repairs journaled by one reconciliation path; the three kinds
+    /// always sum to [`Self::heal_repairs`].
+    pub fn heal_repairs_of(&self, kind: HealRepairKind) -> u64 {
+        self.heal_repair_kinds[kind as usize]
+    }
+
+    /// The control-plane flight recorder (bounded ring of structured
+    /// events; dump with [`crate::flightrec::FlightRecorder::dump_jsonl`]).
+    pub fn flightrec(&self) -> &FlightRecorder {
+        &self.flightrec
+    }
+
+    /// Tenant ids known to the router, ascending.
+    pub fn tenant_ids(&self) -> Vec<u32> {
+        self.tenants.keys().copied().collect()
+    }
+
+    /// A tenant's processor quota (0 for unknown tenants).
+    pub fn tenant_quota(&self, tenant: u32) -> usize {
+        self.tenants.get(&tenant).map_or(0, |t| t.cfg.quota_procs)
+    }
+
     /// Frames and acks the bus dropped at partition boundaries.
     pub fn partition_drops(&self) -> u64 {
         self.bus.partition_drops()
@@ -444,6 +568,12 @@ impl Federation {
         if under_quota {
             if let Some(shard) = self.route(need) {
                 self.assign(shard, tenant, tag, spec, now, &mut out);
+                // Immediate admission: zero queueing latency.
+                telemetry::observe_labeled(
+                    "fed.tenant_admit_latency",
+                    &[("tenant", &tenant.to_string())],
+                    0.0,
+                );
                 self.maybe_lend(now, &mut out);
                 return out;
             }
@@ -460,8 +590,10 @@ impl Federation {
         } else {
             ts.shed += 1;
             telemetry::incr("fed.shed", 1);
+            telemetry::incr_labeled("fed.tenant_shed", &[("tenant", &tenant.to_string())], 1);
             out.push(Notice::Shed { tenant, tag });
         }
+        self.tenant_gauges(tenant);
         out
     }
 
@@ -547,6 +679,15 @@ impl Federation {
         };
         sh.kills += 1;
         telemetry::incr("fed.shard_kills", 1);
+        self.shard_traces[shard].down = trace::begin(
+            trace::shard_trace(shard),
+            self.shard_traces[shard].root,
+            "down",
+            "outage",
+            "control",
+            now,
+        );
+        self.flightrec.record(now, "shard_kill", Some(shard), None, "");
         out.push(Notice::ShardKilled { shard });
         (true, out)
     }
@@ -572,6 +713,16 @@ impl Federation {
         let quarantined = salvage.map(|s| s.quarantined);
         if quarantined.is_some() {
             telemetry::incr("fed.wal_quarantines", 1);
+            self.flightrec.record(
+                now,
+                "wal_quarantine",
+                Some(shard),
+                None,
+                format!(
+                    "quarantined={}B",
+                    quarantined.as_ref().map_or(0, |q| q.len())
+                ),
+            );
         }
         let wal_records = wal.records().len();
         let core = SchedulerCore::recover(wal).expect("shard WAL replay failed");
@@ -579,6 +730,32 @@ impl Federation {
         sh.state = ShardState::Live(core);
         sh.last_seen = now;
         telemetry::incr("fed.shard_recoveries", 1);
+        let down = self.shard_traces[shard].down;
+        trace::end(down, now);
+        self.shard_traces[shard].down = 0;
+        trace::complete(
+            trace::shard_trace(shard),
+            if down != 0 {
+                down
+            } else {
+                self.shard_traces[shard].root
+            },
+            format!("wal:recover {wal_records} records"),
+            "recovery",
+            "control",
+            now,
+            now,
+        );
+        self.flightrec.record(
+            now,
+            "shard_recover",
+            Some(shard),
+            None,
+            format!(
+                "records={wal_records} snapshot_match={snapshot_match} quarantined={}",
+                quarantined.is_some()
+            ),
+        );
 
         // Fixup 1: borrowed leases that expired — or were fenced by their
         // lender — during the outage are evicted before the shard
@@ -600,19 +777,18 @@ impl Federation {
                 )
             };
             if due {
+                let mut cause = 0;
                 if fenced {
-                    if let Some(core) = self.shards[shard].core_mut() {
-                        core.journal_heal_repair(id, HealAction::EvictStaleBorrow, now);
-                    }
-                    self.heal_repairs += 1;
-                    telemetry::incr("fed.heal_repairs", 1);
-                    out.push(Notice::HealRepaired {
+                    cause = self.note_heal_repair(
                         shard,
-                        lease: id,
-                        action: HealAction::EvictStaleBorrow,
-                    });
+                        id,
+                        HealAction::EvictStaleBorrow,
+                        HealRepairKind::RecoveryFixup,
+                        now,
+                        &mut out,
+                    );
                 }
-                self.evict_lease(shard, id, now, &mut out);
+                self.evict_lease(shard, id, now, cause, &mut out);
             }
         }
         // Fixup 2: lent leases whose grace ran out during the outage are
@@ -630,7 +806,7 @@ impl Federation {
                 !l.reclaimed && now >= l.expires + self.lease_cfg.grace
             };
             if due {
-                self.reclaim_lease(shard, id, now, &mut out);
+                self.reclaim_lease(shard, id, now, 0, &mut out);
             }
         }
         // Replay buffered traffic in arrival order.
@@ -646,7 +822,9 @@ impl Federation {
                     self.apply_failed(shard, job, reason, now, &mut out)
                 }
                 Deferred::Cancel { job } => self.apply_cancel(shard, job, now, &mut out),
-                Deferred::Msg { from, msg } => self.apply_msg(now, from, shard, msg, &mut out),
+                Deferred::Msg { from, msg, ctx } => {
+                    self.apply_msg(now, from, shard, msg, ctx, &mut out)
+                }
             }
         }
         // A long outage re-enters service browned out (if the backlog
@@ -712,16 +890,90 @@ impl Federation {
         }
     }
 
+    /// The most causally specific recorded span of a lease trace: fence,
+    /// else grant, else root (0 when none — e.g. planted rogue leases).
+    fn lease_head_span(&self, id: u64) -> u64 {
+        let t = self.lease_traces.get(&id).copied().unwrap_or_default();
+        if t.fence != 0 {
+            t.fence
+        } else if t.grant != 0 {
+            t.grant
+        } else {
+            t.root
+        }
+    }
+
+    /// Journal + count + trace + record one heal repair. Returns the span
+    /// id of the repair (parent for the eviction/reclaim it causes).
+    fn note_heal_repair(
+        &mut self,
+        shard: usize,
+        lease: u64,
+        action: HealAction,
+        kind: HealRepairKind,
+        now: f64,
+        out: &mut Vec<Notice>,
+    ) -> u64 {
+        if let Some(core) = self.shards[shard].core_mut() {
+            core.journal_heal_repair(lease, action, now);
+        }
+        self.heal_repairs += 1;
+        self.heal_repair_kinds[kind as usize] += 1;
+        telemetry::incr("fed.heal_repairs", 1);
+        telemetry::incr_labeled("fed.heal_repairs_kind", &[("kind", kind.label())], 1);
+        let span = trace::complete(
+            trace::lease_trace(lease),
+            self.lease_head_span(lease),
+            format!("heal:{}", kind.label()),
+            "heal",
+            &format!("shard {shard}"),
+            now,
+            now,
+        );
+        self.flightrec
+            .record(now, "heal_repair", Some(shard), Some(lease), kind.label());
+        out.push(Notice::HealRepaired {
+            shard,
+            lease,
+            action,
+            kind,
+        });
+        span
+    }
+
     fn on_timer(&mut self, now: f64, timer: Timer, out: &mut Vec<Notice>) {
         match timer {
             Timer::Bus(BusEvent::Deliver { from, to, frame }) => {
                 let (msgs, evs) = self.bus.on_deliver(now, from, to, frame);
                 self.sched_bus(evs);
-                for msg in msgs {
-                    if self.shards[to].is_live() {
-                        self.apply_msg(now, from, to, msg, out);
+                for tm in msgs {
+                    let TracedMsg { ctx, msg } = tm;
+                    // Make the frame's in-band causal edge visible: one
+                    // delivery span per message, parented to whatever span
+                    // the sender stamped on the frame.
+                    let delivered = if ctx.trace != 0 {
+                        trace::complete(
+                            ctx.trace,
+                            ctx.parent,
+                            format!("bus:{} {from}→{to}", msg_name(&msg)),
+                            "bus",
+                            &format!("shard {to}"),
+                            now,
+                            now,
+                        )
                     } else {
-                        self.shards[to].deferred.push_back(Deferred::Msg { from, msg });
+                        0
+                    };
+                    let ctx = TraceCtx {
+                        trace: ctx.trace,
+                        parent: if delivered != 0 { delivered } else { ctx.parent },
+                    };
+                    if self.shards[to].is_live() {
+                        self.apply_msg(now, from, to, msg, ctx, out);
+                    } else {
+                        self.shards[to]
+                            .deferred
+                            .push_back(Deferred::Msg { from, msg, ctx });
                     }
                 }
             }
@@ -741,7 +993,7 @@ impl Federation {
                 // frozen core cannot schedule anything in the meantime.
                 if due {
                     let b = self.leases[&id].borrower;
-                    self.evict_lease(b, id, now, out);
+                    self.evict_lease(b, id, now, 0, out);
                     self.drain_router(now, out);
                 }
             }
@@ -752,7 +1004,7 @@ impl Federation {
                 }
                 let lender = l.lender;
                 if self.shards[lender].is_live() {
-                    self.reclaim_lease(lender, id, now, out);
+                    self.reclaim_lease(lender, id, now, 0, out);
                 } else {
                     // Lender down: back off and retry; its recovery fixup
                     // may beat this timer, which is fine (reclaim is
@@ -763,6 +1015,8 @@ impl Federation {
             }
             Timer::PartitionStart(id) => {
                 telemetry::incr("fed.partitions_started", 1);
+                self.flightrec
+                    .record(now, "partition_start", None, None, format!("id={id}"));
                 out.push(Notice::PartitionStarted { id });
                 // Arm a suspicion deadline for every outstanding lease the
                 // cut severs; leases granted *into* a live partition arm
@@ -775,12 +1029,37 @@ impl Federation {
                     .map(|l| l.id)
                     .collect();
                 for lease in suspects {
+                    let grant = self
+                        .lease_traces
+                        .get(&lease)
+                        .map_or(0, |t| t.grant);
+                    let severed = trace::complete(
+                        trace::lease_trace(lease),
+                        grant,
+                        "partition:severed",
+                        "partition",
+                        "federation",
+                        now,
+                        now,
+                    );
+                    if let Some(t) = self.lease_traces.get_mut(&lease) {
+                        t.severed = severed;
+                    }
+                    self.flightrec.record(
+                        now,
+                        "suspect_armed",
+                        None,
+                        Some(lease),
+                        format!("deadline={}", now + self.lease_cfg.suspicion),
+                    );
                     self.timers
                         .push(now + self.lease_cfg.suspicion, Timer::Suspect(lease));
                 }
             }
             Timer::PartitionHeal(id) => {
                 telemetry::incr("fed.partitions_healed", 1);
+                self.flightrec
+                    .record(now, "partition_heal", None, None, format!("id={id}"));
                 out.push(Notice::PartitionHealed { id });
                 // Anti-entropy: every formerly-severed ordered pair of live
                 // shards exchanges a ledger digest over the (now open) bus.
@@ -791,15 +1070,37 @@ impl Federation {
                             continue;
                         }
                         let (from_epoch, hash, entries) = self.build_digest(a, b);
+                        let sent = trace::complete(
+                            trace::shard_trace(a),
+                            self.shard_traces[a].root,
+                            format!("digest:send →{b}"),
+                            "digest",
+                            "control",
+                            now,
+                            now,
+                        );
+                        self.flightrec.record(
+                            now,
+                            "digest_send",
+                            Some(a),
+                            None,
+                            format!("to={b} entries={} epoch={from_epoch}", entries.len()),
+                        );
                         let evs = self.bus.send(
                             now,
                             a,
                             b,
-                            LeaseMsg::Digest {
-                                from_epoch,
-                                hash,
-                                entries,
-                            },
+                            TracedMsg::new(
+                                TraceCtx {
+                                    trace: trace::shard_trace(a),
+                                    parent: sent,
+                                },
+                                LeaseMsg::Digest {
+                                    from_epoch,
+                                    hash,
+                                    entries,
+                                },
+                            ),
                         );
                         self.sched_bus(evs);
                     }
@@ -818,11 +1119,56 @@ impl Federation {
                 // safety covers a dead lender), nothing to fence.
                 if fence_due {
                     let lender = self.leases[&id].lender;
+                    // Suspicion fires on the suspect lease's trace, caused
+                    // by its severed marker (or its grant when the lease
+                    // was minted straight into a live partition).
+                    let cause = {
+                        let t = self.lease_traces.get(&id).copied().unwrap_or_default();
+                        if t.severed != 0 {
+                            t.severed
+                        } else {
+                            t.grant
+                        }
+                    };
+                    let suspect = trace::complete(
+                        trace::lease_trace(id),
+                        cause,
+                        "suspect:timeout",
+                        "suspect",
+                        "federation",
+                        now,
+                        now,
+                    );
+                    self.flightrec
+                        .record(now, "suspect_timeout", Some(lender), Some(id), "");
                     let epoch = self.shards[lender]
                         .core_mut()
                         .unwrap()
                         .bump_epoch(now);
                     self.shards[lender].last_seen = now;
+                    // The epoch bump lives on the lender's control-plane
+                    // trace but is *caused by* the suspicion timeout — a
+                    // cross-trace parent edge.
+                    let bump = trace::complete(
+                        trace::shard_trace(lender),
+                        if suspect != 0 {
+                            suspect
+                        } else {
+                            self.shard_traces[lender].root
+                        },
+                        format!("epoch:bump →{epoch}"),
+                        "epoch",
+                        "control",
+                        now,
+                        now,
+                    );
+                    self.flightrec.record(
+                        now,
+                        "epoch_bump",
+                        Some(lender),
+                        None,
+                        format!("epoch={epoch}"),
+                    );
                     // The bump fences every unresolved lease this lender
                     // minted under an older epoch whose borrower is still
                     // unreachable — not just the suspect.
@@ -842,6 +1188,26 @@ impl Federation {
                         self.leases.get_mut(&lease).unwrap().fenced_at = Some(now);
                         self.fences += 1;
                         telemetry::incr("fed.leases_fenced", 1);
+                        // Fence-after-bump, by parent edge and timestamp.
+                        let fence = trace::complete(
+                            trace::lease_trace(lease),
+                            bump,
+                            format!("fenced @epoch {epoch}"),
+                            "fence",
+                            "federation",
+                            now,
+                            now,
+                        );
+                        if let Some(t) = self.lease_traces.get_mut(&lease) {
+                            t.fence = fence;
+                        }
+                        self.flightrec.record(
+                            now,
+                            "lease_fenced",
+                            Some(lender),
+                            Some(lease),
+                            format!("epoch={epoch}"),
+                        );
                         out.push(Notice::LeaseFenced {
                             lease,
                             lender,
@@ -853,8 +1219,18 @@ impl Federation {
         }
     }
 
-    /// Deliver one in-order lease message to a live shard.
-    fn apply_msg(&mut self, now: f64, from: usize, to: usize, msg: LeaseMsg, out: &mut Vec<Notice>) {
+    /// Deliver one in-order lease message to a live shard. `ctx` is the
+    /// causal context the frame carried (already advanced past the
+    /// delivery span); it parents the spans this application records.
+    fn apply_msg(
+        &mut self,
+        now: f64,
+        from: usize,
+        to: usize,
+        msg: LeaseMsg,
+        ctx: TraceCtx,
+        out: &mut Vec<Notice>,
+    ) {
         match msg {
             LeaseMsg::Grant {
                 lease,
@@ -877,6 +1253,11 @@ impl Federation {
                     self.plant_stale_attach = false;
                     refuse = false;
                 }
+                let parent = if ctx.parent != 0 {
+                    ctx.parent
+                } else {
+                    self.lease_head_span(lease)
+                };
                 if refuse {
                     let transitioned = {
                         let l = self.leases.get_mut(&lease).unwrap();
@@ -890,7 +1271,34 @@ impl Federation {
                         }
                         out.push(Notice::LeaseReleased { lease });
                     }
-                    let evs = self.bus.send(now, to, from, LeaseMsg::Release { lease });
+                    let refused = trace::complete(
+                        trace::lease_trace(lease),
+                        parent,
+                        if stale { "grant:refused (fenced)" } else { "grant:refused" },
+                        "lease",
+                        &format!("shard {to}"),
+                        now,
+                        now,
+                    );
+                    self.flightrec.record(
+                        now,
+                        "grant_refused",
+                        Some(to),
+                        Some(lease),
+                        if stale { "stale epoch" } else { "expired or done" },
+                    );
+                    let evs = self.bus.send(
+                        now,
+                        to,
+                        from,
+                        TracedMsg::new(
+                            TraceCtx {
+                                trace: trace::lease_trace(lease),
+                                parent: refused,
+                            },
+                            LeaseMsg::Release { lease },
+                        ),
+                    );
                     self.sched_bus(evs);
                     return;
                 }
@@ -906,8 +1314,30 @@ impl Federation {
                     }
                 }
                 telemetry::incr("fed.lease_attaches", 1);
+                let attached = trace::complete(
+                    trace::lease_trace(lease),
+                    parent,
+                    "attach",
+                    "lease",
+                    &format!("shard {to}"),
+                    now,
+                    now,
+                );
+                self.flightrec
+                    .record(now, "lease_attach", Some(to), Some(lease), "");
                 self.start_notices(to, &starts, out);
-                let evs = self.bus.send(now, to, from, LeaseMsg::Ack { lease });
+                let evs = self.bus.send(
+                    now,
+                    to,
+                    from,
+                    TracedMsg::new(
+                        TraceCtx {
+                            trace: trace::lease_trace(lease),
+                            parent: attached,
+                        },
+                        LeaseMsg::Ack { lease },
+                    ),
+                );
                 self.sched_bus(evs);
                 self.update_brownout(to, now, out);
             }
@@ -919,6 +1349,21 @@ impl Federation {
                     f
                 };
                 if first {
+                    trace::complete(
+                        trace::lease_trace(lease),
+                        if ctx.parent != 0 {
+                            ctx.parent
+                        } else {
+                            self.lease_head_span(lease)
+                        },
+                        "activated",
+                        "lease",
+                        &format!("shard {to}"),
+                        now,
+                        now,
+                    );
+                    self.flightrec
+                        .record(now, "lease_ack", Some(to), Some(lease), "");
                     out.push(Notice::LeaseActivated { lease });
                 }
             }
@@ -926,7 +1371,7 @@ impl Federation {
                 // Arrives at the lender (`to`).
                 self.leases.get_mut(&lease).unwrap().borrower_done = true;
                 if !self.leases[&lease].reclaimed {
-                    self.reclaim_lease(to, lease, now, out);
+                    self.reclaim_lease(to, lease, now, ctx.parent, out);
                     self.drain_router(now, out);
                 }
             }
@@ -935,7 +1380,7 @@ impl Federation {
                 hash,
                 entries,
             } => {
-                self.apply_digest(now, from, to, from_epoch, hash, entries, out);
+                self.apply_digest(now, from, to, from_epoch, hash, entries, ctx, out);
             }
         }
     }
@@ -984,17 +1429,43 @@ impl Federation {
         _from_epoch: u64,
         hash: u64,
         entries: Vec<DigestEntry>,
+        ctx: TraceCtx,
         out: &mut Vec<Notice>,
     ) {
         if digest_hash(&entries) != hash {
             // A mangled digest is ignored, never acted on; retransmission
             // or the time-based expiry path converges instead.
             telemetry::incr("fed.digests_rejected", 1);
+            self.flightrec
+                .record(now, "digest_reject", Some(to), None, format!("from={from}"));
             return;
         }
         if !self.shards[to].is_live() {
             return;
         }
+        // The application lives on the receiver's control-plane trace,
+        // caused by the sender's `digest:send` (cross-trace edge carried
+        // in-band on the frame).
+        trace::complete(
+            trace::shard_trace(to),
+            if ctx.parent != 0 {
+                ctx.parent
+            } else {
+                self.shard_traces[to].root
+            },
+            format!("digest:apply ←{from}"),
+            "digest",
+            "control",
+            now,
+            now,
+        );
+        self.flightrec.record(
+            now,
+            "digest_apply",
+            Some(to),
+            None,
+            format!("from={from} entries={}", entries.len()),
+        );
         // Repair 1 — receiver as borrower: evict any attachment whose
         // lease the lender (`from`) has fenced.
         let stale_borrows: Vec<u64> = self.shards[to]
@@ -1009,18 +1480,15 @@ impl Federation {
             })
             .collect();
         for id in stale_borrows {
-            self.shards[to]
-                .core_mut()
-                .unwrap()
-                .journal_heal_repair(id, HealAction::EvictStaleBorrow, now);
-            self.heal_repairs += 1;
-            telemetry::incr("fed.heal_repairs", 1);
-            out.push(Notice::HealRepaired {
-                shard: to,
-                lease: id,
-                action: HealAction::EvictStaleBorrow,
-            });
-            self.evict_lease(to, id, now, out);
+            let repaired = self.note_heal_repair(
+                to,
+                id,
+                HealAction::EvictStaleBorrow,
+                HealRepairKind::EvictStaleBorrow,
+                now,
+                out,
+            );
+            self.evict_lease(to, id, now, repaired, out);
         }
         // Repair 2 — receiver as lender: a fenced lease whose borrower
         // (`from`) proves it holds no attachment can return its escrow
@@ -1053,25 +1521,23 @@ impl Federation {
             if transitioned {
                 out.push(Notice::LeaseReleased { lease: id });
             }
-            self.shards[to]
-                .core_mut()
-                .unwrap()
-                .journal_heal_repair(id, HealAction::ReturnEscrow, now);
-            self.heal_repairs += 1;
-            telemetry::incr("fed.heal_repairs", 1);
-            out.push(Notice::HealRepaired {
-                shard: to,
-                lease: id,
-                action: HealAction::ReturnEscrow,
-            });
-            self.reclaim_lease(to, id, now, out);
+            let repaired = self.note_heal_repair(
+                to,
+                id,
+                HealAction::ReturnEscrow,
+                HealRepairKind::ReturnEscrow,
+                now,
+                out,
+            );
+            self.reclaim_lease(to, id, now, repaired, out);
         }
         self.drain_router(now, out);
     }
 
     /// Borrower-side eviction: force every job off the lease's slots,
-    /// detach them, tell the lender.
-    fn evict_lease(&mut self, borrower: usize, id: u64, now: f64, out: &mut Vec<Notice>) {
+    /// detach them, tell the lender. `cause` is the span that forced the
+    /// eviction (0 → parent to the lease trace's head).
+    fn evict_lease(&mut self, borrower: usize, id: u64, now: f64, cause: u64, out: &mut Vec<Notice>) {
         let outcome = self.shards[borrower]
             .core_mut()
             .expect("evict_lease needs a live borrower")
@@ -1079,6 +1545,17 @@ impl Federation {
         self.shards[borrower].last_seen = now;
         self.leases.get_mut(&id).unwrap().borrower_done = true;
         telemetry::incr("fed.lease_evictions", 1);
+        let evicted = trace::complete(
+            trace::lease_trace(id),
+            if cause != 0 { cause } else { self.lease_head_span(id) },
+            "evict",
+            "lease",
+            &format!("shard {borrower}"),
+            now,
+            now,
+        );
+        self.flightrec
+            .record(now, "lease_evict", Some(borrower), Some(id), "");
         for (job, from, to) in outcome.shrunk {
             telemetry::incr("fed.evict_shrinks", 1);
             out.push(Notice::Evicted {
@@ -1099,33 +1576,50 @@ impl Federation {
         }
         out.push(Notice::LeaseReleased { lease: id });
         let lender = self.leases[&id].lender;
-        let evs = self.bus.send(now, borrower, lender, LeaseMsg::Release { lease: id });
+        let evs = self.bus.send(
+            now,
+            borrower,
+            lender,
+            TracedMsg::new(
+                TraceCtx {
+                    trace: trace::lease_trace(id),
+                    parent: evicted,
+                },
+                LeaseMsg::Release { lease: id },
+            ),
+        );
         self.sched_bus(evs);
         self.update_brownout(borrower, now, out);
     }
 
     /// Lender-side reclaim: reattach the slots, restart queued work.
-    fn reclaim_lease(&mut self, lender: usize, id: u64, now: f64, out: &mut Vec<Notice>) {
+    /// `cause` is the span that triggered the reclaim (0 → lease head).
+    fn reclaim_lease(&mut self, lender: usize, id: u64, now: f64, cause: u64, out: &mut Vec<Notice>) {
         let starts = self.shards[lender]
             .core_mut()
             .expect("reclaim_lease needs a live lender")
             .lend_reclaim(id, now);
         self.shards[lender].last_seen = now;
-        let granted_at = {
+        {
             let l = self.leases.get_mut(&id).unwrap();
             l.reclaimed = true;
-            l.granted_at
-        };
+        }
         telemetry::incr("fed.leases_reclaimed", 1);
-        telemetry::trace::complete(
-            0,
-            0,
-            format!("lease {id}"),
+        trace::complete(
+            trace::lease_trace(id),
+            if cause != 0 { cause } else { self.lease_head_span(id) },
+            "reclaim",
             "lease",
-            "federation",
-            granted_at,
+            &format!("shard {lender}"),
+            now,
             now,
         );
+        // The lease lifecycle is over: close the root span opened at grant.
+        if let Some(t) = self.lease_traces.get(&id) {
+            trace::end(t.root, now);
+        }
+        self.flightrec
+            .record(now, "lease_reclaim", Some(lender), Some(id), "");
         out.push(Notice::LeaseReclaimed { lease: id });
         self.start_notices(lender, &starts, out);
         self.update_brownout(lender, now, out);
@@ -1206,7 +1700,28 @@ impl Federation {
         let meta = self.job_meta.remove(&(shard, job.0))?;
         let ts = self.tenants.get_mut(&meta.tenant).unwrap();
         ts.in_flight_procs = ts.in_flight_procs.saturating_sub(meta.procs);
+        self.tenant_gauges(meta.tenant);
         Some(meta)
+    }
+
+    /// Publish a tenant's labeled gauges (router queue depth and quota
+    /// utilization). No-op when telemetry is off.
+    fn tenant_gauges(&self, tenant: u32) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let Some(ts) = self.tenants.get(&tenant) else { return };
+        let t = tenant.to_string();
+        telemetry::gauge_labeled(
+            "fed.tenant_queue_depth",
+            &[("tenant", &t)],
+            ts.queued.len() as f64,
+        );
+        telemetry::gauge_labeled(
+            "fed.tenant_quota_utilization",
+            &[("tenant", &t)],
+            ts.in_flight_procs as f64 / ts.cfg.quota_procs.max(1) as f64,
+        );
     }
 
     fn start_notices(&mut self, shard: usize, starts: &[StartAction], out: &mut Vec<Notice>) {
@@ -1275,6 +1790,11 @@ impl Federation {
             ts.admitted += 1;
         }
         telemetry::incr("fed.admitted", 1);
+        if telemetry::enabled() {
+            telemetry::incr_labeled("fed.tenant_admitted", &[("tenant", &tenant.to_string())], 1);
+            telemetry::incr_labeled("fed.shard_admitted", &[("shard", &shard.to_string())], 1);
+        }
+        self.tenant_gauges(tenant);
         out.push(Notice::Admitted {
             shard,
             job,
@@ -1315,6 +1835,11 @@ impl Federation {
                     .pop_front()
                     .unwrap();
                 telemetry::observe("fed.router_wait", now - qj.queued_at);
+                telemetry::observe_labeled(
+                    "fed.tenant_admit_latency",
+                    &[("tenant", &tenant.to_string())],
+                    now - qj.queued_at,
+                );
                 self.assign(shard, tenant, qj.tag, qj.spec, now, out);
                 admitted = true;
                 break;
@@ -1347,6 +1872,15 @@ impl Federation {
                 .unwrap()
                 .set_expand_paused(false, now);
             telemetry::incr("fed.brownout_released", 1);
+            trace::end(self.shard_traces[shard].brownout, now);
+            self.shard_traces[shard].brownout = 0;
+            self.flightrec.record(
+                now,
+                "brownout_release",
+                Some(shard),
+                None,
+                format!("depth={depth}"),
+            );
             out.push(Notice::BrownoutReleased { shard });
         }
     }
@@ -1365,6 +1899,21 @@ impl Federation {
             .unwrap()
             .set_expand_paused(true, now);
         telemetry::incr("fed.brownout_engaged", 1);
+        self.shard_traces[shard].brownout = trace::begin(
+            trace::shard_trace(shard),
+            self.shard_traces[shard].root,
+            "brownout",
+            "brownout",
+            "control",
+            now,
+        );
+        self.flightrec.record(
+            now,
+            "brownout_engage",
+            Some(shard),
+            None,
+            format!("depth={depth} reason={reason:?}"),
+        );
         out.push(Notice::BrownoutEngaged {
             shard,
             queue_depth: depth,
@@ -1395,7 +1944,7 @@ impl Federation {
         };
         for id in ids {
             if !self.leases[&id].borrower_done {
-                self.evict_lease(shard, id, now, out);
+                self.evict_lease(shard, id, now, 0, out);
             }
         }
     }
@@ -1484,16 +2033,59 @@ impl Federation {
         );
         self.lend_attempts.insert((lender, borrower), now);
         telemetry::incr("fed.leases_granted", 1);
+        {
+            let lender_s = lender.to_string();
+            let borrower_s = borrower.to_string();
+            telemetry::incr_labeled(
+                "fed.shard_leases_granted",
+                &[("lender", &lender_s), ("borrower", &borrower_s)],
+                1,
+            );
+        }
+        // Open the lease trace: a root span spanning grant → reclaim plus
+        // the instantaneous `grant` marker every later span descends from.
+        let ltrace = trace::lease_trace(id);
+        let root = trace::begin(ltrace, 0, format!("lease {id}"), "lease", "federation", now);
+        let grant = trace::complete(
+            ltrace,
+            root,
+            format!("grant {lender}→{borrower} ×{n}"),
+            "lease",
+            &format!("shard {lender}"),
+            now,
+            now,
+        );
+        self.lease_traces.insert(
+            id,
+            LeaseTraceState {
+                root,
+                grant,
+                ..Default::default()
+            },
+        );
+        self.flightrec.record(
+            now,
+            "lease_grant",
+            Some(lender),
+            Some(id),
+            format!("to={borrower} procs={} expires={expires}", global.len()),
+        );
         let evs = self.bus.send(
             now,
             lender,
             borrower,
-            LeaseMsg::Grant {
-                lease: id,
-                global: global.clone(),
-                expires,
-                lender_epoch: epoch,
-            },
+            TracedMsg::new(
+                TraceCtx {
+                    trace: ltrace,
+                    parent: grant,
+                },
+                LeaseMsg::Grant {
+                    lease: id,
+                    global: global.clone(),
+                    expires,
+                    lender_epoch: epoch,
+                },
+            ),
         );
         self.sched_bus(evs);
         self.timers.push(expires, Timer::LeaseExpire(id));
@@ -1544,12 +2136,15 @@ impl Federation {
                     now,
                     lender,
                     rogue_to,
-                    LeaseMsg::Grant {
+                    // The rogue grant carries no causal context — the
+                    // lender never journaled it, so nothing caused it as
+                    // far as the trace model is concerned.
+                    TracedMsg::from(LeaseMsg::Grant {
                         lease: rogue,
                         global,
                         expires,
                         lender_epoch: epoch,
-                    },
+                    }),
                 );
                 self.sched_bus(evs);
             }
@@ -1950,6 +2545,9 @@ mod tests {
             "the eviction's release lets the fenced lender reclaim: {all:?}"
         );
         assert_eq!(fed.heal_repairs(), 1);
+        assert_eq!(fed.heal_repairs_of(HealRepairKind::EvictStaleBorrow), 1);
+        assert_eq!(fed.heal_repairs_of(HealRepairKind::RecoveryFixup), 0);
+        assert_eq!(fed.heal_repairs_of(HealRepairKind::ReturnEscrow), 0);
         assert!(fed.lease(lease).unwrap().resolved());
         for s in fed.shards() {
             let c = s.core().unwrap();
@@ -1957,6 +2555,144 @@ mod tests {
             assert_eq!(c.lent_procs(), 0);
             assert_eq!(c.borrowed_procs(), 0);
         }
+        // The flight recorder saw the whole story.
+        let kinds: Vec<&str> = fed.flightrec().events().map(|e| e.kind).collect();
+        for expect in [
+            "lease_grant",
+            "lease_attach",
+            "partition_start",
+            "suspect_timeout",
+            "epoch_bump",
+            "lease_fenced",
+            "partition_heal",
+            "digest_send",
+            "heal_repair",
+            "lease_evict",
+            "lease_reclaim",
+        ] {
+            assert!(kinds.contains(&expect), "missing {expect}: {kinds:?}");
+        }
+    }
+
+    /// Serializes tests that toggle the process-global trace sink.
+    fn trace_gate() -> &'static std::sync::Mutex<()> {
+        static GATE: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        GATE.get_or_init(|| std::sync::Mutex::new(()))
+    }
+
+    #[test]
+    fn fenced_lease_trace_chain_is_parent_connected() {
+        let _g = trace_gate().lock().unwrap_or_else(|p| p.into_inner());
+        trace::reset();
+        trace::set_enabled(true);
+        // Same scenario as the suspicion-fences test: grant → partition →
+        // suspect → epoch bump → fence → heal repair → evict → reclaim.
+        let mut cfg = FederationConfig::new(vec![4, 4], vec![TenantConfig::new(64, 1.0, 32)]);
+        cfg.lease.min_spare = 0;
+        cfg.lease.term = 60.0;
+        cfg.lease.grace = 10.0;
+        cfg.lease.suspicion = 5.0;
+        let mut fed = Federation::new(cfg);
+        fed.submit(0, 0, spec("fill", 2, 100), 0.0);
+        fed.submit(0, 1, spec("big", 6, 100), 1.0);
+        let lease = fed.leases().next().expect("lease granted").id;
+        let (lender, borrower) = {
+            let l = fed.lease(lease).unwrap();
+            (l.lender, l.borrower)
+        };
+        fed.inject_partition(vec![vec![lender], vec![borrower]], 5.0, 25.0);
+        drain_until(&mut fed, 40.0);
+        fed.run_timers(40.0);
+        assert!(fed.lease(lease).unwrap().resolved());
+        trace::set_enabled(false);
+        let spans = trace::drain_spans();
+        trace::reset();
+
+        let by_id: BTreeMap<u64, &reshape_telemetry::trace::SpanRecord> =
+            spans.iter().map(|s| (s.id, s)).collect();
+        let find = |cat: &str, trace_id: u64| {
+            spans
+                .iter()
+                .find(|s| s.cat == cat && s.trace == trace_id)
+                .unwrap_or_else(|| panic!("no {cat} span on trace {trace_id:#x}"))
+        };
+        let ltrace = trace::lease_trace(lease);
+        let heal = find("heal", ltrace);
+        let fence = find("fence", ltrace);
+        let bump = find("epoch", trace::shard_trace(lender));
+        let suspect = find("suspect", ltrace);
+        let severed = find("partition", ltrace);
+        let grant = spans
+            .iter()
+            .find(|s| s.trace == ltrace && s.name.starts_with("grant "))
+            .expect("grant span");
+        // The acceptance chain, edge by edge (fence→bump crosses from the
+        // lease trace into the lender's shard trace and back).
+        assert_eq!(heal.parent, fence.id, "heal repair caused by the fence");
+        assert_eq!(fence.parent, bump.id, "fence caused by the epoch bump");
+        assert!(fence.start >= bump.start, "fence never precedes its bump");
+        assert_eq!(bump.parent, suspect.id, "bump caused by the suspicion timeout");
+        assert_eq!(suspect.parent, severed.id, "suspicion armed by the cut");
+        assert_eq!(severed.parent, grant.id, "cut severed the granted lease");
+        // The whole chain closes transitively at a root span (parent 0).
+        let mut cur = heal.id;
+        let mut hops = 0;
+        while by_id[&cur].parent != 0 {
+            cur = by_id[&cur].parent;
+            hops += 1;
+            assert!(hops < 64, "parent chain must terminate");
+        }
+        // Every lease span recorded on a shard track sits inside that
+        // shard's root span lifetime.
+        for i in 0..2 {
+            let root = spans
+                .iter()
+                .find(|s| s.trace == trace::shard_trace(i) && s.parent == 0 && s.cat == "shard")
+                .expect("shard root span");
+            for sp in spans.iter().filter(|s| {
+                reshape_telemetry::trace::is_lease_trace(s.trace) && s.track == format!("shard {i}")
+            }) {
+                assert!(
+                    sp.start >= root.start && sp.end <= root.end,
+                    "lease span {} outside shard {i} lifetime",
+                    sp.name
+                );
+            }
+        }
+        // In-band bus delivery spans exist for grant, ack and release.
+        for kind in ["bus:grant", "bus:ack", "bus:release"] {
+            assert!(
+                spans.iter().any(|s| s.trace == ltrace && s.name.starts_with(kind)),
+                "missing {kind} delivery span"
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_scheduling_or_notices() {
+        let _g = trace_gate().lock().unwrap_or_else(|p| p.into_inner());
+        let run = || {
+            let mut cfg =
+                FederationConfig::new(vec![4, 4], vec![TenantConfig::new(64, 1.0, 32)]);
+            cfg.lease.min_spare = 0;
+            cfg.lease.suspicion = 5.0;
+            let mut fed = Federation::new(cfg);
+            let mut notices = Vec::new();
+            notices.extend(fed.submit(0, 0, spec("fill", 2, 100), 0.0));
+            notices.extend(fed.submit(0, 1, spec("big", 6, 100), 1.0));
+            fed.inject_partition(vec![vec![0], vec![1]], 5.0, 25.0);
+            notices.extend(drain_until(&mut fed, 40.0));
+            notices.extend(fed.run_timers(40.0));
+            (format!("{notices:?}"), fed.transitions(), fed.heal_repairs())
+        };
+        trace::reset();
+        trace::set_enabled(false);
+        let off = run();
+        trace::set_enabled(true);
+        let on = run();
+        trace::set_enabled(false);
+        trace::reset();
+        assert_eq!(off, on, "tracing must be invisible to the control plane");
     }
 
     #[test]

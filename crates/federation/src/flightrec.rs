@@ -1,0 +1,211 @@
+//! The control-plane flight recorder: a bounded ring of structured
+//! federation events (grants, fences, epoch bumps, digests, brownouts,
+//! kills, heals) with virtual timestamps.
+//!
+//! The recorder is always on — it costs one `VecDeque` push per
+//! control-plane transition and never touches a clock or RNG, so the
+//! chaos sweeps stay bitwise identical with or without anyone reading it.
+//! When the ring is full the oldest event is evicted (newest N are kept)
+//! and the eviction is counted both locally and in the
+//! `fed.flightrec_dropped_total` counter. The testkit dumps the ring as
+//! JSONL next to the failing WAL streams whenever the ledger oracle
+//! trips, turning "seed 173 failed" into a replayable causal timeline.
+//!
+//! The JSONL is hand-rolled: the federation crate deliberately has no
+//! serde dependency, and the event shape is flat enough that escaping the
+//! one free-form field is the whole problem.
+
+use std::collections::VecDeque;
+
+use reshape_telemetry as telemetry;
+
+/// Default ring capacity; overridable via
+/// [`crate::FederationConfig::flightrec_cap`].
+pub const DEFAULT_CAP: usize = 4096;
+
+/// One structured control-plane event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEvent {
+    /// Virtual time the event was recorded at.
+    pub t: f64,
+    /// Event kind (`lease_grant`, `fence`, `epoch_bump`, ...).
+    pub kind: &'static str,
+    /// The shard the event belongs to, when it has one.
+    pub shard: Option<usize>,
+    /// The lease the event belongs to, when it has one.
+    pub lease: Option<u64>,
+    /// Free-form detail (human-oriented; JSON-escaped on dump).
+    pub detail: String,
+}
+
+/// Bounded ring buffer of [`FlightEvent`]s: newest-N retention.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: VecDeque<FlightEvent>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            ring: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.ring.iter()
+    }
+
+    /// Record one event, evicting the oldest when the ring is full.
+    pub fn record(
+        &mut self,
+        t: f64,
+        kind: &'static str,
+        shard: Option<usize>,
+        lease: Option<u64>,
+        detail: impl Into<String>,
+    ) {
+        if self.ring.len() >= self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+            telemetry::counter("fed.flightrec_dropped_total").add(1);
+        }
+        self.ring.push_back(FlightEvent {
+            t,
+            kind,
+            shard,
+            lease,
+            detail: detail.into(),
+        });
+    }
+
+    /// Render the ring as JSONL, oldest first: one flat object per line
+    /// plus a final `{"type":"flightrec_summary",...}` line with the
+    /// retention accounting, so a truncated ring is self-describing.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.ring {
+            out.push_str("{\"t\":");
+            push_f64(&mut out, ev.t);
+            out.push_str(",\"kind\":\"");
+            push_escaped(&mut out, ev.kind);
+            out.push('"');
+            if let Some(s) = ev.shard {
+                out.push_str(&format!(",\"shard\":{s}"));
+            }
+            if let Some(l) = ev.lease {
+                out.push_str(&format!(",\"lease\":{l}"));
+            }
+            out.push_str(",\"detail\":\"");
+            push_escaped(&mut out, &ev.detail);
+            out.push_str("\"}\n");
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"flightrec_summary\",\"retained\":{},\"cap\":{},\"dropped\":{}}}\n",
+            self.ring.len(),
+            self.cap,
+            self.dropped
+        ));
+        out
+    }
+}
+
+/// JSON number formatting: finite floats via Debug (round-trippable),
+/// non-finite as null (JSON has no Inf/NaN literals).
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Minimal JSON string escaping: backslash, quote, and control chars.
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_n_and_counts_drops() {
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..7 {
+            fr.record(i as f64, "tick", Some(i), None, format!("event {i}"));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 4);
+        let kept: Vec<usize> = fr.events().map(|e| e.shard.unwrap()).collect();
+        assert_eq!(kept, vec![4, 5, 6], "newest N must survive");
+    }
+
+    #[test]
+    fn dump_is_line_parseable_and_escaped() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(1.25, "fence", Some(0), Some(42), "say \"hi\"\nback\\slash");
+        fr.record(2.5, "heal", None, None, "plain");
+        let dump = fr.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\\\"hi\\\""));
+        assert!(lines[0].contains("\\n"));
+        assert!(lines[0].contains("\\\\slash"));
+        assert!(lines[0].contains("\"lease\":42"));
+        assert!(lines[2].contains("\"retained\":2"));
+        // Every line is a single balanced JSON object (no raw quotes or
+        // control chars escaped incorrectly): check brace/quote parity.
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+            let unescaped_quotes = l
+                .as_bytes()
+                .windows(2)
+                .filter(|w| w[1] == b'"' && w[0] != b'\\')
+                .count()
+                + usize::from(l.starts_with('"'));
+            assert_eq!(unescaped_quotes % 2, 0, "unbalanced quotes: {l}");
+        }
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let mut fr = FlightRecorder::new(0);
+        fr.record(0.0, "a", None, None, "");
+        fr.record(1.0, "b", None, None, "");
+        assert_eq!(fr.len(), 1);
+        assert_eq!(fr.events().next().unwrap().kind, "b");
+        assert_eq!(fr.dropped(), 1);
+    }
+}

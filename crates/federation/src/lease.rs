@@ -16,6 +16,8 @@
 //! processors are disjoint by construction, even across crash-restarts of
 //! either side.
 
+use reshape_telemetry::TraceCtx;
+
 /// Federation-wide lease protocol parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LeaseConfig {
@@ -78,6 +80,35 @@ pub enum LeaseMsg {
         hash: u64,
         entries: Vec<DigestEntry>,
     },
+}
+
+/// A [`LeaseMsg`] plus the causal trace context it travels with — the
+/// in-band parent edge of the federation trace model. The ctx is inert
+/// metadata: span ids never feed control flow, carry no entropy, and are
+/// all-zero when tracing is off, so frames (and therefore every sequenced
+/// delivery, retransmit, and partition drop) are bitwise independent of
+/// whether tracing is enabled.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TracedMsg {
+    pub ctx: TraceCtx,
+    pub msg: LeaseMsg,
+}
+
+impl TracedMsg {
+    pub fn new(ctx: TraceCtx, msg: LeaseMsg) -> Self {
+        TracedMsg { ctx, msg }
+    }
+}
+
+impl From<LeaseMsg> for TracedMsg {
+    /// Wrap a message with no specific cause (ctx zero: the receiver
+    /// parents to the trace head instead).
+    fn from(msg: LeaseMsg) -> Self {
+        TracedMsg {
+            ctx: TraceCtx::default(),
+            msg,
+        }
+    }
 }
 
 /// One lease's line in an anti-entropy digest.

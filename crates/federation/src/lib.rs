@@ -31,17 +31,40 @@
 //!   digests and reconcile deterministically — stale borrows are evicted
 //!   and unattached escrow returned, every repair journaled as an
 //!   explicit WAL record.
+//!
+//! Observability rides along without perturbing any of the above:
+//! * **Causal tracing** ([`fed`] + `reshape_telemetry::trace`) — every
+//!   lease gets its own trace whose spans follow the full lifecycle
+//!   (grant → bus delivery → attach → expiry/fence/reclaim → heal
+//!   repair), with parent edges carried *in-band* on bus frames
+//!   ([`lease::TracedMsg`]); every shard gets a control-plane trace
+//!   (epoch bumps, outages, WAL recovery, digest exchange, brownouts).
+//!   Span ids are inert metadata — zero when tracing is off, never fed
+//!   into control flow — so chaos sweeps stay bitwise identical with
+//!   tracing on.
+//! * **Flight recorder** ([`flightrec`]) — a bounded ring of structured
+//!   control-plane events with virtual timestamps, dumped as JSONL when
+//!   the testkit ledger oracle trips.
+//! * **Per-tenant SLO metrics** — admit-latency histograms, queue depth,
+//!   shed counts and quota utilization labeled `{tenant}`, shard metrics
+//!   labeled `{shard}`, through the OpenMetrics exporter; [`fedtop`]
+//!   renders the same state as a live text dashboard.
 
 pub mod bus;
 pub mod fed;
+pub mod fedtop;
+pub mod flightrec;
 pub mod lease;
 pub mod shard;
 pub mod sim;
 pub mod tenant;
 
 pub use bus::{Bus, BusConfig, BusEvent, PartitionSchedule, PartitionState};
-pub use fed::{BrownoutConfig, BrownoutReason, Federation, FederationConfig, Notice};
-pub use lease::{digest_hash, DigestEntry, Lease, LeaseConfig, LeaseMsg, LeasePhase};
+pub use fed::{
+    BrownoutConfig, BrownoutReason, Federation, FederationConfig, HealRepairKind, Notice,
+};
+pub use flightrec::{FlightEvent, FlightRecorder};
+pub use lease::{digest_hash, DigestEntry, Lease, LeaseConfig, LeaseMsg, LeasePhase, TracedMsg};
 pub use shard::{RecoverReport, Shard};
-pub use sim::{FedJob, FedReport, FedSimConfig, KillPlan, PartitionPlan, TenantReport};
+pub use sim::{FedJob, FedReport, FedSimConfig, KillPlan, PartitionPlan, SloSeries, TenantReport};
 pub use tenant::TenantConfig;

@@ -6,6 +6,7 @@
 use std::collections::VecDeque;
 
 use reshape_core::{CoreSnapshot, JobId, SchedulerCore};
+use reshape_telemetry::TraceCtx;
 
 use crate::lease::LeaseMsg;
 
@@ -31,6 +32,9 @@ pub(crate) enum Deferred {
     Msg {
         from: usize,
         msg: LeaseMsg,
+        /// Causal context the frame carried; replayed with the message at
+        /// recovery so the trace edge survives the downtime.
+        ctx: TraceCtx,
     },
 }
 

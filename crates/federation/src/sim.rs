@@ -7,9 +7,11 @@ use std::collections::BTreeMap;
 
 use reshape_clustersim::EventQueue;
 use reshape_core::{Directive, JobSpec, QueuePolicy};
+use reshape_telemetry as telemetry;
 
 use crate::bus::BusConfig;
-use crate::fed::{BrownoutConfig, Federation, FederationConfig, Notice};
+use crate::fed::{BrownoutConfig, Federation, FederationConfig, HealRepairKind, Notice};
+use crate::flightrec::DEFAULT_CAP;
 use crate::lease::LeaseConfig;
 use crate::tenant::TenantConfig;
 
@@ -58,6 +60,8 @@ pub struct FedSimConfig {
     pub bus: BusConfig,
     pub kills: Vec<KillPlan>,
     pub partitions: Vec<PartitionPlan>,
+    /// Flight-recorder ring capacity (see [`crate::flightrec`]).
+    pub flightrec_cap: usize,
 }
 
 impl FedSimConfig {
@@ -72,6 +76,7 @@ impl FedSimConfig {
             bus: BusConfig::default(),
             kills: Vec::new(),
             partitions: Vec::new(),
+            flightrec_cap: DEFAULT_CAP,
         }
     }
 }
@@ -82,6 +87,21 @@ pub struct TenantReport {
     pub admitted: u64,
     pub shed: u64,
     pub finished: u64,
+}
+
+/// Per-tenant SLO samples collected during a run, for windowed series.
+/// Everything is keyed on virtual time, so two identical runs produce
+/// identical series.
+#[derive(Clone, Debug, Default)]
+pub struct SloSeries {
+    /// `(t, tenant, wait)` per admission — the router queueing latency
+    /// (0 for immediate admits).
+    pub admits: Vec<(f64, u32, f64)>,
+    /// `(t, tenant)` per shed submission.
+    pub sheds: Vec<(f64, u32)>,
+    /// `(t, tenant, router queue depth, quota utilization)` sampled after
+    /// every simulation event.
+    pub samples: Vec<(f64, u32, usize, f64)>,
 }
 
 /// What a federation run did.
@@ -106,12 +126,97 @@ pub struct FedReport {
     pub partitions_healed: u64,
     pub leases_fenced: u64,
     pub heal_repairs: u64,
+    /// Heal repairs journaled by the recovery fixup path (fenced borrows
+    /// evicted at restart). The three kinds sum to `heal_repairs`.
+    pub heal_repairs_recovery_fixup: u64,
+    /// Heal repairs journaled by the digest evict-stale-borrow path.
+    pub heal_repairs_evict_stale_borrow: u64,
+    /// Heal repairs journaled by the digest return-escrow path.
+    pub heal_repairs_return_escrow: u64,
     /// Every recovery replayed its WAL to a snapshot equal to the crash
     /// image.
     pub recoveries_matched: bool,
     pub makespan: f64,
     pub transitions: u64,
     pub per_tenant: BTreeMap<u32, TenantReport>,
+    /// Raw per-tenant SLO samples (see [`FedReport::publish_metrics`]).
+    pub slo: SloSeries,
+}
+
+impl FedReport {
+    /// Publish the per-tenant SLO series through the telemetry registry:
+    /// the admit-latency histogram (whole run) plus `windows` equal time
+    /// bins over the makespan of queue depth, quota utilization and shed
+    /// rate, labeled `{tenant,window}`. No-op when telemetry is off.
+    pub fn publish_metrics(&self, windows: usize) {
+        if !telemetry::enabled() || windows == 0 {
+            return;
+        }
+        for &(_, tenant, wait) in &self.slo.admits {
+            telemetry::observe_labeled(
+                "fed.tenant_admit_latency",
+                &[("tenant", &tenant.to_string())],
+                wait,
+            );
+        }
+        let span = if self.makespan > 0.0 { self.makespan } else { 1.0 };
+        let width = span / windows as f64;
+        let tenants: std::collections::BTreeSet<u32> = self
+            .slo
+            .samples
+            .iter()
+            .map(|&(_, t, _, _)| t)
+            .chain(self.slo.sheds.iter().map(|&(_, t)| t))
+            .chain(self.slo.admits.iter().map(|&(_, t, _)| t))
+            .collect();
+        for tenant in tenants {
+            let t_label = tenant.to_string();
+            for w in 0..windows {
+                let (lo, hi) = (w as f64 * width, (w + 1) as f64 * width);
+                // Right-inclusive last window so the makespan sample lands.
+                let in_win = |t: f64| t >= lo && (t < hi || (w == windows - 1 && t <= hi));
+                let w_label = w.to_string();
+                let labels = [("tenant", t_label.as_str()), ("window", w_label.as_str())];
+                let (mut n, mut depth, mut util) = (0u64, 0.0, 0.0);
+                for &(t, tn, d, u) in &self.slo.samples {
+                    if tn == tenant && in_win(t) {
+                        n += 1;
+                        depth += d as f64;
+                        util += u;
+                    }
+                }
+                if n > 0 {
+                    telemetry::gauge_labeled("fed.tenant_queue_depth_mean", &labels, depth / n as f64);
+                    telemetry::gauge_labeled(
+                        "fed.tenant_quota_utilization_mean",
+                        &labels,
+                        util / n as f64,
+                    );
+                }
+                let sheds = self
+                    .slo
+                    .sheds
+                    .iter()
+                    .filter(|&&(t, tn)| tn == tenant && in_win(t))
+                    .count();
+                telemetry::gauge_labeled("fed.tenant_shed_rate", &labels, sheds as f64 / width);
+                let waits: Vec<f64> = self
+                    .slo
+                    .admits
+                    .iter()
+                    .filter(|&&(t, tn, _)| tn == tenant && in_win(t))
+                    .map(|&(_, _, w)| w)
+                    .collect();
+                if !waits.is_empty() {
+                    telemetry::gauge_labeled(
+                        "fed.tenant_admit_latency_mean",
+                        &labels,
+                        waits.iter().sum::<f64>() / waits.len() as f64,
+                    );
+                }
+            }
+        }
+    }
 }
 
 enum Ev {
@@ -134,12 +239,23 @@ pub fn run(cfg: FedSimConfig) -> FedReport {
 
 /// Like [`run`], invoking `hook(&federation, now)` after every event —
 /// the testkit hangs its ledger oracle here.
-pub fn run_with(cfg: FedSimConfig, mut hook: impl FnMut(&Federation, f64)) -> FedReport {
+pub fn run_with(cfg: FedSimConfig, hook: impl FnMut(&Federation, f64)) -> FedReport {
+    run_with_fed(cfg, hook).0
+}
+
+/// Like [`run_with`], also returning the drained [`Federation`] so callers
+/// can inspect end-of-run state — the testkit dumps its flight recorder
+/// when an end-of-run oracle fails.
+pub fn run_with_fed(
+    cfg: FedSimConfig,
+    mut hook: impl FnMut(&Federation, f64),
+) -> (FedReport, Federation) {
     let mut fcfg = FederationConfig::new(cfg.shard_procs, cfg.tenants);
     fcfg.queue_policy = cfg.queue_policy;
     fcfg.lease = cfg.lease;
     fcfg.brownout = cfg.brownout;
     fcfg.bus = cfg.bus;
+    fcfg.flightrec_cap = cfg.flightrec_cap;
     let mut fed = Federation::new(fcfg);
     for p in &cfg.partitions {
         fed.inject_partition(p.groups.clone(), p.t_start, p.t_heal);
@@ -216,14 +332,22 @@ pub fn run_with(cfg: FedSimConfig, mut hook: impl FnMut(&Federation, f64)) -> Fe
         report.makespan = report.makespan.max(t);
         for n in &notices {
             match n {
-                Notice::Admitted { tenant, .. } => {
+                Notice::Admitted { tenant, tag, .. } => {
                     report.admitted += 1;
                     report.per_tenant.entry(*tenant).or_default().admitted += 1;
+                    // Router queueing latency: submissions queue at their
+                    // arrival, so admit-time minus arrival is the wait.
+                    let wait = cfg
+                        .jobs
+                        .get(*tag as usize)
+                        .map_or(0.0, |j| (t - j.arrival).max(0.0));
+                    report.slo.admits.push((t, *tenant, wait));
                 }
                 Notice::RouterQueued { .. } => report.router_queued += 1,
                 Notice::Shed { tenant, .. } => {
                     report.shed += 1;
                     report.per_tenant.entry(*tenant).or_default().shed += 1;
+                    report.slo.sheds.push((t, *tenant));
                 }
                 Notice::Started {
                     shard, job, tag, procs, ..
@@ -285,7 +409,16 @@ pub fn run_with(cfg: FedSimConfig, mut hook: impl FnMut(&Federation, f64)) -> Fe
                 Notice::PartitionStarted { .. } => report.partitions_started += 1,
                 Notice::PartitionHealed { .. } => report.partitions_healed += 1,
                 Notice::LeaseFenced { .. } => report.leases_fenced += 1,
-                Notice::HealRepaired { .. } => report.heal_repairs += 1,
+                Notice::HealRepaired { kind, .. } => {
+                    report.heal_repairs += 1;
+                    match kind {
+                        HealRepairKind::RecoveryFixup => report.heal_repairs_recovery_fixup += 1,
+                        HealRepairKind::EvictStaleBorrow => {
+                            report.heal_repairs_evict_stale_borrow += 1
+                        }
+                        HealRepairKind::ReturnEscrow => report.heal_repairs_return_escrow += 1,
+                    }
+                }
                 Notice::ShardKilled { .. } => {}
                 _ => {}
             }
@@ -307,11 +440,22 @@ pub fn run_with(cfg: FedSimConfig, mut hook: impl FnMut(&Federation, f64)) -> Fe
             }
         }
 
+        // Sample per-tenant SLO state after every event (virtual-time
+        // keyed, so identical runs produce identical series).
+        for tenant in fed.tenant_ids() {
+            report.slo.samples.push((
+                t,
+                tenant,
+                fed.tenant_queue_len(tenant),
+                fed.tenant_in_flight(tenant) as f64 / fed.tenant_quota(tenant).max(1) as f64,
+            ));
+        }
+
         hook(&fed, t);
     }
 
     report.transitions = fed.transitions();
-    report
+    (report, fed)
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ fn admit_fed() -> Federation {
 /// so admitting it requires a lend — escrowed grant, bus delivery, borrow
 /// attach, expiry eviction, release, reclaim. Pump timers to quiescence
 /// and return `(virtual end time, leases granted)`.
-fn lease_cycle() -> (f64, u64) {
+pub(crate) fn lease_cycle() -> (f64, u64) {
     let mut fcfg = FederationConfig::new(vec![4, 4, 4], vec![TenantConfig::new(64, 1.0, 16)]);
     fcfg.lease.min_spare = 1;
     let mut fed = Federation::new(fcfg);

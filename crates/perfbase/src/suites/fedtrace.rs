@@ -1,0 +1,79 @@
+//! Area `federation-trace`: the observability tax. Causal tracing rides
+//! in-band on every bus frame and opens spans on every control-plane
+//! transition, so the gate watches what that costs the lease protocol's
+//! hottest cycle — and proves the span DAG itself stays deterministic.
+//!
+//! The headline metric is `trace_overhead_ratio`: one sample times a
+//! batch of full lease round trips with tracing off, the same batch with
+//! tracing on, and reports on/off — paired per sample so allocator drift
+//! hits both sides equally. The gate's default wall-noise threshold
+//! applies, which is exactly the acceptance bar: the tracing delta must
+//! stay under wall noise. `lease_cycle_span_count` is the bit-exact twin:
+//! the number of spans one traced cycle records is a Count metric, so any
+//! nondeterminism in span recording trips the 0.1% band immediately.
+
+use std::time::Instant;
+
+use reshape_telemetry::trace;
+
+use crate::report::MetricKind;
+use crate::runner::Recorder;
+use crate::suites::federation::lease_cycle;
+use crate::suites::SuiteOpts;
+
+pub fn run(rec: &mut Recorder, opts: SuiteOpts) {
+    let was_on = trace::enabled();
+    trace::reset();
+
+    // Absolute round-trip cost with tracing off and on, for the trend
+    // lines (same wide noise band as the `federation` area's wall twin —
+    // short-lived federations make the allocator jittery).
+    let cycles = if opts.quick { 100u64 } else { 500u64 };
+    trace::set_enabled(false);
+    rec.wall_per_op("lease_round_trip_untraced_ns_per_op", cycles, || {
+        for _ in 0..cycles {
+            std::hint::black_box(lease_cycle());
+        }
+    });
+    rec.set_noise("lease_round_trip_untraced_ns_per_op", 0.6);
+    trace::set_enabled(true);
+    rec.wall_per_op("lease_round_trip_traced_ns_per_op", cycles, || {
+        for _ in 0..cycles {
+            std::hint::black_box(lease_cycle());
+        }
+        // Keep the global sink bounded between samples; draining is part
+        // of the tracing lifecycle, so it stays inside the timed region.
+        std::hint::black_box(trace::drain_spans().len());
+    });
+    rec.set_noise("lease_round_trip_traced_ns_per_op", 0.6);
+
+    // The gated delta: tracing-on vs tracing-off, paired per sample.
+    let pair = if opts.quick { 50u64 } else { 200u64 };
+    rec.value("trace_overhead_ratio", "x", MetricKind::Wall, || {
+        trace::set_enabled(false);
+        let t0 = Instant::now();
+        for _ in 0..pair {
+            std::hint::black_box(lease_cycle());
+        }
+        let off = t0.elapsed().as_secs_f64();
+        trace::set_enabled(true);
+        let t0 = Instant::now();
+        for _ in 0..pair {
+            std::hint::black_box(lease_cycle());
+        }
+        let on = t0.elapsed().as_secs_f64();
+        std::hint::black_box(trace::drain_spans().len());
+        on / off.max(1e-12)
+    });
+
+    // Bit-deterministic: the spans one traced lease cycle records.
+    trace::set_enabled(true);
+    rec.value("lease_cycle_span_count", "spans", MetricKind::Count, || {
+        trace::reset();
+        let _ = lease_cycle();
+        trace::drain_spans().len() as f64
+    });
+
+    trace::set_enabled(was_on);
+    trace::reset();
+}

@@ -12,6 +12,7 @@ mod blockcyclic;
 mod clustersim;
 mod des;
 mod federation;
+mod fedtrace;
 mod partition;
 mod redist;
 mod spawn;
@@ -45,7 +46,7 @@ impl Default for SuiteOpts {
 }
 
 /// Every area, in run order.
-pub const AREAS: [&str; 8] = [
+pub const AREAS: [&str; 9] = [
     "blockcyclic",
     "redist",
     "wal",
@@ -54,6 +55,7 @@ pub const AREAS: [&str; 8] = [
     "des",
     "federation",
     "federation-partition",
+    "federation-trace",
 ];
 
 /// Run one area's suite.
@@ -73,6 +75,7 @@ pub fn run_area(area: &str, opts: SuiteOpts) -> BenchReport {
         "des" => des::run(&mut rec, opts),
         "federation" => federation::run(&mut rec, opts),
         "federation-partition" => partition::run(&mut rec, opts),
+        "federation-trace" => fedtrace::run(&mut rec, opts),
         other => panic!("unknown perfbase area `{other}` (areas: {AREAS:?})"),
     }
     rec.finish()

@@ -139,10 +139,28 @@ pub fn gauge_labeled(name: &str, labels: &[(&str, &str)], v: f64) {
     }
 }
 
+/// Add to a labeled counter when telemetry is enabled. Label encoding as
+/// in [`gauge_labeled`].
+pub fn incr_labeled(name: &str, labels: &[(&str, &str)], n: u64) {
+    if enabled() {
+        let key = format!("{name}{}", encode_labels(labels));
+        Registry::global().counter(&key).add(n);
+    }
+}
+
 /// Record into a named histogram when telemetry is enabled.
 pub fn observe(name: &str, v: f64) {
     if enabled() {
         Registry::global().histogram(name).record(v);
+    }
+}
+
+/// Record into a labeled histogram when telemetry is enabled. Label
+/// encoding as in [`gauge_labeled`].
+pub fn observe_labeled(name: &str, labels: &[(&str, &str)], v: f64) {
+    if enabled() {
+        let key = format!("{name}{}", encode_labels(labels));
+        Registry::global().histogram(&key).record(v);
     }
 }
 

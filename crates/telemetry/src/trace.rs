@@ -75,6 +75,49 @@ struct OpenSpan {
     start: f64,
 }
 
+/// High bit tagging a federation *lease* trace: `LEASE_TRACE_BIT | lease_id`.
+///
+/// Job traces use the raw job id (small integers) and trace 0 is scheduler
+/// infrastructure, so the two federation schemes claim disjoint high bits:
+/// leases bit 62, shard control planes bit 61. `trace_check` keys its
+/// federation validations off these tags without needing the federation
+/// crate.
+pub const LEASE_TRACE_BIT: u64 = 1 << 62;
+
+/// High bit tagging a federation *shard control-plane* trace:
+/// `SHARD_TRACE_BIT | shard_id`.
+pub const SHARD_TRACE_BIT: u64 = 1 << 61;
+
+/// The trace id of federation lease `lease_id`.
+pub fn lease_trace(lease_id: u64) -> u64 {
+    LEASE_TRACE_BIT | lease_id
+}
+
+/// The trace id of federation shard `shard_id`'s control plane.
+pub fn shard_trace(shard_id: usize) -> u64 {
+    SHARD_TRACE_BIT | shard_id as u64
+}
+
+/// Whether `trace` is a federation lease trace; see [`lease_trace`].
+pub fn is_lease_trace(trace: u64) -> bool {
+    trace & LEASE_TRACE_BIT != 0
+}
+
+/// Whether `trace` is a federation shard trace; see [`shard_trace`].
+pub fn is_shard_trace(trace: u64) -> bool {
+    trace & SHARD_TRACE_BIT != 0 && !is_lease_trace(trace)
+}
+
+/// The lease id behind a [`lease_trace`] id.
+pub fn lease_of(trace: u64) -> u64 {
+    trace & !LEASE_TRACE_BIT
+}
+
+/// The shard id behind a [`shard_trace`] id.
+pub fn shard_of(trace: u64) -> usize {
+    (trace & !SHARD_TRACE_BIT) as usize
+}
+
 // 0 = uninitialized, 1 = off, 2 = on.
 static ENABLED: AtomicU8 = AtomicU8::new(0);
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -325,6 +368,14 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
     for s in spans {
         if s.parent == 0 && s.cat == "job" {
             proc_names.insert(s.trace, format!("job {} [{}]", s.trace, s.name));
+        } else if is_lease_trace(s.trace) {
+            proc_names
+                .entry(s.trace)
+                .or_insert_with(|| format!("lease {}", lease_of(s.trace)));
+        } else if is_shard_trace(s.trace) {
+            proc_names
+                .entry(s.trace)
+                .or_insert_with(|| format!("shard {} control", shard_of(s.trace)));
         } else {
             proc_names
                 .entry(s.trace)
@@ -511,6 +562,27 @@ mod tests {
     fn lock() -> parking_lot::MutexGuard<'static, ()> {
         static GATE: OnceLock<Mutex<()>> = OnceLock::new();
         GATE.get_or_init(|| Mutex::new(())).lock()
+    }
+
+    #[test]
+    fn federation_trace_id_scheme_is_disjoint_and_invertible() {
+        for lease in [0u64, 1, 42, u32::MAX as u64] {
+            let t = lease_trace(lease);
+            assert!(is_lease_trace(t));
+            assert!(!is_shard_trace(t));
+            assert_eq!(lease_of(t), lease);
+        }
+        for shard in [0usize, 1, 7, 4095] {
+            let t = shard_trace(shard);
+            assert!(is_shard_trace(t));
+            assert!(!is_lease_trace(t));
+            assert_eq!(shard_of(t), shard);
+        }
+        // Job traces (small ids) and trace 0 match neither scheme.
+        for job in [0u64, 1, 99, 1 << 32] {
+            assert!(!is_lease_trace(job));
+            assert!(!is_shard_trace(job));
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use reshape_core::ctrl::ChaosConfig;
 use reshape_core::{JobSpec, ProcessorConfig, QueuePolicy, TopologyPref, WalRecord};
-use reshape_federation::sim::{run_with, FedJob, FedReport, FedSimConfig, KillPlan};
+use reshape_federation::sim::{run_with_fed, FedJob, FedReport, FedSimConfig, KillPlan};
 use reshape_federation::{
     BrownoutConfig, BusConfig, Federation, FederationConfig, LeaseConfig, TenantConfig,
 };
@@ -501,7 +501,7 @@ pub fn run_federation_chaos(seed: u64) -> Result<FedChaosReport, String> {
     let mut wal_dump: Vec<(usize, String)> = Vec::new();
     let mut checks = 0u64;
     let mut quiesced = false;
-    let report = run_with(cfg, |fed, t| {
+    let (report, fed) = run_with_fed(cfg, |fed, t| {
         checks += 1;
         quiesced = fed.quiesced();
         if first_err.is_some() {
@@ -518,15 +518,16 @@ pub fn run_federation_chaos(seed: u64) -> Result<FedChaosReport, String> {
             }
         }
     });
+    let flightrec = fed.flightrec().dump_jsonl();
 
     if let Some(e) = first_err {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!("seed {seed}: ledger violation: {e}"));
     }
     // End-of-run acceptance: full terminal accounting, every recovery
     // replayed to snapshot equality, every lease round-tripped home.
     if !report.recoveries_matched {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!(
             "seed {seed}: a WAL replay diverged from its crash snapshot"
         ));
@@ -534,21 +535,31 @@ pub fn run_federation_chaos(seed: u64) -> Result<FedChaosReport, String> {
     let terminal =
         report.finished + report.failed + report.cancelled + report.evict_failed + report.shed;
     if terminal != report.submitted {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!(
             "seed {seed}: accounting leak: {terminal} terminal of {} submitted ({report:?})",
             report.submitted
         ));
     }
     if report.leases_granted != report.leases_reclaimed {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!(
             "seed {seed}: {} leases granted but {} reclaimed",
             report.leases_granted, report.leases_reclaimed
         ));
     }
+    let per_kind = report.heal_repairs_recovery_fixup
+        + report.heal_repairs_evict_stale_borrow
+        + report.heal_repairs_return_escrow;
+    if per_kind != report.heal_repairs {
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
+        return Err(format!(
+            "seed {seed}: heal-repair kinds sum to {per_kind} but {} repairs were journaled",
+            report.heal_repairs
+        ));
+    }
     if !quiesced {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!("seed {seed}: federation did not quiesce"));
     }
     Ok(FedChaosReport {
@@ -559,8 +570,8 @@ pub fn run_federation_chaos(seed: u64) -> Result<FedChaosReport, String> {
 }
 
 /// When `TESTKIT_FAULT_DIR` is set, persist the failing run's fault
-/// schedule and WAL streams for offline replay.
-fn dump_artifacts(seed: u64, schedule: &str, wals: &[(usize, String)]) {
+/// schedule, WAL streams, and flight-recorder dump for offline replay.
+fn dump_artifacts(seed: u64, schedule: &str, wals: &[(usize, String)], flightrec: &str) {
     let Ok(dir) = std::env::var("TESTKIT_FAULT_DIR") else {
         return;
     };
@@ -572,6 +583,7 @@ fn dump_artifacts(seed: u64, schedule: &str, wals: &[(usize, String)]) {
     for (shard, text) in wals {
         let _ = std::fs::write(format!("{dir}/fed-seed-{seed}-shard-{shard}.wal"), text);
     }
+    let _ = std::fs::write(format!("{dir}/fed-seed-{seed}.flightrec.jsonl"), flightrec);
 }
 
 // ----------------------------------------------------------------------
@@ -584,6 +596,13 @@ fn dump_artifacts(seed: u64, schedule: &str, wals: &[(usize, String)]) {
 /// message the ledger oracle raised, or `Err` if it never noticed — the
 /// sensitivity proof that the sweep's green is meaningful.
 pub fn run_planted_double_grant() -> Result<String, String> {
+    run_planted_double_grant_with_fed().map(|(msg, _)| msg)
+}
+
+/// [`run_planted_double_grant`], also returning the federation so callers
+/// can inspect the flight recorder of the failing run (the planted-failure
+/// dump must be parseable — `crates/testkit/tests/flightrec.rs`).
+pub fn run_planted_double_grant_with_fed() -> Result<(String, Federation), String> {
     let tenants = vec![TenantConfig::new(64, 1.0, 16)];
     let mut fcfg = FederationConfig::new(vec![4, 4, 4], tenants);
     fcfg.lease.min_spare = 1;
@@ -605,7 +624,7 @@ pub fn run_planted_double_grant() -> Result<String, String> {
     // duplicate to the third shard.
     fed.submit(0, 0, spec, 0.0);
     if let Err(e) = check_ledger(&fed) {
-        return Ok(e);
+        return Ok((e, fed));
     }
     // Pump the bus until both grants land and attach.
     let mut t = 0.0;
@@ -614,7 +633,7 @@ pub fn run_planted_double_grant() -> Result<String, String> {
         t = next.max(t);
         fed.run_timers(t);
         if let Err(e) = check_ledger(&fed) {
-            return Ok(e);
+            return Ok((e, fed));
         }
     }
     Err("ledger oracle never flagged the planted double grant".into())

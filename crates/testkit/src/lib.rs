@@ -67,7 +67,7 @@ pub use crashrestart::{run_crash_restart, CrashReport};
 pub use des::{run_seed_des, DesHarness};
 pub use federation::{
     check_ledger, generate_federation, run_federation_chaos, run_planted_double_grant,
-    FedChaosReport,
+    run_planted_double_grant_with_fed, FedChaosReport,
 };
 pub use harness::{run_scenario, run_scenario_on, run_seed, Driver, RunStats};
 pub use partition::{generate_partition, run_partition_chaos, run_planted_stale_epoch_grant};

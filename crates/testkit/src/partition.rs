@@ -20,7 +20,7 @@
 //! [`crate::federation::generate_federation`] stay bitwise identical.
 
 use reshape_core::{Backoff, JobSpec, ProcessorConfig, TopologyPref};
-use reshape_federation::sim::{run_with, FedSimConfig, PartitionPlan};
+use reshape_federation::sim::{run_with_fed, FedSimConfig, PartitionPlan};
 use reshape_federation::{Federation, FederationConfig, TenantConfig};
 
 use crate::federation::{check_ledger, generate_federation, FedChaosReport};
@@ -91,7 +91,7 @@ pub fn run_partition_chaos(seed: u64) -> Result<FedChaosReport, String> {
     let mut wal_dump: Vec<(usize, String)> = Vec::new();
     let mut checks = 0u64;
     let mut quiesced = false;
-    let report = run_with(cfg, |fed, t| {
+    let (report, fed) = run_with_fed(cfg, |fed, t| {
         checks += 1;
         quiesced = fed.quiesced();
         if first_err.is_some() {
@@ -108,13 +108,14 @@ pub fn run_partition_chaos(seed: u64) -> Result<FedChaosReport, String> {
             }
         }
     });
+    let flightrec = fed.flightrec().dump_jsonl();
 
     if let Some(e) = first_err {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!("seed {seed}: ledger violation: {e}"));
     }
     if !report.recoveries_matched {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!(
             "seed {seed}: a WAL replay diverged from its crash snapshot"
         ));
@@ -122,28 +123,38 @@ pub fn run_partition_chaos(seed: u64) -> Result<FedChaosReport, String> {
     let terminal =
         report.finished + report.failed + report.cancelled + report.evict_failed + report.shed;
     if terminal != report.submitted {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!(
             "seed {seed}: accounting leak: {terminal} terminal of {} submitted ({report:?})",
             report.submitted
         ));
     }
     if report.leases_granted != report.leases_reclaimed {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!(
             "seed {seed}: {} leases granted but {} reclaimed",
             report.leases_granted, report.leases_reclaimed
         ));
     }
     if report.partitions_started != report.partitions_healed {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!(
             "seed {seed}: {} partitions started but {} healed",
             report.partitions_started, report.partitions_healed
         ));
     }
+    let per_kind = report.heal_repairs_recovery_fixup
+        + report.heal_repairs_evict_stale_borrow
+        + report.heal_repairs_return_escrow;
+    if per_kind != report.heal_repairs {
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
+        return Err(format!(
+            "seed {seed}: heal-repair kinds sum to {per_kind} but {} repairs were journaled",
+            report.heal_repairs
+        ));
+    }
     if !quiesced {
-        dump_artifacts(seed, &schedule, &wal_dump);
+        dump_artifacts(seed, &schedule, &wal_dump, &flightrec);
         return Err(format!("seed {seed}: federation did not quiesce after the heal"));
     }
     Ok(FedChaosReport {
@@ -154,8 +165,9 @@ pub fn run_partition_chaos(seed: u64) -> Result<FedChaosReport, String> {
 }
 
 /// When `TESTKIT_FAULT_DIR` is set, persist the failing run's fault (and
-/// partition) schedule and WAL streams for offline replay.
-fn dump_artifacts(seed: u64, schedule: &str, wals: &[(usize, String)]) {
+/// partition) schedule, WAL streams, and flight-recorder dump for offline
+/// replay.
+fn dump_artifacts(seed: u64, schedule: &str, wals: &[(usize, String)], flightrec: &str) {
     let Ok(dir) = std::env::var("TESTKIT_FAULT_DIR") else {
         return;
     };
@@ -167,6 +179,10 @@ fn dump_artifacts(seed: u64, schedule: &str, wals: &[(usize, String)]) {
             text,
         );
     }
+    let _ = std::fs::write(
+        format!("{dir}/partition-seed-{seed}.flightrec.jsonl"),
+        flightrec,
+    );
 }
 
 // ----------------------------------------------------------------------

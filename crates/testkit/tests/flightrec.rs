@@ -1,0 +1,95 @@
+//! Flight-recorder bounds drills: the control-plane ring must keep the
+//! newest N events under sustained chaos (evicting oldest-first, counting
+//! every drop in `fed.flightrec_dropped_total`), and a planted oracle
+//! failure must yield a parseable JSONL dump — the artifact CI uploads
+//! when a sweep trips.
+
+use reshape_federation::sim::run_with_fed;
+use reshape_federation::FlightEvent;
+use reshape_telemetry as telemetry;
+use reshape_testkit::{generate_partition, run_planted_double_grant_with_fed};
+
+/// A partition chaos scenario with a tiny ring: the run generates far
+/// more control-plane events than 16, so eviction is sustained — and the
+/// retained suffix must be exactly the newest 16 of the full event
+/// stream (proved by re-running the same seed with an ample ring).
+#[test]
+fn sustained_chaos_keeps_newest_events_and_counts_drops() {
+    const TINY: usize = 16;
+    let mut cfg = generate_partition(11);
+    cfg.flightrec_cap = TINY;
+    let before = telemetry::counter("fed.flightrec_dropped_total").get();
+    let (_, small) = run_with_fed(cfg, |_, _| {});
+    let after = telemetry::counter("fed.flightrec_dropped_total").get();
+
+    assert_eq!(small.flightrec().len(), TINY, "ring must fill to cap");
+    assert!(
+        small.flightrec().dropped() > 0,
+        "sustained chaos must overflow a {TINY}-slot ring"
+    );
+    assert!(
+        after - before >= small.flightrec().dropped(),
+        "every eviction must land in fed.flightrec_dropped_total \
+         (counter moved {}, ring dropped {})",
+        after - before,
+        small.flightrec().dropped()
+    );
+
+    // Same seed, ample ring: nothing dropped, and the tiny ring's
+    // retained events are exactly the newest TINY of the full stream.
+    let mut cfg = generate_partition(11);
+    cfg.flightrec_cap = 1 << 20;
+    let (_, big) = run_with_fed(cfg, |_, _| {});
+    assert_eq!(big.flightrec().dropped(), 0, "ample ring must not evict");
+    let full: Vec<&FlightEvent> = big.flightrec().events().collect();
+    assert_eq!(
+        small.flightrec().dropped() as usize + TINY,
+        full.len(),
+        "drops + retained must account for every event"
+    );
+    let newest: Vec<&FlightEvent> = full[full.len() - TINY..].to_vec();
+    let kept: Vec<&FlightEvent> = small.flightrec().events().collect();
+    assert_eq!(kept, newest, "eviction must be strictly oldest-first");
+}
+
+/// The planted double grant trips the ledger oracle; the flight recorder
+/// of that failing federation must dump as parseable JSONL whose summary
+/// line agrees with the ring's own accounting.
+#[test]
+fn planted_oracle_failure_produces_a_parseable_dump() {
+    let (violation, fed) =
+        run_planted_double_grant_with_fed().expect("oracle must catch the rogue lease");
+    assert!(!violation.is_empty());
+    let dump = fed.flightrec().dump_jsonl();
+    let lines: Vec<&str> = dump.lines().collect();
+    assert!(lines.len() >= 2, "dump must hold events plus a summary");
+    for l in &lines {
+        assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");
+        // Quote parity — crude but catches any escaping bug that would
+        // break a real JSON parser.
+        let unescaped = l
+            .as_bytes()
+            .windows(2)
+            .filter(|w| w[1] == b'"' && w[0] != b'\\')
+            .count()
+            + usize::from(l.starts_with('"'));
+        assert_eq!(unescaped % 2, 0, "unbalanced quotes: {l}");
+    }
+    let (events, summary) = lines.split_at(lines.len() - 1);
+    for l in events {
+        assert!(l.contains("\"t\":") && l.contains("\"kind\":\""), "{l}");
+    }
+    assert!(
+        summary[0].contains("\"type\":\"flightrec_summary\"")
+            && summary[0].contains(&format!("\"retained\":{}", fed.flightrec().len()))
+            && summary[0].contains(&format!("\"dropped\":{}", fed.flightrec().dropped())),
+        "summary must match the ring: {}",
+        summary[0]
+    );
+    // The rogue grant itself is on the record — the dump tells the story
+    // of the failure, not just that one happened.
+    assert!(
+        fed.flightrec().events().any(|e| e.kind == "lease_grant"),
+        "dump must include the grants that led to the violation"
+    );
+}

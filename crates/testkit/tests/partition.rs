@@ -15,6 +15,9 @@ fn two_hundred_fifty_six_partition_chaos_seeds_hold_the_ledger() {
     let mut healed = 0u64;
     let mut fenced = 0u64;
     let mut repairs = 0u64;
+    let mut fixups = 0u64;
+    let mut evicts = 0u64;
+    let mut escrows = 0u64;
     let mut leases = 0u64;
     let mut kills = 0u64;
     let mut recoveries = 0u64;
@@ -25,6 +28,9 @@ fn two_hundred_fifty_six_partition_chaos_seeds_hold_the_ledger() {
         healed += rep.report.partitions_healed;
         fenced += rep.report.leases_fenced;
         repairs += rep.report.heal_repairs;
+        fixups += rep.report.heal_repairs_recovery_fixup;
+        evicts += rep.report.heal_repairs_evict_stale_borrow;
+        escrows += rep.report.heal_repairs_return_escrow;
         leases += rep.report.leases_granted;
         kills += rep.report.shard_kills;
         recoveries += rep.report.shard_recoveries;
@@ -32,7 +38,8 @@ fn two_hundred_fifty_six_partition_chaos_seeds_hold_the_ledger() {
     }
     println!(
         "partition sweep: started={started} healed={healed} fenced={fenced} \
-         repairs={repairs} leases={leases} kills={kills} checks={checks}"
+         repairs={repairs} (fixup={fixups} evict={evicts} escrow={escrows}) \
+         leases={leases} kills={kills} checks={checks}"
     );
     // The sweep must actually exercise every partition arm, not skate
     // past it: real splits (each matched by a heal), real fences, real
@@ -41,6 +48,14 @@ fn two_hundred_fifty_six_partition_chaos_seeds_hold_the_ledger() {
     assert!(started > 300, "partition arm unexercised: {started}");
     assert!(fenced > 30, "fencing arm unexercised: {fenced}");
     assert!(repairs > 10, "anti-entropy repair arm unexercised: {repairs}");
+    // Every repair kind individually, with the exact decomposition: each
+    // run already proves its kinds sum to its total, so the sweep-wide
+    // sums must too — and all three paths (recovery fixup, evict-stale-
+    // borrow, return-escrow) must fire somewhere in the sweep.
+    assert_eq!(fixups + evicts + escrows, repairs, "repair kinds must decompose the total");
+    assert!(fixups > 0, "recovery-fixup repair arm unexercised");
+    assert!(evicts > 0, "evict-stale-borrow repair arm unexercised");
+    assert!(escrows > 0, "return-escrow repair arm unexercised");
     assert!(leases > 100, "lending arm unexercised: {leases}");
     assert_eq!(kills, recoveries, "every kill must be recovered");
     assert!(
